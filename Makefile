@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full experiments examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-capture:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe
+
+bench-capture:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-full:
+	dune exec bench/main.exe -- --full --ablations
+
+experiments:
+	dune exec bin/bbc_cli.exe -- experiment
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/social_network.exe
+	dune exec examples/p2p_overlay.exe
+	dune exec examples/cayley_tour.exe
+	dune exec examples/np_hardness.exe
+
+clean:
+	dune clean

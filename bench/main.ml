@@ -1,0 +1,174 @@
+(* Reproduction harness.
+
+   Default run: every experiment E1..E11 (quick parameters) — one section
+   per figure/claim of the paper (see DESIGN.md's index) — followed by
+   Bechamel micro-benchmarks of the core operations and the ablation
+   pairs called out in DESIGN.md.
+
+   Flags:
+     --full         larger parameter sweeps (several minutes)
+     --no-timing    skip the Bechamel section
+     --timing-only  only the Bechamel section
+     --ablations    include the ablation benchmarks (implied by --full)
+     e1 .. e11      run only the listed experiments *)
+
+open Bechamel
+
+let fmt = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                     *)
+
+let willows_fixture =
+  lazy
+    (let p = Bbc.Willows.{ k = 2; h = 3; l = 1 } in
+     Bbc.Willows.build p)
+
+let big_willows_fixture =
+  lazy
+    (let p = Bbc.Willows.{ k = 2; h = 3; l = 6 } in
+     Bbc.Willows.build p)
+
+let random_config_fixture =
+  lazy
+    (let n = 40 and k = 2 in
+     let inst = Bbc.Instance.uniform ~n ~k in
+     let g = Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create 1) ~n ~k in
+     (inst, Bbc.Config.of_graph g))
+
+let big_graph_fixture =
+  lazy (Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create 2) ~n:2000 ~k:3)
+
+let fractional_fixture =
+  lazy
+    (let inst = Bbc.Instance.uniform ~n:8 ~k:1 in
+     (inst, Bbc.Fractional.uniform_profile inst))
+
+(* Naive best response (rebuilds the graph for every candidate subset):
+   the ablation baseline for the d_{-u} decomposition. *)
+let naive_best_response instance config u =
+  List.fold_left
+    (fun best s ->
+      let c = Bbc.Eval.node_cost instance (Bbc.Config.with_strategy config u s) u in
+      min best c)
+    max_int
+    (Bbc.Exhaustive.all_strategies instance u)
+
+let core_benchmarks () =
+  [
+    Test.make ~name:"eval/node_cost willows(n=46)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force willows_fixture in
+           ignore (Bbc.Eval.node_cost inst config 0)));
+    Test.make ~name:"eval/social_cost willows(n=46)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force willows_fixture in
+           ignore (Bbc.Eval.social_cost inst config)));
+    Test.make ~name:"best_response/exact (n=40,k=2)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force random_config_fixture in
+           ignore (Bbc.Best_response.exact inst config 0)));
+    Test.make ~name:"stability/is_stable willows(n=46)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force willows_fixture in
+           ignore (Bbc.Stability.is_stable inst config)));
+    Test.make ~name:"dynamics/one round (n=40,k=2)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force random_config_fixture in
+           ignore
+             (Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:1
+                inst config)));
+    Test.make ~name:"graph/scc (n=2000,k=3)"
+      (Staged.stage (fun () ->
+           ignore (Bbc_graph.Scc.compute (Lazy.force big_graph_fixture))));
+    Test.make ~name:"graph/bfs (n=2000,k=3)"
+      (Staged.stage (fun () ->
+           ignore (Bbc_graph.Paths.bfs (Lazy.force big_graph_fixture) 0)));
+    Test.make ~name:"flow/min-cost unit flow (n=8)"
+      (Staged.stage (fun () ->
+           let inst, profile = Lazy.force fractional_fixture in
+           ignore (Bbc.Fractional.pair_cost inst profile 0 5)));
+  ]
+
+let ablation_benchmarks () =
+  [
+    Test.make ~name:"ablation/BR via d_{-u} (n=40,k=2)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force random_config_fixture in
+           ignore (Bbc.Best_response.exact inst config 0)));
+    Test.make ~name:"ablation/BR naive rebuild (n=40,k=2)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force random_config_fixture in
+           ignore (naive_best_response inst config 0)));
+    Test.make ~name:"ablation/bfs on unit graph (n=2000)"
+      (Staged.stage (fun () ->
+           ignore (Bbc_graph.Paths.bfs (Lazy.force big_graph_fixture) 0)));
+    Test.make ~name:"ablation/dijkstra on unit graph (n=2000)"
+      (Staged.stage (fun () ->
+           ignore (Bbc_graph.Paths.dijkstra (Lazy.force big_graph_fixture) 0)));
+    Test.make ~name:"ablation/stability early-exit, unstable start"
+      (Staged.stage (fun () ->
+           let inst, _ = Lazy.force random_config_fixture in
+           ignore (Bbc.Stability.is_stable inst (Bbc.Config.empty 40))));
+    Test.make ~name:"ablation/stability full scan, stable graph"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force willows_fixture in
+           ignore (Bbc.Stability.is_stable inst config)));
+    Test.make ~name:"ablation/stability sequential (n=126)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force big_willows_fixture in
+           ignore (Bbc.Stability.is_stable inst config)));
+    Test.make ~name:"ablation/stability 4 domains (n=126)"
+      (Staged.stage (fun () ->
+           let inst, config = Lazy.force big_willows_fixture in
+           ignore (Bbc.Stability.is_stable_parallel ~domains:4 inst config)));
+  ]
+
+let run_benchmarks ~name tests =
+  Format.fprintf fmt "@.%s@.%s@." (String.make 72 '=') name;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun key ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.fprintf fmt "  %-48s %14.1f ns/run@." key est
+          | _ -> Format.fprintf fmt "  %-48s (no estimate)@." key)
+        analyzed)
+    tests;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let has flag = List.mem flag args in
+  let full = has "--full" in
+  let quick = not full in
+  let timing_only = has "--timing-only" in
+  let no_timing = has "--no-timing" in
+  let selected =
+    List.filter_map Bbc_experiments.Registry.find args
+  in
+  if not timing_only then begin
+    Format.fprintf fmt
+      "BBC games reproduction harness — Laoutaris et al., PODC 2008@.";
+    Format.fprintf fmt "mode: %s@." (if full then "full" else "quick");
+    match selected with
+    | [] -> Bbc_experiments.Registry.run_all ~quick fmt
+    | entries -> List.iter (fun (e : Bbc_experiments.Registry.entry) -> e.run ~quick fmt) entries
+  end;
+  if (not no_timing) && selected = [] then begin
+    run_benchmarks ~name:"Micro-benchmarks (Bechamel)" (core_benchmarks ());
+    if full || has "--ablations" || timing_only then
+      run_benchmarks ~name:"Ablations (DESIGN.md section 5)" (ablation_benchmarks ())
+  end;
+  Format.pp_print_flush fmt ()

@@ -1,0 +1,273 @@
+(* bbc — command-line laboratory for Bounded Budget Connection games.
+
+   Subcommands:
+     experiment  run reproduction experiments (e1..e11, or all)
+     dynamics    run a best-response walk on a generated instance
+     verify      check stability of a named construction
+     dot         emit Graphviz for a construction
+     reduce      build the Theorem-2 instance from a DIMACS file *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+(* ---------------------------------------------------------------- *)
+(* Shared constructors for named configurations.                     *)
+
+let named_configs =
+  [
+    "willows";
+    "ring";
+    "ring-path";
+    "loop7";
+    "max-anarchy";
+    "circulant";
+    "hypercube";
+    "random";
+    "empty";
+  ]
+
+let build_config name ~n ~k ~h ~l ~seed =
+  match name with
+  | "willows" ->
+      let p = Bbc.Willows.{ k; h; l } in
+      Ok (Bbc.Willows.build p)
+  | "ring" ->
+      let inst = Bbc.Instance.uniform ~n ~k:1 in
+      Ok (inst, Bbc.Config.of_graph (Bbc_graph.Generators.directed_ring n))
+  | "ring-path" -> Ok (Bbc.Constructions.ring_with_path ~ring:(n / 2 * 2 / 3 * 2) ~path:(max 1 (n / 3)))
+  | "loop7" -> Ok (Bbc.Constructions.best_response_loop ())
+  | "max-anarchy" ->
+      if k = 2 then Ok (Bbc.Constructions.max_anarchy_seed_k2 ~l)
+      else Ok (Bbc.Constructions.max_anarchy ~k ~l)
+  | "circulant" ->
+      let c = Bbc_group.Cayley.random_circulant (Bbc_prng.Splitmix.create seed) ~n ~k in
+      Ok (Bbc.Cayley_game.to_game c)
+  | "hypercube" ->
+      let c = Bbc_group.Cayley.hypercube k in
+      Ok (Bbc.Cayley_game.to_game c)
+  | "random" ->
+      let inst = Bbc.Instance.uniform ~n ~k in
+      let g = Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create seed) ~n ~k in
+      Ok (inst, Bbc.Config.of_graph g)
+  | "empty" -> Ok (Bbc.Instance.uniform ~n ~k, Bbc.Config.empty n)
+  | other -> Error (Printf.sprintf "unknown construction %S" other)
+
+(* ---------------------------------------------------------------- *)
+(* Common options.                                                    *)
+
+let name_arg =
+  let doc =
+    "Named construction: " ^ String.concat ", " named_configs ^ "."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+
+let n_opt = Arg.(value & opt int 12 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+let k_opt = Arg.(value & opt int 2 & info [ "k"; "budget" ] ~doc:"Budget / out-degree.")
+let h_opt = Arg.(value & opt int 2 & info [ "height" ] ~doc:"Willows tree height.")
+let l_opt = Arg.(value & opt int 3 & info [ "tail" ] ~doc:"Willows/max-anarchy tail length.")
+let seed_opt = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let objective_opt =
+  let objective_conv =
+    Arg.enum [ ("sum", Bbc.Objective.Sum); ("max", Bbc.Objective.Max) ]
+  in
+  Arg.(value & opt objective_conv Bbc.Objective.Sum & info [ "objective" ] ~doc:"Cost objective: sum or max.")
+
+(* ---------------------------------------------------------------- *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e11); all when omitted.")
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Larger sweeps.") in
+  let run ids full =
+    let quick = not full in
+    match ids with
+    | [] ->
+        Bbc_experiments.Registry.run_all ~quick fmt;
+        `Ok ()
+    | ids -> (
+        let entries = List.map Bbc_experiments.Registry.find ids in
+        match List.find_opt Option.is_none entries with
+        | Some _ -> `Error (false, "unknown experiment id; use e1..e11")
+        | None ->
+            List.iter
+              (fun e -> (Option.get e).Bbc_experiments.Registry.run ~quick fmt)
+              entries;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run reproduction experiments (paper figures/claims).")
+    Term.(ret (const run $ ids $ full))
+
+let verify_cmd =
+  let run name n k h l seed objective =
+    match build_config name ~n ~k ~h ~l ~seed with
+    | Error e -> `Error (false, e)
+    | Ok (instance, config) ->
+        let stable = Bbc.Stability.is_stable ~objective instance config in
+        Format.fprintf fmt "construction: %s (n=%d)@." name (Bbc.Instance.n instance);
+        Format.fprintf fmt "objective:    %a@." Bbc.Objective.pp objective;
+        Format.fprintf fmt "social cost:  %d@."
+          (Bbc.Eval.social_cost ~objective instance config);
+        Format.fprintf fmt "stable:       %b@." stable;
+        (if not stable then
+           match Bbc.Stability.find_deviation ~objective instance config with
+           | Some d -> Format.fprintf fmt "deviation:    %a@." Bbc.Stability.pp_deviation d
+           | None -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check whether a named construction is a pure Nash equilibrium.")
+    Term.(ret (const run $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ objective_opt))
+
+let dynamics_cmd =
+  let scheduler_opt =
+    let scheduler_conv =
+      Arg.enum
+        [
+          ("round-robin", Bbc.Dynamics.Round_robin);
+          ("max-cost", Bbc.Dynamics.Max_cost_first);
+        ]
+    in
+    Arg.(value & opt scheduler_conv Bbc.Dynamics.Round_robin & info [ "scheduler" ] ~doc:"round-robin or max-cost.")
+  in
+  let rounds_opt = Arg.(value & opt int 200 & info [ "rounds" ] ~doc:"Round budget.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print every deviation.") in
+  let run name n k h l seed objective scheduler rounds trace =
+    match build_config name ~n ~k ~h ~l ~seed with
+    | Error e -> `Error (false, e)
+    | Ok (instance, config) ->
+        let on_step (s : Bbc.Dynamics.step) =
+          if trace && s.moved then
+            Format.fprintf fmt "  step %4d (round %3d): node %3d -> [%s] cost %d@."
+              s.index s.round s.node
+              (String.concat " " (List.map string_of_int s.strategy))
+              s.cost_after
+        in
+        let outcome =
+          Bbc.Dynamics.run ~objective ~on_step ~scheduler ~max_rounds:rounds instance config
+        in
+        Format.fprintf fmt "outcome: %a@." Bbc.Dynamics.pp_outcome outcome;
+        let final = Bbc.Dynamics.final_config outcome in
+        Format.fprintf fmt "final social cost: %d@."
+          (Bbc.Eval.social_cost ~objective instance final);
+        Format.fprintf fmt "strongly connected: %b@."
+          (Bbc_graph.Scc.is_strongly_connected (Bbc.Config.to_graph instance final));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dynamics" ~doc:"Run a best-response walk on a named construction.")
+    Term.(
+      ret
+        (const run $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ objective_opt
+       $ scheduler_opt $ rounds_opt $ trace))
+
+let dot_cmd =
+  let run name n k h l seed =
+    match build_config name ~n ~k ~h ~l ~seed with
+    | Error e -> `Error (false, e)
+    | Ok (instance, config) ->
+        print_string (Bbc_graph.Dot.to_dot (Bbc.Config.to_graph instance config));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the realized graph of a construction in Graphviz format.")
+    Term.(ret (const run $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt))
+
+let reduce_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
+  in
+  let run file =
+    match Bbc_sat.Dimacs.parse_file file with
+    | Error e -> `Error (false, e)
+    | Ok formula -> (
+        let t = Bbc.Reduction.build formula in
+        Format.fprintf fmt "formula: %d vars, %d clauses@."
+          (Bbc_sat.Cnf.num_vars formula)
+          (Bbc_sat.Cnf.num_clauses formula);
+        Format.fprintf fmt "game: %d nodes@." (Bbc.Instance.n t.instance);
+        match Bbc_sat.Solver.solve formula with
+        | Bbc_sat.Solver.Sat assignment ->
+            let config = Bbc.Reduction.encode t assignment in
+            Format.fprintf fmt "satisfiable; encoded profile stable: %b@."
+              (Bbc.Stability.is_stable t.instance config);
+            `Ok ()
+        | Bbc_sat.Solver.Unsat ->
+            Format.fprintf fmt "unsatisfiable; the game has no pure NE (Theorem 2)@.";
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Run the Theorem-2 reduction on a DIMACS formula.")
+    Term.(ret (const run $ file))
+
+let save_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Instance output file.")
+  in
+  let config_out =
+    Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE" ~doc:"Also save the configuration here.")
+  in
+  let run name n k h l seed out config_out =
+    match build_config name ~n ~k ~h ~l ~seed with
+    | Error e -> `Error (false, e)
+    | Ok (instance, config) -> (
+        match Bbc.Codec.save_instance out instance with
+        | Error e -> `Error (false, e)
+        | Ok () -> (
+            Format.fprintf fmt "wrote %s (%d nodes)@." out (Bbc.Instance.n instance);
+            match config_out with
+            | None -> `Ok ()
+            | Some path -> (
+                match Bbc.Codec.save_config path config with
+                | Error e -> `Error (false, e)
+                | Ok () ->
+                    Format.fprintf fmt "wrote %s@." path;
+                    `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a named construction to the bbc text format.")
+    Term.(ret (const run $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ out $ config_out))
+
+let load_cmd =
+  let instance_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
+  in
+  let config_file =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"CONFIG" ~doc:"Optional configuration file to verify.")
+  in
+  let run instance_file config_file objective =
+    match Bbc.Codec.load_instance instance_file with
+    | Error e -> `Error (false, e)
+    | Ok instance -> (
+        Format.fprintf fmt "loaded %a@." Bbc.Instance.pp instance;
+        match config_file with
+        | None -> `Ok ()
+        | Some path -> (
+            match Bbc.Codec.load_config path with
+            | Error e -> `Error (false, e)
+            | Ok config ->
+                if Bbc.Config.n config <> Bbc.Instance.n instance then
+                  `Error (false, "configuration size does not match instance")
+                else begin
+                  Format.fprintf fmt "feasible: %b@." (Bbc.Config.feasible instance config);
+                  Format.fprintf fmt "social cost (%a): %d@." Bbc.Objective.pp objective
+                    (Bbc.Eval.social_cost ~objective instance config);
+                  Format.fprintf fmt "stable: %b@."
+                    (Bbc.Stability.is_stable ~objective instance config);
+                  `Ok ()
+                end))
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load an instance (and optionally verify a configuration).")
+    Term.(ret (const run $ instance_file $ config_file $ objective_opt))
+
+let () =
+  let doc = "Bounded Budget Connection (BBC) games laboratory" in
+  let info = Cmd.info "bbc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiment_cmd; verify_cmd; dynamics_cmd; dot_cmd; reduce_cmd; save_cmd; load_cmd ]))

@@ -1,0 +1,44 @@
+(* Quickstart: define a game, evaluate costs, compute a best response,
+   run best-response dynamics to a pure Nash equilibrium, and verify it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* An (8,2)-uniform BBC game: 8 players, each may buy 2 unit-cost
+     links; everyone wants short hop distances to everyone else. *)
+  let instance = Bbc.Instance.uniform ~n:8 ~k:2 in
+
+  (* Start from a random 2-out configuration (seeded, reproducible). *)
+  let rng = Bbc_prng.Splitmix.create 7 in
+  let start =
+    Bbc.Config.of_graph (Bbc_graph.Generators.random_k_out rng ~n:8 ~k:2)
+  in
+  Format.printf "initial configuration:@.%a@." Bbc.Config.pp start;
+  Format.printf "initial social cost: %d@.@."
+    (Bbc.Eval.social_cost instance start);
+
+  (* What would node 0 buy if it could rewire right now? *)
+  let br = Bbc.Best_response.exact instance start 0 in
+  Format.printf "node 0 best response: links to [%s] at cost %d (now %d)@.@."
+    (String.concat " " (List.map string_of_int br.strategy))
+    br.cost
+    (Bbc.Eval.node_cost instance start 0);
+
+  (* Let everyone repeatedly best-respond, round-robin. *)
+  match
+    Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:100
+      instance start
+  with
+  | Bbc.Dynamics.Converged (equilibrium, stats) ->
+      Format.printf "converged after %d rounds (%d rewirings)@." stats.rounds
+        stats.deviations;
+      Format.printf "equilibrium:@.%a@." Bbc.Config.pp equilibrium;
+      Format.printf "social cost at equilibrium: %d@."
+        (Bbc.Eval.social_cost instance equilibrium);
+      Format.printf "verified pure Nash equilibrium: %b@."
+        (Bbc.Stability.is_stable instance equilibrium);
+      Format.printf "price-of-anarchy ratio vs degree-2 lower bound: %.2f@."
+        (Bbc.Metrics.anarchy_ratio instance equilibrium)
+  | outcome ->
+      Format.printf "no equilibrium reached: %a@." Bbc.Dynamics.pp_outcome
+        outcome

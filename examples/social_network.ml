@@ -1,0 +1,100 @@
+(* Social-network scenario (the paper's "campaign manager" motivation):
+   players with non-uniform preference weights — everyone wants to be
+   close to a few influencers, each camp wants to reach its own base,
+   and attention budgets are tight (the Dunbar limit: k links each).
+
+   We build the weighted game, run best-response dynamics, inspect who
+   ends up central, and measure how unfair the outcome is.
+
+   Run with:  dune exec examples/social_network.exe *)
+
+let n = 14
+let influencers = [ 0; 1 ] (* two rival "candidates" *)
+
+let camp u = u mod 2 (* everyone else leans toward candidate u mod 2 *)
+
+let weights () =
+  Array.init n (fun u ->
+      Array.init n (fun v ->
+          if u = v then 0
+          else if List.mem u influencers then
+            (* Candidates care about reaching every voter, doubly so the
+               other candidate's camp. *)
+            if List.mem v influencers then 4
+            else if camp v <> u then 3
+            else 2
+          else if v = camp u then 5 (* own candidate *)
+          else if List.mem v influencers then 2 (* rival candidate *)
+          else if camp v = camp u then 2 (* same camp *)
+          else 1))
+
+let () =
+  let instance = Bbc.Instance.of_weights ~k:2 (weights ()) in
+  let rng = Bbc_prng.Splitmix.create 11 in
+  let start =
+    Bbc.Config.of_graph (Bbc_graph.Generators.random_k_out rng ~n ~k:2)
+  in
+  Format.printf "social network formation: %d people, 2 candidates, k = 2@.@." n;
+  match
+    Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:300
+      instance start
+  with
+  | Bbc.Dynamics.Converged (eq, stats) ->
+      Format.printf "stable network after %d rounds (%d rewirings)@."
+        stats.rounds stats.deviations;
+      Format.printf "verified Nash equilibrium: %b@.@."
+        (Bbc.Stability.is_stable instance eq);
+      (* Who collects the most incoming attention? *)
+      let indegree = Array.make n 0 in
+      for u = 0 to n - 1 do
+        List.iter
+          (fun v -> indegree.(v) <- indegree.(v) + 1)
+          (Bbc.Config.targets eq u)
+      done;
+      Format.printf "incoming links per node:@.";
+      Array.iteri
+        (fun v d ->
+          Format.printf "  %2d%s: %s@." v
+            (if List.mem v influencers then " (candidate)" else "")
+            (String.make d '#'))
+        indegree;
+      let g = Bbc.Config.to_graph instance eq in
+      let betweenness = Bbc_graph.Centrality.betweenness g in
+      let top =
+        List.init n (fun v -> (betweenness.(v), v))
+        |> List.sort (fun a b -> compare b a)
+        |> List.filteri (fun i _ -> i < 3)
+      in
+      Format.printf "@.most central brokers (betweenness):@.";
+      List.iter
+        (fun (b, v) ->
+          Format.printf "  node %d%s: %.1f@." v
+            (if List.mem v influencers then " (candidate)" else "")
+            b)
+        top;
+      Format.printf "attention inequality (gini of in-degrees): %.2f@."
+        (Bbc_graph.Centrality.gini (Bbc_graph.Centrality.in_degrees g));
+      let costs = Bbc.Eval.all_costs instance eq in
+      let f = Bbc.Metrics.fairness instance eq in
+      Format.printf "@.candidate costs: %d and %d@." costs.(0) costs.(1);
+      Format.printf "cost spread across the network: min %d, max %d (ratio %.2f)@."
+        f.min_cost f.max_cost f.ratio;
+      (* The paper's fairness lemma is about uniform games; non-uniform
+         preferences can produce much more unequal outcomes.  Compare: *)
+      let uniform = Bbc.Instance.uniform ~n ~k:2 in
+      (match
+         Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:300
+           uniform start
+       with
+      | Bbc.Dynamics.Converged (ueq, _) ->
+          let uf = Bbc.Metrics.fairness uniform ueq in
+          Format.printf
+            "same people with uniform interests: ratio %.2f (Lemma-1 bound %.2f)@."
+            uf.ratio
+            (Bbc.Metrics.lemma1_ratio_bound ~n ~k:2)
+      | _ -> Format.printf "uniform control did not converge@.")
+  | outcome ->
+      Format.printf "dynamics did not converge: %a@." Bbc.Dynamics.pp_outcome
+        outcome;
+      Format.printf
+        "(non-uniform games may have no pure equilibrium at all — Theorem 1)@."

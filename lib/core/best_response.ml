@@ -1,0 +1,132 @@
+module Digraph = Bbc_graph.Digraph
+module Paths = Bbc_graph.Paths
+
+type result = { strategy : int list; cost : int }
+
+let candidate_targets instance u =
+  let n = Instance.n instance in
+  let b = Instance.budget instance u in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if v <> u && Instance.cost instance u v <= b then acc := v :: !acc
+  done;
+  !acc
+
+(* Distance rows in G_{-u}, computed lazily per candidate target. *)
+type rows = {
+  graph_minus_u : Digraph.t;
+  cache : int array option array;
+}
+
+let make_rows instance config u =
+  let g = Config.to_graph instance config in
+  Digraph.remove_out_edges g u;
+  { graph_minus_u = g; cache = Array.make (Instance.n instance) None }
+
+let row rows v =
+  match rows.cache.(v) with
+  | Some d -> d
+  | None ->
+      let d = Paths.shortest rows.graph_minus_u v in
+      rows.cache.(v) <- Some d;
+      d
+
+(* Distance from u to x when u's strategy contains the link (u,v), given
+   the current best-known distances [cur]. *)
+let merge_row instance u cur r v =
+  let luv = Instance.length instance u v in
+  let n = Array.length cur in
+  let out = Array.copy cur in
+  let rv = r v in
+  for x = 0 to n - 1 do
+    if rv.(x) <> Paths.unreachable then begin
+      let d = luv + rv.(x) in
+      if d < out.(x) then out.(x) <- d
+    end
+  done;
+  out
+
+(* DFS over affordable subsets of candidates.  [on_subset strategy_rev cost]
+   is called for every feasible subset (including the empty one); it
+   returns [true] to abort the search early. *)
+let enumerate ?(objective = Objective.Sum) instance config u ~on_subset =
+  let rows = make_rows instance config u in
+  let candidates = Array.of_list (candidate_targets instance u) in
+  let n = Instance.n instance in
+  let base = Array.make n Paths.unreachable in
+  base.(u) <- 0;
+  let eval cur = Eval.cost_of_distances ~objective instance u cur in
+  let stop = ref false in
+  if on_subset [] (eval base) then stop := true;
+  let rec dfs i chosen budget cur =
+    if not !stop then
+      for j = i to Array.length candidates - 1 do
+        if not !stop then begin
+          let v = candidates.(j) in
+          let c = Instance.cost instance u v in
+          if c <= budget then begin
+            let cur' = merge_row instance u cur (row rows) v in
+            let chosen' = v :: chosen in
+            if on_subset chosen' (eval cur') then stop := true
+            else dfs (j + 1) chosen' (budget - c) cur'
+          end
+        end
+      done
+  in
+  dfs 0 [] (Instance.budget instance u) base
+
+let exact ?objective instance config u =
+  let best = ref { strategy = []; cost = max_int } in
+  enumerate ?objective instance config u ~on_subset:(fun chosen cost ->
+      if cost < !best.cost then best := { strategy = List.rev chosen; cost };
+      false);
+  { !best with strategy = List.sort compare !best.strategy }
+
+let best_cost ?objective instance config u = (exact ?objective instance config u).cost
+
+let all_best ?objective instance config u =
+  let best = ref max_int and acc = ref [] in
+  enumerate ?objective instance config u ~on_subset:(fun chosen cost ->
+      if cost < !best then begin
+        best := cost;
+        acc := [ List.sort compare chosen ]
+      end
+      else if cost = !best then acc := List.sort compare chosen :: !acc;
+      false);
+  List.rev_map (fun strategy -> { strategy; cost = !best }) !acc
+
+let improving ?objective instance config u =
+  let current = Eval.node_cost ?objective instance config u in
+  let found = ref None in
+  enumerate ?objective instance config u ~on_subset:(fun chosen cost ->
+      if cost < current then begin
+        found := Some { strategy = List.sort compare chosen; cost };
+        true
+      end
+      else false);
+  !found
+
+let greedy ?(objective = Objective.Sum) instance config u =
+  let rows = make_rows instance config u in
+  let n = Instance.n instance in
+  let base = Array.make n Paths.unreachable in
+  base.(u) <- 0;
+  let eval cur = Eval.cost_of_distances ~objective instance u cur in
+  let rec grow chosen budget cur cost =
+    let best = ref None in
+    List.iter
+      (fun v ->
+        if (not (List.mem v chosen)) && Instance.cost instance u v <= budget then begin
+          let cur' = merge_row instance u cur (row rows) v in
+          let c = eval cur' in
+          match !best with
+          | Some (_, _, c') when c' <= c -> ()
+          | _ -> best := Some (v, cur', c)
+        end)
+      (candidate_targets instance u);
+    match !best with
+    | Some (v, cur', c) when c < cost ->
+        grow (v :: chosen) (budget - Instance.cost instance u v) cur' c
+    | _ -> { strategy = List.sort compare chosen; cost }
+  in
+  grow [] (Instance.budget instance u) base (eval base)

@@ -1,0 +1,46 @@
+(** Exact best responses.
+
+    The enumeration exploits a structural fact: a shortest path from [u]
+    leaves [u] exactly once (shortest paths never revisit a vertex), so
+    with [G_{-u}] denoting the realized graph with [u]'s out-edges
+    removed,
+
+    {v d_S(u, x) = min over (u,v) in S of  l(u,v) + d_{G_{-u}}(v, x) v}
+
+    Distances [d_{G_{-u}}(v, .)] do not depend on [u]'s strategy, so they
+    are computed once per candidate target ("rows") and every candidate
+    strategy is then scored in O(n).  Strategies are enumerated by DFS
+    over affordable target subsets. *)
+
+type result = {
+  strategy : int list;  (** An optimal link set (sorted). *)
+  cost : int;  (** Its cost — the optimum over all feasible strategies. *)
+}
+
+val candidate_targets : Instance.t -> int -> int list
+(** Targets [v <> u] with [cost(u,v) <= budget(u)], increasing. *)
+
+val exact : ?objective:Objective.t -> Instance.t -> Config.t -> int -> result
+(** Optimal strategy for [u], all other strategies fixed.  Deterministic:
+    among optima, the first in the DFS order over increasing targets
+    (subset-minimal first). *)
+
+val best_cost : ?objective:Objective.t -> Instance.t -> Config.t -> int -> int
+(** Cost of {!exact} without materializing the strategy. *)
+
+val all_best :
+  ?objective:Objective.t -> Instance.t -> Config.t -> int -> result list
+(** Every optimal strategy (all achieve the same [cost]), in DFS order.
+    Used when enumerating equilibrium multiplicity; can be exponentially
+    many for large budgets. *)
+
+val improving :
+  ?objective:Objective.t -> Instance.t -> Config.t -> int -> result option
+(** [Some r] with [r.cost] strictly below [u]'s current cost if a strictly
+    improving deviation exists, else [None].  Unlike {!exact}, exits as
+    soon as any improvement is found (the returned deviation is improving
+    but not necessarily optimal). *)
+
+val greedy : ?objective:Objective.t -> Instance.t -> Config.t -> int -> result
+(** Heuristic for large instances: repeatedly add the affordable link with
+    the largest cost reduction.  Not guaranteed optimal. *)

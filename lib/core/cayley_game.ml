@@ -1,0 +1,54 @@
+module Abelian = Bbc_group.Abelian
+module Cayley = Bbc_group.Cayley
+
+type deviation = {
+  generator : Abelian.element;
+  old_cost : int;
+  new_cost : int;
+}
+
+let to_game (c : Cayley.t) =
+  let n = Abelian.order c.group in
+  let k = Cayley.degree c in
+  let instance = Instance.uniform ~n ~k in
+  (instance, Config.of_graph c.graph)
+
+let identity_node (c : Cayley.t) = Abelian.identity c.group
+
+let theorem5_deviations (c : Cayley.t) =
+  let instance, config = to_game c in
+  let r = identity_node c in
+  let old_cost = Eval.node_cost instance config r in
+  List.filter_map
+    (fun a ->
+      let aa = Abelian.add c.group a a in
+      if aa = Abelian.identity c.group || aa = a then None
+      else begin
+        let targets = List.map (fun b -> if b = a then aa else b) c.generators in
+        (* If a+a is already a generator the swap would shrink the set;
+           skip (the theorem's deviation assumes a fresh target). *)
+        let sorted = List.sort_uniq compare targets in
+        if List.length sorted <> List.length targets then None
+        else begin
+          let config' = Config.with_strategy config r sorted in
+          Some { generator = a; old_cost; new_cost = Eval.node_cost instance config' r }
+        end
+      end)
+    c.generators
+
+let best_theorem5_deviation c =
+  theorem5_deviations c
+  |> List.filter (fun d -> d.new_cost < d.old_cost)
+  |> List.fold_left
+       (fun best d ->
+         match best with
+         | Some b when b.old_cost - b.new_cost >= d.old_cost - d.new_cost -> best
+         | _ -> Some d)
+       None
+
+let unstable_by_theorem5 c = Option.is_some (best_theorem5_deviation c)
+
+let is_stable c =
+  let instance, config = to_game c in
+  let r = identity_node c in
+  Option.is_none (Best_response.improving instance config r)

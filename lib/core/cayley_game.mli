@@ -1,0 +1,37 @@
+(** Uniform BBC games played on Abelian Cayley graphs (paper, Section 4.2).
+
+    A Cayley graph [G(H, S)] with [|S| = k] generators is a configuration
+    of the [(|H|, k)]-uniform game in which every node buys the same
+    offsets.  Theorem 5 shows no such graph is stable once [n >= c 2^k]:
+    replacing the root's [a_i]-edge by an edge to [a_i * a_i] strictly
+    improves the root for some [i].  By vertex-transitivity it suffices to
+    examine the identity node. *)
+
+type deviation = {
+  generator : Bbc_group.Abelian.element;
+  old_cost : int;  (** Identity node's cost in the Cayley configuration. *)
+  new_cost : int;  (** Its cost after the [a_i -> a_i * a_i] replacement. *)
+}
+
+val to_game : Bbc_group.Cayley.t -> Instance.t * Config.t
+(** The [(n, k)]-uniform instance and the Cayley configuration.  Requires
+    [n >= 2] and [1 <= k <= n - 1]. *)
+
+val theorem5_deviations : Bbc_group.Cayley.t -> deviation list
+(** For each generator [a] with [a + a] distinct from [a] and [0], the
+    exact effect on the identity node of swapping its [a]-link for an
+    [a+a]-link.  (Exact costs, not the paper's bounds.) *)
+
+val best_theorem5_deviation : Bbc_group.Cayley.t -> deviation option
+(** The most improving of {!theorem5_deviations} (largest
+    [old_cost - new_cost]), if any improves strictly. *)
+
+val unstable_by_theorem5 : Bbc_group.Cayley.t -> bool
+(** Whether the explicit Theorem-5 deviation already certifies
+    instability.  [false] does {e not} imply stability (some other
+    deviation may improve); use {!is_stable} for the full check. *)
+
+val is_stable : Bbc_group.Cayley.t -> bool
+(** Full stability check of the Cayley configuration (exact best response
+    for the identity node only — vertex-transitivity makes all nodes
+    equivalent). *)

@@ -1,0 +1,220 @@
+let instance_to_string instance =
+  let n = Instance.n instance in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "bbc-instance v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "penalty %d\n" (Instance.penalty instance));
+  (match Instance.uniform_k instance with
+  | Some k -> Buffer.add_string buf (Printf.sprintf "uniform %d\n" k)
+  | None ->
+      Buffer.add_string buf "budgets";
+      for u = 0 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf " %d" (Instance.budget instance u))
+      done;
+      Buffer.add_char buf '\n';
+      let table name f =
+        Buffer.add_string buf (name ^ "\n");
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if v > 0 then Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int (if u = v then 0 else f u v))
+          done;
+          Buffer.add_char buf '\n'
+        done
+      in
+      table "weights" (Instance.weight instance);
+      table "costs" (Instance.cost instance);
+      (* Diagonal length entries are never read; emit 1 to satisfy the
+         parser's validation. *)
+      Buffer.add_string buf "lengths\n";
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if v > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf
+            (string_of_int (if u = v then 1 else Instance.length instance u v))
+        done;
+        Buffer.add_char buf '\n'
+      done);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable lines : string list;
+  mutable line_no : int;
+}
+
+let next_line st =
+  let rec go () =
+    match st.lines with
+    | [] -> None
+    | l :: rest ->
+        st.lines <- rest;
+        st.line_no <- st.line_no + 1;
+        let l = match String.index_opt l '#' with
+          | Some i -> String.sub l 0 i
+          | None -> l
+        in
+        let l = String.trim l in
+        if l = "" then go () else Some l
+  in
+  go ()
+
+let fail st msg = Error (Printf.sprintf "line %d: %s" st.line_no msg)
+
+let parse_ints line =
+  String.split_on_char ' ' line
+  |> List.filter (fun s -> s <> "")
+  |> List.map int_of_string_opt
+  |> fun l ->
+  if List.exists Option.is_none l then None else Some (List.map Option.get l)
+
+let parse_row st n =
+  match next_line st with
+  | None -> fail st "unexpected end of input"
+  | Some line -> (
+      match parse_ints line with
+      | Some row when List.length row = n -> Ok (Array.of_list row)
+      | Some _ -> fail st "wrong row width"
+      | None -> fail st "malformed integer row")
+
+let parse_table st n =
+  let rows = Array.make n [||] in
+  let rec go u =
+    if u = n then Ok rows
+    else
+      match parse_row st n with
+      | Error e -> Error e
+      | Ok row ->
+          rows.(u) <- row;
+          go (u + 1)
+  in
+  go 0
+
+let instance_of_string text =
+  let st = { lines = String.split_on_char '\n' text; line_no = 0 } in
+  match next_line st with
+  | Some "bbc-instance v1" -> (
+      let field name =
+        match next_line st with
+        | Some line -> (
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [ key; value ] when key = name -> (
+                match int_of_string_opt value with
+                | Some v -> Ok v
+                | None -> fail st (Printf.sprintf "bad %s value" name))
+            | _ -> fail st (Printf.sprintf "expected '%s <int>'" name))
+        | None -> fail st "unexpected end of input"
+      in
+      match field "n" with
+      | Error e -> Error e
+      | Ok n -> (
+          match field "penalty" with
+          | Error e -> Error e
+          | Ok penalty -> (
+              match next_line st with
+              | Some line -> (
+                  match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+                  | [ "uniform"; k ] -> (
+                      match int_of_string_opt k with
+                      | Some k -> (
+                          try Ok (Instance.with_penalty (Instance.uniform ~n ~k) penalty)
+                          with Invalid_argument m -> fail st m)
+                      | None -> fail st "bad uniform budget")
+                  | "budgets" :: rest -> (
+                      match List.map int_of_string_opt rest with
+                      | budgets
+                        when List.length budgets = n
+                             && List.for_all Option.is_some budgets -> (
+                          let budget = Array.of_list (List.map Option.get budgets) in
+                          let expect_header name =
+                            match next_line st with
+                            | Some l when l = name -> Ok ()
+                            | Some l -> fail st (Printf.sprintf "expected %S, got %S" name l)
+                            | None -> fail st "unexpected end of input"
+                          in
+                          let ( let* ) = Result.bind in
+                          let* () = expect_header "weights" in
+                          let* weight = parse_table st n in
+                          let* () = expect_header "costs" in
+                          let* cost = parse_table st n in
+                          let* () = expect_header "lengths" in
+                          let* length = parse_table st n in
+                          try
+                            Ok
+                              (Instance.general ~penalty ~weight ~cost ~length
+                                 ~budget ())
+                          with Invalid_argument m -> fail st m)
+                      | _ -> fail st "bad budgets line")
+                  | _ -> fail st "expected 'uniform k' or 'budgets ...'")
+              | None -> fail st "unexpected end of input")))
+  | Some other -> Error (Printf.sprintf "bad header %S" other)
+  | None -> Error "empty input"
+
+let config_to_string config =
+  let n = Config.n config in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "bbc-config v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  for u = 0 to n - 1 do
+    match Config.targets config u with
+    | [] -> ()
+    | targets ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d: %s\n" u
+             (String.concat " " (List.map string_of_int targets)))
+  done;
+  Buffer.contents buf
+
+let config_of_string text =
+  let st = { lines = String.split_on_char '\n' text; line_no = 0 } in
+  match next_line st with
+  | Some "bbc-config v1" -> (
+      match next_line st with
+      | Some line -> (
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "n"; v ] -> (
+              match int_of_string_opt v with
+              | Some n -> (
+                  let strategies = Array.make n [] in
+                  let rec go () =
+                    match next_line st with
+                    | None -> (
+                        try Ok (Config.of_lists n strategies)
+                        with Invalid_argument m -> fail st m)
+                    | Some line -> (
+                        match String.index_opt line ':' with
+                        | None -> fail st "expected 'node: targets'"
+                        | Some i -> (
+                            let node = String.trim (String.sub line 0 i) in
+                            let rest =
+                              String.sub line (i + 1) (String.length line - i - 1)
+                            in
+                            match (int_of_string_opt node, parse_ints rest) with
+                            | Some u, Some targets when u >= 0 && u < n ->
+                                strategies.(u) <- targets;
+                                go ()
+                            | _ -> fail st "malformed strategy line"))
+                  in
+                  go ())
+              | None -> fail st "bad n")
+          | _ -> fail st "expected 'n <int>'")
+      | None -> fail st "unexpected end of input")
+  | Some other -> Error (Printf.sprintf "bad header %S" other)
+  | None -> Error "empty input"
+
+let write_file path contents =
+  try
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+    Ok ()
+  with Sys_error m -> Error m
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error m -> Error m
+
+let save_instance path instance = write_file path (instance_to_string instance)
+
+let load_instance path = Result.bind (read_file path) instance_of_string
+
+let save_config path config = write_file path (config_to_string config)
+
+let load_config path = Result.bind (read_file path) config_of_string

@@ -1,0 +1,41 @@
+(** Plain-text serialization of instances and configurations, so games
+    can be saved, shared, and re-verified (`bbc save` / `bbc load`).
+
+    Format (line-oriented, '#' comments allowed):
+
+    {v
+    bbc-instance v1
+    n 5
+    penalty 40
+    uniform 2            # uniform game with budget k = 2, or:
+    budgets 1 1 1 1 1
+    weights              # then n rows of n integers (general games)
+    0 3 0 0 1
+    ...
+    costs                # n rows
+    ...
+    lengths              # n rows
+    ...
+    v}
+
+    and for configurations:
+
+    {v
+    bbc-config v1
+    n 5
+    0: 1 3               # node: sorted targets (omitted lines = empty)
+    2: 0
+    v} *)
+
+val instance_to_string : Instance.t -> string
+
+val instance_of_string : string -> (Instance.t, string) result
+
+val config_to_string : Config.t -> string
+
+val config_of_string : string -> (Config.t, string) result
+
+val save_instance : string -> Instance.t -> (unit, string) result
+val load_instance : string -> (Instance.t, string) result
+val save_config : string -> Config.t -> (unit, string) result
+val load_config : string -> (Config.t, string) result

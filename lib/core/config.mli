@@ -1,0 +1,49 @@
+(** Strategy profiles (the paper's [S = {S_u}]): for every node, the set
+    of targets of the out-links it buys.
+
+    Target lists are stored sorted and duplicate-free, which gives cheap
+    structural equality and hashing — the dynamics layer detects
+    best-response cycles by hashing visited profiles. *)
+
+type t
+
+val n : t -> int
+
+val empty : int -> t
+(** The profile in which nobody buys anything (the "empty graph" start
+    state of Section 4.3). *)
+
+val of_lists : int -> int list array -> t
+(** [of_lists n strategies] validates: array length [n], targets in range,
+    no self-links, no duplicates.  (Budget feasibility depends on the
+    instance; see {!feasible}.) *)
+
+val of_graph : Bbc_graph.Digraph.t -> t
+(** Forget lengths: each node's strategy is its out-neighbor set. *)
+
+val targets : t -> int -> int list
+(** Sorted targets of a node's strategy. *)
+
+val strategy_size : t -> int -> int
+
+val with_strategy : t -> int -> int list -> t
+(** Functional update of one node's strategy (validated as in
+    {!of_lists}).  The profile is persistent: the original is unchanged. *)
+
+val spend : Instance.t -> t -> int -> int
+(** Total link cost spent by a node under its current strategy. *)
+
+val feasible : Instance.t -> t -> bool
+(** Every node's spend is within its budget. *)
+
+val to_graph : Instance.t -> t -> Bbc_graph.Digraph.t
+(** Realize the bought links as a digraph with lengths from the
+    instance. *)
+
+val edge_count : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+let ring_with_path ~ring ~path =
+  if ring < 2 then invalid_arg "Constructions.ring_with_path: ring >= 2";
+  if path < 1 then invalid_arg "Constructions.ring_with_path: path >= 1";
+  let n = ring + path in
+  let instance = Instance.uniform ~n ~k:1 in
+  let strategies =
+    Array.init n (fun v ->
+        if v < ring then [ (v + 1) mod ring ]
+        else if v < n - 1 then [ v + 1 ]
+        else [ 0 ])
+  in
+  (instance, Config.of_lists n strategies)
+
+let ring_with_path_tail ~ring = ring
+
+(* Found by seeded search over (7,2)-uniform configurations (the paper's
+   Figure 4 gives only node costs, not the edge set).  The round-robin
+   walk 0,1,...,6 on this configuration cycles with period 2 rounds and 6
+   deviations per period (nodes 0, 1, 3, 0, 1, 3), matching the shape of
+   the paper's loop (6 deviations by 3 nodes, node costs in 10..12). *)
+let best_response_loop_strategies () =
+  [| [ 3; 4 ]; [ 0; 6 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 5 ]; [ 0; 1 ]; [ 2; 5 ] |]
+
+let best_response_loop () =
+  let n = 7 in
+  let instance = Instance.uniform ~n ~k:2 in
+  (instance, Config.of_lists n (best_response_loop_strategies ()))
+
+let max_anarchy_heads ~k ~l =
+  0 :: List.init (k - 1) (fun i -> 1 + ((k + i) * l))
+
+(* The paper's "small adjustment" for k = 2 (Theorem 8): three paths of l
+   nodes plus an extra node 0 pointing at the heads of the first two.
+   The text under-determines the interior wiring; this seed follows the
+   closest reading and is one short best-response relaxation away from a
+   verified high-cost Max-equilibrium (see max_anarchy_equilibrium). *)
+let max_anarchy_seed_k2 ~l =
+  if l < 3 then invalid_arg "Constructions.max_anarchy_seed_k2: l >= 3";
+  let n = 1 + (3 * l) in
+  let top i = 1 + (i * l) in
+  let last i = top i + l - 1 in
+  let strategies = Array.make n [] in
+  strategies.(0) <- [ top 0; top 1 ];
+  for i = 0 to 2 do
+    for d = 0 to l - 1 do
+      let v = top i + d in
+      if d = l - 1 then strategies.(v) <- List.sort_uniq compare [ top 2; 0 ]
+      else if d = l - 2 && i < 2 then
+        strategies.(v) <- List.sort_uniq compare [ v + 1; 0 ]
+      else strategies.(v) <- List.sort_uniq compare [ v + 1; last i ]
+    done
+  done;
+  (Instance.uniform ~n ~k:2, Config.of_lists n strategies)
+
+let max_anarchy ~k ~l =
+  if k < 3 then invalid_arg "Constructions.max_anarchy: k >= 3 (use max_anarchy_seed_k2)";
+  if l < 3 then invalid_arg "Constructions.max_anarchy: l >= 3";
+  let tails = (2 * k) - 1 in
+  let n = 1 + (tails * l) in
+  let instance = Instance.uniform ~n ~k in
+  let top i = 1 + (i * l) in
+  let last i = top i + l - 1 in
+  let heads = max_anarchy_heads ~k ~l in
+  let strategies = Array.make n [] in
+  (* Root points to the tops of the first k tails. *)
+  strategies.(0) <- List.init k top;
+  for i = 0 to tails - 1 do
+    for d = 0 to l - 1 do
+      let v = top i + d in
+      if d = l - 1 then
+        (* Last node of each tail: one link per segment head. *)
+        strategies.(v) <- heads
+      else begin
+        (* Chain link down the tail, plus root, plus the last node of the
+           own tail; any remaining budget goes to further segment heads
+           ("the location of the rest of the edges don't matter"). *)
+        let base = [ v + 1; 0; last i ] in
+        let base = List.sort_uniq compare base in
+        let filler =
+          List.filter (fun h -> not (List.mem h base) && h <> v) heads
+        in
+        let rec take xs m =
+          if m <= 0 then []
+          else match xs with [] -> [] | x :: tl -> x :: take tl (m - 1)
+        in
+        strategies.(v) <- base @ take filler (k - List.length base)
+      end
+    done
+  done;
+  (instance, Config.of_lists n strategies)
+
+let max_anarchy_equilibrium ~k ~l =
+  if k = 2 then begin
+    (* Relax the k=2 seed to a nearby equilibrium by best-response
+       dynamics (converges within a few rounds in practice). *)
+    let instance, seed = max_anarchy_seed_k2 ~l in
+    match
+      Dynamics.run ~objective:Objective.Max ~scheduler:Dynamics.Round_robin
+        ~max_rounds:(4 * Instance.n instance) instance seed
+    with
+    | Dynamics.Converged (config, _) -> Some (instance, config)
+    | Dynamics.Cycled _ | Dynamics.Exhausted _ -> None
+  end
+  else
+    let instance, config = max_anarchy ~k ~l in
+    if Stability.is_stable ~objective:Objective.Max instance config then
+      Some (instance, config)
+    else None

@@ -1,0 +1,48 @@
+(** Explicit configurations from the paper, other than Forest of Willows.
+
+    - {!ring_with_path}: the Omega(n^2)-step instance following Theorem 6
+      (a directed ring over [r >= n/2] nodes plus a directed path of
+      [p = n - r] nodes feeding into the ring, [k = 1]).
+    - {!best_response_loop}: a [(7,2)]-uniform configuration whose
+      round-robin best-response walk cycles (Figure 4 demonstrates such a
+      loop; the paper's figure gives only node costs, so the concrete
+      edge set here was found by seeded search with this library and is
+      verified to cycle by the E9 experiment).
+    - {!max_anarchy}: the high-cost BBC-max Nash equilibrium of
+      Theorem 8 / Figure 6 ([2k-1] tails of length [l] plus a root). *)
+
+val ring_with_path : ring:int -> path:int -> Instance.t * Config.t
+(** [(n,1)]-uniform instance, [n = ring + path]: nodes [0..ring-1] form a
+    directed ring; nodes [ring..n-1] a directed path whose last node
+    links to ring node 0.  The path's first node (the "tail" [T]) reaches
+    every node.  Requires [ring >= 2], [path >= 1]. *)
+
+val ring_with_path_tail : ring:int -> int
+(** Node id of the path's first node [T]. *)
+
+val best_response_loop : unit -> Instance.t * Config.t
+(** A [(7,2)]-uniform starting configuration on which the round-robin
+    walk (order 0,1,...,6) provably cycles, witnessing that uniform BBC
+    games are not ordinal potential games (paper, Figure 4). *)
+
+val max_anarchy : k:int -> l:int -> Instance.t * Config.t
+(** Theorem 8's construction on [n = 1 + (2k-1) * l] nodes (uniform
+    game, intended for the [Max] objective).  Node 0 is the root; tail
+    [i] (of [2k-1]) occupies ids [1 + i*l .. 1 + i*l + l - 1] top to
+    bottom.  Requires [k >= 3] and [l >= 3]; for [k = 2] use
+    {!max_anarchy_seed_k2} / {!max_anarchy_equilibrium}. *)
+
+val max_anarchy_heads : k:int -> l:int -> int list
+(** The segment heads: the root and the tops of tails [k .. 2k-2]. *)
+
+val max_anarchy_seed_k2 : l:int -> Instance.t * Config.t
+(** The paper's "small adjustment" of the Theorem-8 construction for
+    [k = 2] (three paths plus an extra node).  The paper under-determines
+    the interior wiring, so this seed is not itself a Nash equilibrium;
+    it relaxes to one in a few best-response rounds. *)
+
+val max_anarchy_equilibrium : k:int -> l:int -> (Instance.t * Config.t) option
+(** A {e verified} BBC-max Nash equilibrium of Theorem-8 shape: for
+    [k >= 3] the construction itself (checked), for [k = 2] the
+    best-response relaxation of {!max_anarchy_seed_k2}.  [None] if
+    verification or convergence fails. *)

@@ -1,0 +1,213 @@
+module Splitmix = Bbc_prng.Splitmix
+
+type scheduler =
+  | Round_robin
+  | Fixed_order of int array
+  | Random_order of int
+  | Max_cost_first
+
+type move_policy = Exact_best_response | First_improvement
+
+type step = {
+  index : int;
+  round : int;
+  node : int;
+  moved : bool;
+  strategy : int list;
+  cost_after : int;
+}
+
+type stats = { rounds : int; steps : int; deviations : int }
+
+type outcome =
+  | Converged of Config.t * stats
+  | Cycled of { config : Config.t; period : int; stats : stats }
+  | Exhausted of Config.t * stats
+
+let final_config = function
+  | Converged (c, _) -> c
+  | Cycled { config; _ } -> config
+  | Exhausted (c, _) -> c
+
+let stats = function
+  | Converged (_, s) -> s
+  | Cycled { stats = s; _ } -> s
+  | Exhausted (_, s) -> s
+
+let pp_outcome fmt o =
+  let pp_stats fmt s =
+    Format.fprintf fmt "rounds=%d steps=%d deviations=%d" s.rounds s.steps s.deviations
+  in
+  match o with
+  | Converged (_, s) -> Format.fprintf fmt "converged (%a)" pp_stats s
+  | Cycled { period; stats = s; _ } ->
+      Format.fprintf fmt "cycled (period %d rounds, %a)" period pp_stats s
+  | Exhausted (_, s) -> Format.fprintf fmt "exhausted (%a)" pp_stats s
+
+(* Configurations seen at round boundaries, for cycle detection.  Keyed by
+   hash with exact-equality buckets, so collisions cannot cause a false
+   cycle report. *)
+module Seen = struct
+  type t = (int, (Config.t * int) list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let find (t : t) config =
+    match Hashtbl.find_opt t (Config.hash config) with
+    | None -> None
+    | Some bucket ->
+        List.find_opt (fun (c, _) -> Config.equal c config) bucket
+        |> Option.map snd
+
+  let add (t : t) config round =
+    let h = Config.hash config in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt t h) in
+    Hashtbl.replace t h ((config, round) :: bucket)
+end
+
+(* One best-response activation of [node]; returns the new configuration
+   and whether it moved.  A node moves only on a strict improvement, per
+   the paper's best-response step. *)
+let activate ?objective ~policy instance config node =
+  match Best_response.improving ?objective instance config node with
+  | None -> (config, false)
+  | Some first -> (
+      match policy with
+      | First_improvement -> (Config.with_strategy config node first.strategy, true)
+      | Exact_best_response ->
+          let best = Best_response.exact ?objective instance config node in
+          (Config.with_strategy config node best.strategy, true))
+
+let round_order scheduler rng n =
+  match scheduler with
+  | Round_robin -> Array.init n Fun.id
+  | Fixed_order order ->
+      if Array.length order <> n then
+        invalid_arg "Dynamics: Fixed_order must be a permutation of all nodes";
+      order
+  | Random_order _ ->
+      let order = Array.init n Fun.id in
+      Splitmix.shuffle (Option.get rng) order;
+      order
+  | Max_cost_first -> assert false
+
+let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_rounds instance config0 =
+  let n = Instance.n instance in
+  let rng = match scheduler with Random_order seed -> Some (Splitmix.create seed) | _ -> None in
+  let emit index round node moved config =
+    match on_step with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            index;
+            round;
+            node;
+            moved;
+            strategy = Config.targets config node;
+            cost_after = Eval.node_cost ?objective instance config node;
+          }
+  in
+  match scheduler with
+  | Max_cost_first ->
+      (* Adaptive: each step activates the unstable node of max cost.  A
+         "round" is one step; cycle detection keys on the configuration,
+         which fully determines the rest of the walk. *)
+      let seen = Seen.create () in
+      let max_steps = max_rounds in
+      let rec go config step deviations =
+        if step >= max_steps then
+          Exhausted (config, { rounds = step; steps = step; deviations })
+        else
+          match Seen.find seen config with
+          | Some prev ->
+              Cycled
+                {
+                  config;
+                  period = step - prev;
+                  stats = { rounds = step; steps = step; deviations };
+                }
+          | None -> (
+              Seen.add seen config step;
+              let costs = Eval.all_costs ?objective instance config in
+              let unstable =
+                List.filter
+                  (fun u -> Option.is_some (Best_response.improving ?objective instance config u))
+                  (List.init n Fun.id)
+              in
+              match unstable with
+              | [] -> Converged (config, { rounds = step; steps = step; deviations })
+              | us ->
+                  let node =
+                    List.fold_left
+                      (fun best u ->
+                        match best with
+                        | Some b when costs.(b) >= costs.(u) -> best
+                        | _ -> Some u)
+                      None us
+                    |> Option.get
+                  in
+                  let config', moved = activate ?objective ~policy instance config node in
+                  emit step step node moved config';
+                  go config' (step + 1) (deviations + if moved then 1 else 0))
+      in
+      go config0 0 0
+  | Round_robin | Fixed_order _ | Random_order _ ->
+      let seen = Seen.create () in
+      let rec go config round steps deviations =
+        if round >= max_rounds then
+          Exhausted (config, { rounds = round; steps; deviations })
+        else
+          match Seen.find seen config with
+          | Some prev
+            when match scheduler with
+                 | Round_robin | Fixed_order _ -> true
+                 | Random_order _ | Max_cost_first -> false ->
+              Cycled
+                {
+                  config;
+                  period = round - prev;
+                  stats = { rounds = round; steps; deviations };
+                }
+          | _ ->
+              Seen.add seen config round;
+              let order = round_order scheduler rng n in
+              let config = ref config and changed = ref 0 and steps = ref steps in
+              Array.iter
+                (fun node ->
+                  let config', moved = activate ?objective ~policy instance !config node in
+                  emit !steps round node moved config';
+                  incr steps;
+                  if moved then incr changed;
+                  config := config')
+                order;
+              if !changed = 0 then
+                Converged (!config, { rounds = round + 1; steps = !steps; deviations })
+              else go !config (round + 1) !steps (deviations + !changed)
+      in
+      go config0 0 0 0
+
+let first_strong_connectivity ?objective ?policy ~scheduler ~max_rounds instance config0 =
+  let hit = ref None in
+  let check stats config =
+    if
+      !hit = None
+      && Bbc_graph.Scc.is_strongly_connected (Config.to_graph instance config)
+    then hit := Some stats
+  in
+  check { rounds = 0; steps = 0; deviations = 0 } config0;
+  (* Track deviations incrementally; connectivity can only change on a
+     move, so only moves trigger an SCC computation. *)
+  let deviations = ref 0 in
+  let current = ref config0 in
+  let on_step (s : step) =
+    if s.moved then begin
+      incr deviations;
+      current := Config.with_strategy !current s.node s.strategy;
+      check
+        { rounds = s.round; steps = s.index + 1; deviations = !deviations }
+        !current
+    end
+  in
+  let outcome = run ?objective ?policy ~on_step ~scheduler ~max_rounds instance config0 in
+  Option.map (fun stats -> (stats, outcome)) !hit

@@ -1,0 +1,84 @@
+(** Best-response walks on the configuration space (paper, Section 4.3).
+
+    In each {e step}, one node tests its stability and, if unstable,
+    rewires to an exact best response.  Schedulers decide who moves:
+
+    - [Round_robin]: fixed order [0 .. n-1] within each round (the
+      scheduler of Theorem 6);
+    - [Random_order seed]: a fresh uniformly-random permutation each round
+      (still "each node once per round", as Theorem 6 permits);
+    - [Fixed_order order]: the given permutation, fixed across rounds
+      (the adversarial schedules of the paper's Omega(n^2) argument);
+    - [Max_cost_first]: each step activates the unstable node with the
+      largest current cost (lowest id on ties) — the adaptive walk of the
+      paper's experimental remarks.
+
+    Cycle detection compares full configurations at round boundaries
+    (the schedulers above are deterministic functions of the
+    configuration, except [Random_order], for which cycling is reported
+    only if the same configuration recurs — a sound but weaker notion). *)
+
+type scheduler =
+  | Round_robin
+  | Fixed_order of int array
+  | Random_order of int
+  | Max_cost_first
+
+type move_policy =
+  | Exact_best_response
+      (** The paper's step: an unstable node rewires to an exact optimum. *)
+  | First_improvement
+      (** The node takes the first strictly improving strategy found (in
+          DFS order) — the cheaper step many deployed systems use. *)
+
+type step = {
+  index : int;  (** 0-based global step counter (activations). *)
+  round : int;  (** 0-based round (= [index] for [Max_cost_first]). *)
+  node : int;
+  moved : bool;
+  strategy : int list;  (** The node's strategy after the step. *)
+  cost_after : int;
+}
+
+type stats = {
+  rounds : int;  (** Completed rounds. *)
+  steps : int;  (** Activations performed. *)
+  deviations : int;  (** Activations that changed a strategy. *)
+}
+
+type outcome =
+  | Converged of Config.t * stats
+      (** A full pass made no change: the profile is a pure NE. *)
+  | Cycled of { config : Config.t; period : int; stats : stats }
+      (** The configuration at a round boundary recurred; [period] is the
+          number of rounds between occurrences. *)
+  | Exhausted of Config.t * stats  (** [max_rounds] reached. *)
+
+val run :
+  ?objective:Objective.t ->
+  ?policy:move_policy ->
+  ?on_step:(step -> unit) ->
+  scheduler:scheduler ->
+  max_rounds:int ->
+  Instance.t ->
+  Config.t ->
+  outcome
+(** [policy] defaults to [Exact_best_response]. *)
+
+val first_strong_connectivity :
+  ?objective:Objective.t ->
+  ?policy:move_policy ->
+  scheduler:scheduler ->
+  max_rounds:int ->
+  Instance.t ->
+  Config.t ->
+  (stats * outcome) option
+(** Run the walk and report the statistics at the first moment the
+    realized graph becomes strongly connected ([None] if it never does
+    within the walk).  Also returns the walk's final outcome.  Theorem 6:
+    with round-robin scheduling this happens within [n^2] steps; Lemma 9
+    guarantees it persists. *)
+
+val final_config : outcome -> Config.t
+val stats : outcome -> stats
+val pp_outcome : Format.formatter -> outcome -> unit

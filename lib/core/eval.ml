@@ -1,0 +1,28 @@
+module Paths = Bbc_graph.Paths
+
+let cost_of_distances ?(objective = Objective.Sum) instance u dist =
+  let n = Instance.n instance in
+  let m = Instance.penalty instance in
+  let acc = ref (Objective.identity objective) in
+  for v = 0 to n - 1 do
+    if v <> u then begin
+      let w = Instance.weight instance u v in
+      if w > 0 then begin
+        let d = dist.(v) in
+        let d = if d = Paths.unreachable then m else d in
+        acc := Objective.fold objective !acc (w * d)
+      end
+    end
+  done;
+  !acc
+
+let node_cost ?objective ?graph instance config u =
+  let g = match graph with Some g -> g | None -> Config.to_graph instance config in
+  cost_of_distances ?objective instance u (Paths.shortest g u)
+
+let all_costs ?objective instance config =
+  let g = Config.to_graph instance config in
+  Array.init (Instance.n instance) (fun u -> node_cost ?objective ~graph:g instance config u)
+
+let social_cost ?objective instance config =
+  Array.fold_left ( + ) 0 (all_costs ?objective instance config)

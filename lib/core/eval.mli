@@ -1,0 +1,31 @@
+(** Exact cost evaluation.
+
+    The cost of node [u] in the network [G(S)] is the aggregate (per the
+    objective) over all [v <> u] of [w(u,v) * d(u,v)], where [d(u,v)] is
+    the shortest-path distance and unreachable targets count as the
+    instance's penalty [M].  (Note: following the paper, a target with
+    [w(u,v) = 0] contributes nothing even when unreachable.) *)
+
+val node_cost :
+  ?objective:Objective.t ->
+  ?graph:Bbc_graph.Digraph.t ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  int
+(** [node_cost instance config u] is [u]'s cost.  Pass [graph] (the
+    realization of [config]) to avoid rebuilding it across calls; it is
+    trusted to equal [Config.to_graph instance config]. *)
+
+val all_costs :
+  ?objective:Objective.t -> Instance.t -> Config.t -> int array
+(** Cost of every node (one shortest-path computation per node). *)
+
+val social_cost : ?objective:Objective.t -> Instance.t -> Config.t -> int
+(** Sum over nodes of {!node_cost} — the paper's total social cost. *)
+
+val cost_of_distances :
+  ?objective:Objective.t -> Instance.t -> int -> int array -> int
+(** [cost_of_distances instance u dist] folds a precomputed distance array
+    (with {!Bbc_graph.Paths.unreachable} marking no-path) into [u]'s cost.
+    Exposed for the best-response enumerator. *)

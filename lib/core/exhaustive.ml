@@ -1,0 +1,80 @@
+type result = { equilibria : Config.t list; examined : int; complete : bool }
+
+let all_strategies instance u =
+  let acc = ref [] in
+  let rec go chosen budget = function
+    | [] -> acc := List.rev chosen :: !acc
+    | v :: rest ->
+        let c = Instance.cost instance u v in
+        if c <= budget then go (v :: chosen) (budget - c) rest;
+        go chosen budget rest
+  in
+  go [] (Instance.budget instance u) (Best_response.candidate_targets instance u);
+  !acc
+
+let maximal_strategies instance u =
+  (* A feasible strategy is maximal when no remaining candidate fits the
+     leftover budget. *)
+  let candidates = Best_response.candidate_targets instance u in
+  let budget = Instance.budget instance u in
+  List.filter
+    (fun s ->
+      let spent = List.fold_left (fun acc v -> acc + Instance.cost instance u v) 0 s in
+      not
+        (List.exists
+           (fun v -> (not (List.mem v s)) && Instance.cost instance u v <= budget - spent)
+           candidates))
+    (all_strategies instance u)
+
+let space_size candidates =
+  Array.fold_left (fun acc l -> acc *. float_of_int (List.length l)) 1.0 candidates
+
+let default_candidates instance =
+  Array.init (Instance.n instance) (all_strategies instance)
+
+let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) instance =
+  let n = Instance.n instance in
+  let candidates = match candidates with Some c -> c | None -> default_candidates instance in
+  if Array.length candidates <> n then invalid_arg "Exhaustive.search: candidates length mismatch";
+  let candidate_arrays =
+    Array.map (fun l -> Array.of_list (List.map Array.of_list l)) candidates
+  in
+  let examined = ref 0 in
+  let equilibria = ref [] and found = ref 0 in
+  let complete = ref true in
+  let profile = Array.make n [||] in
+  let exception Stop in
+  let rec assign u =
+    if u = n then begin
+      if !examined >= max_profiles then begin
+        complete := false;
+        raise Stop
+      end;
+      incr examined;
+      let config = Config.of_lists n (Array.map Array.to_list profile) in
+      if Stability.is_stable ?objective instance config then begin
+        equilibria := config :: !equilibria;
+        incr found;
+        if !found >= limit then begin
+          complete := false;
+          raise Stop
+        end
+      end
+    end
+    else
+      Array.iter
+        (fun s ->
+          profile.(u) <- s;
+          assign (u + 1))
+        candidate_arrays.(u)
+  in
+  (try assign 0 with Stop -> ());
+  { equilibria = List.rev !equilibria; examined = !examined; complete = !complete }
+
+let has_equilibrium ?objective ?candidates ?max_profiles instance =
+  let r = search ?objective ?candidates ~limit:1 ?max_profiles instance in
+  if r.equilibria <> [] then Some true else if r.complete then Some false else None
+
+let count_equilibria ?objective ?candidates ?max_profiles instance =
+  let r = search ?objective ?candidates ~limit:max_int ?max_profiles instance in
+  if r.complete then Some (List.length r.equilibria) else None

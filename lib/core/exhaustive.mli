@@ -1,0 +1,58 @@
+(** Complete enumeration of pure Nash equilibria over a profile space.
+
+    The profile space is the product of per-node candidate strategy lists
+    (by default, {e all} feasible strategies of each node).  Regardless of
+    any candidate restriction, each enumerated profile is verified with
+    the full polynomial stability check of {!Stability} — i.e. against
+    {e all} feasible deviations — so every reported equilibrium is a true
+    pure NE of the unrestricted game.  A restriction only narrows where
+    we look: "no equilibrium found" under a restriction certifies absence
+    within the restricted space (used for the Figure-1 gadget, whose full
+    space of 11^11 profiles is out of reach; see DESIGN.md). *)
+
+type result = {
+  equilibria : Config.t list;  (** In enumeration order, up to [limit]. *)
+  examined : int;  (** Profiles actually checked. *)
+  complete : bool;
+      (** Whether the whole candidate space was examined (false when the
+          [limit] on equilibria or [max_profiles] stopped the search). *)
+}
+
+val all_strategies : Instance.t -> int -> int list list
+(** Every feasible strategy of a node: all subsets of affordable targets
+    whose total cost is within budget (including the empty strategy). *)
+
+val maximal_strategies : Instance.t -> int -> int list list
+(** Feasible strategies to which no further affordable link can be added.
+    In games with non-negative weights, adding a link never increases
+    one's own cost, so every node has a maximal best response — a
+    sound candidate restriction for {e existence} searches. *)
+
+val space_size : int list list array -> float
+(** Product of candidate-list sizes (float to avoid overflow). *)
+
+val search :
+  ?objective:Objective.t ->
+  ?candidates:int list list array ->
+  ?limit:int ->
+  ?max_profiles:int ->
+  Instance.t ->
+  result
+(** Enumerate and stability-check the profile space.  [limit] (default 1)
+    bounds the number of equilibria collected; [max_profiles] (default
+    [10^8]) aborts oversized searches with [complete = false]. *)
+
+val has_equilibrium :
+  ?objective:Objective.t ->
+  ?candidates:int list list array ->
+  ?max_profiles:int ->
+  Instance.t ->
+  bool option
+(** [Some b] if the search completed, [None] if it hit [max_profiles]. *)
+
+val count_equilibria :
+  ?objective:Objective.t ->
+  ?candidates:int list list array ->
+  ?max_profiles:int ->
+  Instance.t ->
+  int option

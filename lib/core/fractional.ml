@@ -1,0 +1,196 @@
+module Network = Bbc_flow.Network
+module Mincost = Bbc_flow.Mincost
+
+type strategy = float array
+type profile = strategy array
+
+let tolerance = 1e-7
+
+let uniform_profile instance =
+  let n = Instance.n instance in
+  Array.init n (fun u ->
+      (* Spend the budget equally across the n-1 potential links. *)
+      let b = float_of_int (Instance.budget instance u) in
+      Array.init n (fun v ->
+          if v = u then 0.
+          else b /. float_of_int (n - 1) /. float_of_int (Instance.cost instance u v)))
+
+let integral_profile instance config =
+  let n = Instance.n instance in
+  Array.init n (fun u ->
+      let s = Array.make n 0. in
+      List.iter (fun v -> s.(v) <- 1.) (Config.targets config u);
+      s)
+
+let spend instance profile u =
+  let total = ref 0. in
+  Array.iteri
+    (fun v a -> if v <> u then total := !total +. (a *. float_of_int (Instance.cost instance u v)))
+    profile.(u);
+  !total
+
+let feasible instance profile =
+  let ok = ref true in
+  Array.iteri
+    (fun u s ->
+      if s.(u) <> 0. then ok := false;
+      Array.iter (fun a -> if a < -.tolerance then ok := false) s;
+      if spend instance profile u > float_of_int (Instance.budget instance u) +. tolerance
+      then ok := false)
+    profile;
+  !ok
+
+(* The paper's flow network: for every ordered pair (x, y), an arc of
+   capacity a_x(y) and cost l(x,y), plus an infinite-capacity arc of cost
+   M guaranteeing feasibility of every unit flow. *)
+let network_of_profile instance profile =
+  let n = Instance.n instance in
+  let net = Network.create n in
+  let m = float_of_int (Instance.penalty instance) in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if x <> y then begin
+        if profile.(x).(y) > tolerance then
+          ignore
+            (Network.add_arc net ~src:x ~dst:y ~capacity:profile.(x).(y)
+               ~cost:(float_of_int (Instance.length instance x y)));
+        ignore (Network.add_arc net ~src:x ~dst:y ~capacity:infinity ~cost:m)
+      end
+    done
+  done;
+  net
+
+let pair_cost instance profile u v =
+  if u = v then 0.
+  else
+    let net = network_of_profile instance profile in
+    match Mincost.min_cost_unit_flow net ~source:u ~sink:v with
+    | Some c -> c
+    | None -> assert false (* the infinite arcs guarantee feasibility *)
+
+let node_cost_on_network ?(objective = Objective.Sum) instance net u =
+  let n = Instance.n instance in
+  let acc = ref 0. in
+  for v = 0 to n - 1 do
+    if v <> u then begin
+      let w = Instance.weight instance u v in
+      if w > 0 then begin
+        let c =
+          match Mincost.min_cost_unit_flow net ~source:u ~sink:v with
+          | Some c -> c
+          | None -> assert false
+        in
+        let term = float_of_int w *. c in
+        match objective with
+        | Objective.Sum -> acc := !acc +. term
+        | Objective.Max -> acc := Float.max !acc term
+      end
+    end
+  done;
+  !acc
+
+let node_cost ?objective instance profile u =
+  node_cost_on_network ?objective instance (network_of_profile instance profile) u
+
+let social_cost ?objective instance profile =
+  let n = Instance.n instance in
+  let total = ref 0. in
+  for u = 0 to n - 1 do
+    total := !total +. node_cost ?objective instance profile u
+  done;
+  !total
+
+let default_steps = [ 0.5; 0.25; 0.1 ]
+
+(* Candidate deviations for node u: every pure single-link strategy, the
+   uniform spread, and all pairwise budget transfers at the given step
+   sizes from the current strategy. *)
+let candidates instance profile u ~step_sizes =
+  let n = Instance.n instance in
+  let b = float_of_int (Instance.budget instance u) in
+  let cost v = float_of_int (Instance.cost instance u v) in
+  let pure =
+    List.filter_map
+      (fun v -> if v = u then None
+        else begin
+          let s = Array.make n 0. in
+          s.(v) <- b /. cost v;
+          Some s
+        end)
+      (List.init n Fun.id)
+  in
+  let spread =
+    let s = Array.make n 0. in
+    for v = 0 to n - 1 do
+      if v <> u then s.(v) <- b /. float_of_int (n - 1) /. cost v
+    done;
+    [ s ]
+  in
+  let transfers =
+    List.concat_map
+      (fun delta ->
+        let acc = ref [] in
+        for v1 = 0 to n - 1 do
+          for v2 = 0 to n - 1 do
+            if v1 <> v2 && v1 <> u && v2 <> u then begin
+              let available = profile.(u).(v1) *. cost v1 in
+              let d = Float.min delta available in
+              if d > tolerance then begin
+                let s = Array.copy profile.(u) in
+                s.(v1) <- s.(v1) -. (d /. cost v1);
+                s.(v2) <- s.(v2) +. (d /. cost v2);
+                acc := s :: !acc
+              end
+            end
+          done
+        done;
+        !acc)
+      step_sizes
+  in
+  pure @ spread @ transfers
+
+let best_response_step ?objective ?(step_sizes = default_steps) instance profile u =
+  let current = node_cost ?objective instance profile u in
+  let try_strategy best s =
+    let profile' = Array.copy profile in
+    profile'.(u) <- s;
+    let c = node_cost ?objective instance profile' u in
+    match best with Some (_, c') when c' <= c -> best | _ -> Some (s, c)
+  in
+  let best =
+    List.fold_left try_strategy None (candidates instance profile u ~step_sizes)
+  in
+  match best with
+  | Some (_, c) as r when c < current -. tolerance -> r
+  | _ -> None
+
+let improve_until ?objective ?step_sizes ?(max_sweeps = 100) instance profile =
+  let n = Instance.n instance in
+  let profile = Array.map Array.copy profile in
+  let rec sweep i =
+    if i >= max_sweeps then (profile, i)
+    else begin
+      let improved = ref false in
+      for u = 0 to n - 1 do
+        match best_response_step ?objective ?step_sizes instance profile u with
+        | Some (s, _) ->
+            profile.(u) <- s;
+            improved := true
+        | None -> ()
+      done;
+      if !improved then sweep (i + 1) else (profile, i + 1)
+    end
+  in
+  sweep 0
+
+let stability_gap ?objective ?step_sizes instance profile =
+  let n = Instance.n instance in
+  let gap = ref 0. in
+  for u = 0 to n - 1 do
+    match best_response_step ?objective ?step_sizes instance profile u with
+    | Some (_, c) ->
+        let current = node_cost ?objective instance profile u in
+        if current -. c > !gap then gap := current -. c
+    | None -> ()
+  done;
+  !gap

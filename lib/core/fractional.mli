@@ -1,0 +1,73 @@
+(** Fractional BBC games (paper, Section 3.2, Theorem 3).
+
+    A fractional strategy for node [u] assigns a non-negative capacity
+    [a_u(v)] to each potential link, with [sum_v a_u(v) * c(u,v) <=
+    b(u)].  The cost charged for the pair [(u, v)] is the cost of a
+    minimum-cost {e unit} flow from [u] to [v] in the network that has,
+    for every ordered pair [(x, y)], an arc of capacity [a_x(y)] and
+    per-unit cost [l(x, y)], plus an infinite-capacity arc of per-unit
+    cost [M] (the penalty); the latter guarantees a unit flow always
+    exists.  A node's cost is the preference-weighted aggregate of its
+    pair costs.
+
+    Theorem 3 proves a pure NE always exists (the cost is quasi-convex in
+    one's own strategy over a compact convex strategy polytope).  Fixed
+    points of a continuous game are not finitely representable, so the
+    computational witness is {e epsilon-equilibria}: {!improve_until}
+    runs better-response descent (coordinate capacity shifts) and
+    {!stability_gap} measures how far each node remains from its best
+    discovered response. *)
+
+type strategy = float array
+(** [s.(v)] is the capacity bought on link [(u, v)]; [s.(u)] must be 0. *)
+
+type profile = strategy array
+
+val uniform_profile : Instance.t -> profile
+(** Every node spreads its budget equally over all other nodes. *)
+
+val integral_profile : Instance.t -> Config.t -> profile
+(** The fractional embedding of an integral profile (capacity 1 per
+    bought link). *)
+
+val feasible : Instance.t -> profile -> bool
+
+val pair_cost : Instance.t -> profile -> int -> int -> float
+(** Min-cost unit-flow cost from [u] to [v] (paper's [cost_uv(a)]). *)
+
+val node_cost : ?objective:Objective.t -> Instance.t -> profile -> int -> float
+
+val social_cost : ?objective:Objective.t -> Instance.t -> profile -> float
+
+val best_response_step :
+  ?objective:Objective.t ->
+  ?step_sizes:float list ->
+  Instance.t ->
+  profile ->
+  int ->
+  (strategy * float) option
+(** One better-response improvement for node [u]: try shifting capacity
+    between link pairs (and onto unused links) at the given step sizes,
+    plus every pure (single-link) strategy; return the best improving
+    strategy found with its cost, or [None] if none improves. *)
+
+val improve_until :
+  ?objective:Objective.t ->
+  ?step_sizes:float list ->
+  ?max_sweeps:int ->
+  Instance.t ->
+  profile ->
+  profile * int
+(** Round-robin better-response descent until no node improves (or the
+    sweep limit is reached).  Returns the final profile and the number of
+    sweeps performed. *)
+
+val stability_gap :
+  ?objective:Objective.t ->
+  ?step_sizes:float list ->
+  Instance.t ->
+  profile ->
+  float
+(** Max over nodes of (current cost - best discovered deviation cost);
+    a profile with gap [<= eps] is an eps-equilibrium with respect to the
+    searched deviation set. *)

@@ -1,0 +1,65 @@
+let core_size = 5
+
+(* Discovered by seeded random search (seed 123, sparse weights in 0..3)
+   over 5-node budget-1 games, then certified by full exhaustive
+   enumeration: no profile of the 6^5 is a pure NE.  The preference
+   structure is a "matching pennies"-like dependency cycle: 4 wants
+   0, 1, 2; 2 wants 1 and 3; 0 and 2 want 3; 1 and 3 want 4. *)
+let core_weights () =
+  [|
+    [| 0; 0; 0; 3; 0 |];
+    [| 0; 0; 0; 0; 1 |];
+    [| 0; 1; 0; 3; 0 |];
+    [| 0; 0; 0; 0; 1 |];
+    [| 3; 2; 2; 0; 0 |];
+  |]
+
+let core () = Instance.of_weights ~k:1 (core_weights ())
+
+let no_nash ~n =
+  if n < core_size + 2 then
+    invalid_arg
+      (Printf.sprintf "Gadget.no_nash: n must be >= %d (got %d)" (core_size + 2) n);
+  let core = core_weights () in
+  let weight =
+    Array.init n (fun u ->
+        Array.init n (fun v ->
+            if u < core_size && v < core_size then core.(u).(v)
+            else if u >= core_size && v >= core_size then begin
+              (* Padding cycle: u's unique positive preference is its
+                 successor among the padded nodes. *)
+              let next = if u + 1 >= n then core_size else u + 1 in
+              if v = next && v <> u then 1 else 0
+            end
+            else 0))
+  in
+  Instance.of_weights ~k:1 weight
+
+let padding_is_sound instance =
+  let n = Instance.n instance in
+  if n < core_size + 2 then false
+  else begin
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if u >= core_size then begin
+        (* Exactly one positive preference, pointing at a padded node. *)
+        let positives = ref [] in
+        for v = 0 to n - 1 do
+          if v <> u && Instance.weight instance u v > 0 then positives := v :: !positives
+        done;
+        match !positives with
+        | [ v ] when v >= core_size -> ()
+        | _ -> ok := false
+      end
+      else
+        for v = core_size to n - 1 do
+          if Instance.weight instance u v <> 0 then ok := false
+        done
+    done;
+    !ok
+  end
+
+let verify_core_has_no_ne () =
+  match Exhaustive.has_equilibrium (core ()) with
+  | Some b -> not b
+  | None -> false

@@ -1,0 +1,51 @@
+(** The Theorem-1 witness: a BBC game with uniform link costs, uniform
+    link lengths and uniform budget [k = 1], whose {e non-uniform
+    preferences} leave it without a pure Nash equilibrium.
+
+    The paper proves this with an 11-node "matching pennies" gadget
+    (Figure 1), but the figure's exact edge set is not recoverable from
+    the text.  Following DESIGN.md, we instead use
+
+    + a {e core}: a 5-node preference matrix discovered by seeded search
+      with this library and certified by {e unconditional} exhaustive
+      enumeration of all [6^5] profiles ({!Exhaustive.search} with the
+      full strategy space) — the same game-theoretic phenomenon at a size
+      where complete verification is possible;
+    + the paper's own padding argument ("the result easily extends to
+      [n > 11] ... by forcing the remaining links"): extra nodes are
+      arranged in a directed preference cycle among themselves, making
+      each padded node's unique best response its cycle successor
+      {e regardless of every other strategy}, and making any core node's
+      link into the padding strictly dominated.  Hence every pure NE of
+      the padded game restricts to a pure NE of the core — of which
+      there are none.  {!padding_is_sound} re-checks the two structural
+      facts this argument needs.
+
+    No analogous core ships for the BBC-max objective (Theorem 7):
+    complete enumeration of every (4,1) max game with small weights and
+    millions of larger structured searches found {e no} max game without
+    a pure NE — see EXPERIMENTS.md (E11).  The max phenomenon, if the
+    gadget of Figure 5 realizes it, lives at sizes beyond exhaustive
+    certification. *)
+
+val core_size : int
+(** Number of nodes of the discovered core (5). *)
+
+val core : unit -> Instance.t
+(** The verified no-NE core: uniform costs, uniform lengths, budget 1,
+    non-uniform preferences, Sum objective. *)
+
+val no_nash : n:int -> Instance.t
+(** The core padded to [n >= core_size + 2] nodes (so the padding cycle
+    has at least two nodes; use [n = 11] for the paper's statement).
+    Padded nodes [core_size .. n-1] form a preference cycle. *)
+
+val padding_is_sound : Instance.t -> bool
+(** Structural check backing the padding argument, for instances built by
+    {!no_nash}: every padded node has exactly one positive preference
+    (its cycle successor) and every core node has zero preference for
+    every padded node. *)
+
+val verify_core_has_no_ne : unit -> bool
+(** Re-run the unconditional exhaustive search over the full profile
+    space of {!core} (a few seconds); [true] means no pure NE exists. *)

@@ -1,0 +1,47 @@
+module SM = Bbc_prng.Splitmix
+
+let ones n = Array.init n (fun _ -> Array.make n 1)
+
+let sparse_weights rng ~n ~k ?(zero_probability = 0.55) ?(max_weight = 3) () =
+  let weight =
+    Array.init n (fun u ->
+        Array.init n (fun v ->
+            if u = v then 0
+            else if SM.float rng 1.0 < zero_probability then 0
+            else 1 + SM.int rng max_weight))
+  in
+  Instance.of_weights ~k weight
+
+let random_budgets rng ~n ~max_budget =
+  let weight = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0 else 1)) in
+  let budget = Array.init n (fun _ -> SM.int rng (max_budget + 1)) in
+  Instance.general ~weight ~cost:(ones n) ~length:(ones n) ~budget ()
+
+let random_costs rng ~n ~k ?max_cost () =
+  let max_cost = Option.value ~default:k max_cost in
+  let weight = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0 else 1)) in
+  let cost =
+    Array.init n (fun u ->
+        Array.init n (fun v -> if u = v then 0 else 1 + SM.int rng max_cost))
+  in
+  Instance.general ~weight ~cost ~length:(ones n) ~budget:(Array.make n k) ()
+
+let metric_lengths rng ~n ~k ?span () =
+  let span = Option.value ~default:(4 * n) span in
+  let point = Array.init n (fun _ -> SM.int rng (span + 1)) in
+  let weight = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0 else 1)) in
+  let length =
+    Array.init n (fun u ->
+        Array.init n (fun v ->
+            if u = v then 1 else max 1 (abs (point.(u) - point.(v)))))
+  in
+  Instance.general ~weight ~cost:(ones n) ~length ~budget:(Array.make n k) ()
+
+let perturbed_uniform rng ~n ~k ~flips =
+  let weight = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0 else 1)) in
+  for _ = 1 to flips do
+    let u = SM.int rng n in
+    let v = SM.int rng n in
+    if u <> v then weight.(u).(v) <- 2
+  done;
+  Instance.of_weights ~k weight

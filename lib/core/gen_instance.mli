@@ -1,0 +1,42 @@
+(** Random instance generators for experiments and property tests.
+
+    Each generator perturbs exactly one dimension away from uniformity,
+    matching the paper's taxonomy of non-uniform games (weights, costs,
+    lengths, budgets); {!metric_lengths} additionally produces length
+    tables satisfying the triangle inequality (the regime of the related
+    work the paper cites, e.g. Moscibroda et al.'s stretch games). *)
+
+val sparse_weights :
+  Bbc_prng.Splitmix.t ->
+  n:int ->
+  k:int ->
+  ?zero_probability:float ->
+  ?max_weight:int ->
+  unit ->
+  Instance.t
+(** Uniform costs/lengths/budget [k]; each off-diagonal preference is 0
+    with [zero_probability] (default 0.55), else uniform in
+    [1..max_weight] (default 3). *)
+
+val random_budgets :
+  Bbc_prng.Splitmix.t -> n:int -> max_budget:int -> Instance.t
+(** Uniform in everything except budgets, drawn uniformly from
+    [0..max_budget] (the class of the paper's footnote-2 conjecture). *)
+
+val random_costs :
+  Bbc_prng.Splitmix.t -> n:int -> k:int -> ?max_cost:int -> unit -> Instance.t
+(** Uniform weights/lengths, budget [k]; link costs uniform in
+    [1..max_cost] (default [k]), so some links consume the whole budget. *)
+
+val metric_lengths :
+  Bbc_prng.Splitmix.t -> n:int -> k:int -> ?span:int -> unit -> Instance.t
+(** Uniform weights/costs/budget [k]; lengths are shortest-path distances
+    between random integer points on a line segment of length [span]
+    (default [4 * n]), hence symmetric and triangle-inequality-satisfying
+    with values in [1..span]. *)
+
+val perturbed_uniform :
+  Bbc_prng.Splitmix.t -> n:int -> k:int -> flips:int -> Instance.t
+(** The uniform game with [flips] random preference entries doubled —
+    the smallest step off the uniform island, used to probe how quickly
+    equilibrium existence degrades. *)

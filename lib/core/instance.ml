@@ -1,0 +1,96 @@
+type data =
+  | Uniform of { k : int }
+  | General of {
+      weight : int array array;
+      cost : int array array;
+      length : int array array;
+      budget : int array;
+    }
+
+type t = { size : int; data : data; penalty : int }
+
+let uniform ~n ~k =
+  if n < 2 then invalid_arg "Instance.uniform: n must be >= 2";
+  if k < 1 || k > n - 1 then invalid_arg "Instance.uniform: need 1 <= k <= n - 1";
+  { size = n; data = Uniform { k }; penalty = 4 * n }
+
+let check_table name n table =
+  if Array.length table <> n then
+    invalid_arg (Printf.sprintf "Instance.general: %s has %d rows, expected %d" name (Array.length table) n);
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg (Printf.sprintf "Instance.general: ragged %s table" name))
+    table
+
+let general ?penalty ~weight ~cost ~length ~budget () =
+  let n = Array.length weight in
+  if n < 2 then invalid_arg "Instance.general: need at least 2 nodes";
+  check_table "weight" n weight;
+  check_table "cost" n cost;
+  check_table "length" n length;
+  if Array.length budget <> n then invalid_arg "Instance.general: budget length mismatch";
+  let max_len = ref 1 in
+  for u = 0 to n - 1 do
+    if budget.(u) < 0 then invalid_arg "Instance.general: negative budget";
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        if weight.(u).(v) < 0 then invalid_arg "Instance.general: negative weight";
+        if cost.(u).(v) < 0 then invalid_arg "Instance.general: negative cost";
+        if length.(u).(v) < 1 then invalid_arg "Instance.general: length must be >= 1";
+        if length.(u).(v) > !max_len then max_len := length.(u).(v)
+      end
+    done
+  done;
+  let penalty =
+    match penalty with Some m -> m | None -> (2 * n * !max_len) + 1
+  in
+  if penalty <= n * !max_len then
+    invalid_arg "Instance.general: penalty must exceed n * max length";
+  { size = n; data = General { weight; cost; length; budget }; penalty }
+
+let of_weights ?penalty ~k weight =
+  let n = Array.length weight in
+  let ones () = Array.init n (fun _ -> Array.make n 1) in
+  general ?penalty ~weight ~cost:(ones ()) ~length:(ones ())
+    ~budget:(Array.make n k) ()
+
+let n t = t.size
+
+let weight t u v =
+  match t.data with Uniform _ -> 1 | General g -> g.weight.(u).(v)
+
+let cost t u v = match t.data with Uniform _ -> 1 | General g -> g.cost.(u).(v)
+
+let length t u v =
+  match t.data with Uniform _ -> 1 | General g -> g.length.(u).(v)
+
+let budget t u = match t.data with Uniform { k } -> k | General g -> g.budget.(u)
+
+let penalty t = t.penalty
+
+let is_uniform t = match t.data with Uniform _ -> true | General _ -> false
+
+let uniform_k t = match t.data with Uniform { k } -> Some k | General _ -> None
+
+let max_length t =
+  match t.data with
+  | Uniform _ -> 1
+  | General g ->
+      let m = ref 1 in
+      for u = 0 to t.size - 1 do
+        for v = 0 to t.size - 1 do
+          if u <> v && g.length.(u).(v) > !m then m := g.length.(u).(v)
+        done
+      done;
+      !m
+
+let with_penalty t penalty =
+  if penalty <= t.size * max_length t then
+    invalid_arg "Instance.with_penalty: penalty must exceed n * max length";
+  { t with penalty }
+
+let pp fmt t =
+  match t.data with
+  | Uniform { k } -> Format.fprintf fmt "uniform(n=%d, k=%d, M=%d)" t.size k t.penalty
+  | General _ -> Format.fprintf fmt "general(n=%d, M=%d)" t.size t.penalty

@@ -1,0 +1,56 @@
+(** BBC game specification [<V, w, c, l, b>] plus the disconnection
+    penalty [M] (paper, Section 2).
+
+    For nodes [u, v]:
+    - [weight t u v] is [u]'s preference for communicating with [v];
+    - [cost t u v] is the price [u] pays to establish the link [u -> v];
+    - [length t u v] is the length of that link if established;
+    - [budget t u] bounds the total cost of [u]'s links;
+    - [penalty t] is the distance charged for unreachable targets
+      (the paper's [M >> n * max length]).
+
+    Uniform games ([w = c = l = 1], [b = k]) get a dedicated compact
+    representation: they are the main object of Sections 4–5 and are
+    instantiated at sizes where materializing [n x n] matrices would be
+    wasteful. *)
+
+type t
+
+val uniform : n:int -> k:int -> t
+(** The [(n, k)]-uniform game.  Requires [n >= 2] and [1 <= k <= n - 1].
+    Penalty defaults to [4 * n]. *)
+
+val general :
+  ?penalty:int ->
+  weight:int array array ->
+  cost:int array array ->
+  length:int array array ->
+  budget:int array ->
+  unit ->
+  t
+(** A general (possibly non-uniform) game.  All four tables must be
+    [n x n] (resp. length [n]); diagonal entries are ignored.  Weights,
+    costs and budgets must be non-negative; lengths positive.  [penalty]
+    defaults to [2 * n * max_length + 1], satisfying [M > n * max l]. *)
+
+val of_weights : ?penalty:int -> k:int -> int array array -> t
+(** Common non-uniform shape: unit costs and lengths, uniform budget [k],
+    explicit preference matrix. *)
+
+val n : t -> int
+val weight : t -> int -> int -> int
+val cost : t -> int -> int -> int
+val length : t -> int -> int -> int
+val budget : t -> int -> int
+val penalty : t -> int
+
+val is_uniform : t -> bool
+
+val uniform_k : t -> int option
+(** [Some k] when the instance was built with {!uniform}. *)
+
+val max_length : t -> int
+
+val with_penalty : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+let node_cost_lower_bound ~n ~k =
+  if n < 1 || k < 1 then invalid_arg "Metrics.node_cost_lower_bound";
+  (* Place the n-1 other nodes as close as possible: k at distance 1,
+     k^2 at distance 2, ... *)
+  let rec go remaining dist level_cap acc =
+    if remaining <= 0 then acc
+    else
+      let here = min remaining level_cap in
+      (* Cap the level size to avoid overflow once k^i exceeds n. *)
+      let next_cap = if level_cap >= n then level_cap else level_cap * k in
+      go (remaining - here) (dist + 1) next_cap (acc + (dist * here))
+  in
+  go (n - 1) 1 k 0
+
+let social_cost_lower_bound ~n ~k = n * node_cost_lower_bound ~n ~k
+
+let eccentricity_lower_bound ~n ~k =
+  if n < 2 then 0
+  else begin
+    let rec go covered level_cap h =
+      if covered >= n - 1 then h
+      else
+        let next_cap = if level_cap >= n then level_cap else level_cap * k in
+        go (covered + level_cap) next_cap (h + 1)
+    in
+    go 0 k 0
+  end
+
+let max_social_cost_lower_bound ~n ~k = n * eccentricity_lower_bound ~n ~k
+
+type fairness = { min_cost : int; max_cost : int; ratio : float; spread : int }
+
+let fairness ?objective instance config =
+  let costs = Eval.all_costs ?objective instance config in
+  let min_cost = Array.fold_left min max_int costs in
+  let max_cost = Array.fold_left max min_int costs in
+  {
+    min_cost;
+    max_cost;
+    ratio = float_of_int max_cost /. float_of_int (max min_cost 1);
+    spread = max_cost - min_cost;
+  }
+
+let floor_log ~base x =
+  if base < 2 || x < 1 then invalid_arg "Metrics.floor_log";
+  let rec go acc p = if p > x / base then acc else go (acc + 1) (p * base) in
+  go 0 1
+
+let lemma1_spread_bound ~n ~k = n + (n * floor_log ~base:k n)
+
+let lemma1_ratio_bound ~n ~k =
+  (* Lemma 1's proof: any node's cost is within C* + n + n*floor(log_k n)
+     of the minimum C*, and C* >= (n - n/k) * floor(log_k n).  The
+     resulting concrete ratio bound tends to 2 + 1/k as n grows. *)
+  let log_term = floor_log ~base:k n in
+  let c_star = max 1 ((n - (n / k)) * log_term) in
+  1.0 +. (float_of_int (lemma1_spread_bound ~n ~k) /. float_of_int c_star)
+
+let anarchy_ratio ?objective instance config =
+  let n = Instance.n instance in
+  let k =
+    match Instance.uniform_k instance with
+    | Some k -> k
+    | None -> invalid_arg "Metrics.anarchy_ratio: uniform instances only"
+  in
+  let lb =
+    match objective with
+    | Some Objective.Max -> max_social_cost_lower_bound ~n ~k
+    | Some Objective.Sum | None -> social_cost_lower_bound ~n ~k
+  in
+  float_of_int (Eval.social_cost ?objective instance config) /. float_of_int (max lb 1)

@@ -1,0 +1,51 @@
+(** Social-cost baselines, fairness ratios, and price-of-anarchy /
+    price-of-stability estimators for uniform games (paper, Section 4).
+
+    Exact social optima are intractable in general, so ratios are taken
+    against the degree-[k] information-theoretic lower bound: a node with
+    out-degree at most [k] reaches at most [k^i] nodes at distance [i],
+    so its cost is at least [sum_i i * min(k^i, remaining)].  The paper
+    uses the same bound ("in any graph with max degree k, every node must
+    have cost at least Omega(n log_k n)"). *)
+
+val node_cost_lower_bound : n:int -> k:int -> int
+(** Minimum possible sum-of-distances cost of a node in any out-degree-[k]
+    graph on [n] nodes. *)
+
+val social_cost_lower_bound : n:int -> k:int -> int
+(** [n * node_cost_lower_bound]. *)
+
+val eccentricity_lower_bound : n:int -> k:int -> int
+(** Minimum possible max-distance (BBC-max node cost): the smallest [h]
+    with [k + k^2 + ... + k^h >= n - 1]. *)
+
+val max_social_cost_lower_bound : n:int -> k:int -> int
+(** Lower bound on the total BBC-max social cost: every node's max
+    distance is at least {!eccentricity_lower_bound}... times [n]. *)
+
+type fairness = {
+  min_cost : int;
+  max_cost : int;
+  ratio : float;  (** [max / min]. *)
+  spread : int;  (** [max - min]; Lemma 1 bounds it by [n + n*floor(log_k n)]. *)
+}
+
+val fairness : ?objective:Objective.t -> Instance.t -> Config.t -> fairness
+
+val lemma1_ratio_bound : n:int -> k:int -> float
+(** The multiplicative fairness bound implied by Lemma 1's proof:
+    [1 + (n + n * floor(log_k n)) / C*] with
+    [C* = (n - n/k) * floor(log_k n)], which tends to [2 + 1/(k-1) + o(1)]
+    — the paper states it as [2 + 1/k + o(1)].  Any stable graph's
+    fairness ratio must be below this bound. *)
+
+val lemma1_spread_bound : n:int -> k:int -> int
+(** The additive fairness bound of Lemma 1: [n + n * floor(log_k n)]. *)
+
+val floor_log : base:int -> int -> int
+(** [floor_log ~base x] for [x >= 1, base >= 2]. *)
+
+val anarchy_ratio : ?objective:Objective.t -> Instance.t -> Config.t -> float
+(** Social cost of the given (presumed stable) profile over the social
+    lower bound — a lower bound on the price of anarchy when the profile
+    is a verified NE. *)

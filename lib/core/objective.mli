@@ -1,0 +1,20 @@
+(** The two node-cost aggregations studied in the paper.
+
+    [Sum] is the standard BBC cost, the preference-weighted sum of
+    distances (Section 2); [Max] is the BBC-max cost, the maximum
+    preference-weighted distance (Section 5).  A node's utility is the
+    negative of its cost; we work with costs throughout and minimize. *)
+
+type t = Sum | Max
+
+val fold : t -> int -> int -> int
+(** [fold obj acc term] combines one weighted-distance term into the
+    running aggregate ([acc + term] or [max acc term]). *)
+
+val identity : t -> int
+(** Neutral aggregate start value (0 for both objectives, since all terms
+    are non-negative). *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

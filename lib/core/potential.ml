@@ -1,0 +1,101 @@
+module Digraph = Bbc_graph.Digraph
+
+type space = {
+  profiles : Config.t array;
+  index : Config.t -> int;
+  candidates : int list list array;
+}
+
+let enumerate_space ?candidates ?(max_profiles = 200_000) instance =
+  let n = Instance.n instance in
+  let candidates =
+    match candidates with
+    | Some c -> c
+    | None -> Array.init n (Exhaustive.all_strategies instance)
+  in
+  if Exhaustive.space_size candidates > float_of_int max_profiles then None
+  else begin
+    let acc = ref [] in
+    let profile = Array.make n [] in
+    let rec assign u =
+      if u = n then acc := Config.of_lists n (Array.copy profile) :: !acc
+      else
+        List.iter
+          (fun s ->
+            profile.(u) <- s;
+            assign (u + 1))
+          candidates.(u)
+    in
+    assign 0;
+    let profiles = Array.of_list (List.rev !acc) in
+    (* Index by hash with exact-equality buckets. *)
+    let table = Hashtbl.create (2 * Array.length profiles) in
+    Array.iteri
+      (fun i c ->
+        let h = Config.hash c in
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt table h) in
+        Hashtbl.replace table h ((c, i) :: bucket))
+      profiles;
+    let index c =
+      match Hashtbl.find_opt table (Config.hash c) with
+      | None -> raise Not_found
+      | Some bucket -> (
+          match List.find_opt (fun (c', _) -> Config.equal c c') bucket with
+          | Some (_, i) -> i
+          | None -> raise Not_found)
+    in
+    Some { profiles; index; candidates }
+  end
+
+let improvement_graph ?objective ?(best_only = false) instance space =
+  let n = Instance.n instance in
+  let g = Digraph.create (Array.length space.profiles) in
+  Array.iteri
+    (fun i config ->
+      let costs = Eval.all_costs ?objective instance config in
+      for u = 0 to n - 1 do
+        if best_only then begin
+          let best = Best_response.exact ?objective instance config u in
+          if best.cost < costs.(u) then
+            match space.index (Config.with_strategy config u best.strategy) with
+            | j -> if not (Digraph.mem_edge g i j) then Digraph.add_edge g i j 1
+            | exception Not_found -> ()
+        end
+        else
+          (* Every strictly improving unilateral move inside the space:
+             iterate u's candidate strategies directly. *)
+          List.iter
+            (fun s ->
+              if s <> Config.targets config u then begin
+                let config' = Config.with_strategy config u s in
+                let c' = Eval.node_cost ?objective instance config' u in
+                if c' < costs.(u) then
+                  match space.index config' with
+                  | j -> if not (Digraph.mem_edge g i j) then Digraph.add_edge g i j 1
+                  | exception Not_found -> ()
+              end)
+            space.candidates.(u)
+      done)
+    space.profiles;
+  g
+
+let has_finite_improvement_property ?objective ?best_only ?candidates ?max_profiles
+    instance =
+  match enumerate_space ?candidates ?max_profiles instance with
+  | None -> None
+  | Some space ->
+      let g = improvement_graph ?objective ?best_only instance space in
+      (* Acyclic iff every SCC is a singleton and no self-loops (we never
+         add self-loops, and strict improvement forbids them anyway). *)
+      let scc = Bbc_graph.Scc.compute g in
+      Some (scc.count = Digraph.n g)
+
+let sinks_are_equilibria ?objective instance space g =
+  let ok = ref true in
+  Array.iteri
+    (fun i config ->
+      let is_sink = Digraph.out_degree g i = 0 in
+      let is_ne = Stability.is_stable ?objective instance config in
+      if is_sink <> is_ne then ok := false)
+    space.profiles;
+  !ok

@@ -1,0 +1,420 @@
+module Cnf = Bbc_sat.Cnf
+
+type t = {
+  instance : Instance.t;
+  formula : Cnf.t;
+  var_node : int -> int;
+  truth_node : int -> bool -> int;
+  clause_node : int -> int;
+  intermediate : int -> int -> int;
+  sink : int;
+  hub : int;
+  core_node : int -> int;
+  budget_k : int;
+  anchors : int list;
+  relays : int list;
+}
+
+let central = 4 (* index of the core node carrying the escape coupling *)
+
+let clause_literals formula j =
+  match List.nth_opt (Cnf.clauses formula) j with
+  | Some [ a; b; c ] -> [| a; b; c |]
+  | Some _ -> invalid_arg "Reduction: clause is not exactly 3 literals"
+  | None -> invalid_arg "Reduction: clause index out of range"
+
+let build formula =
+  let num_vars = Cnf.num_vars formula in
+  let m = Cnf.num_clauses formula in
+  if num_vars < 1 || m < 1 then invalid_arg "Reduction.build: empty formula";
+  List.iter
+    (fun c -> if List.length c <> 3 then invalid_arg "Reduction.build: need exact 3SAT")
+    (Cnf.clauses formula);
+  (* Layout: variables first, then clauses, then S, H, core. *)
+  let var_node i = 3 * (i - 1) in
+  let truth_node i positive = (3 * (i - 1)) + if positive then 1 else 2 in
+  let clause_base = 3 * num_vars in
+  let clause_node j = clause_base + (4 * j) in
+  let intermediate j k = clause_base + (4 * j) + 1 + k in
+  let sink = clause_base + (4 * m) in
+  let hub = sink + 1 in
+  let core_node i = hub + 1 + i in
+  let n = hub + 1 + Gadget.core_size in
+  (* Non-depicted links are priced out of every budget (the theorem allows
+     non-uniform costs); lengths stay uniform at 1. *)
+  let unaffordable = m + 2 in
+  (* Escape calibration (see the .mli): one clause's worth of reachable
+     intermediates must flip the central node's preference between H and
+     re-entering the core. *)
+  let s = max 1 (m * (m - 1)) in
+  let c_i = if m = 1 then 4 else (3 * m) - 1 in
+  let weight = Array.init n (fun _ -> Array.make n 0) in
+  let length = Array.init n (fun _ -> Array.make n 1) in
+  let cost = Array.init n (fun _ -> Array.make n unaffordable) in
+  let budget = Array.make n 0 in
+  let depict u v = cost.(u).(v) <- 1 in
+  (* Variable layer. *)
+  for i = 1 to num_vars do
+    budget.(var_node i) <- 1;
+    List.iter
+      (fun b ->
+        weight.(var_node i).(truth_node i b) <- 1;
+        depict (var_node i) (truth_node i b))
+      [ true; false ]
+  done;
+  (* Clause layer. *)
+  for j = 0 to m - 1 do
+    let lits = clause_literals formula j in
+    budget.(clause_node j) <- 1;
+    weight.(clause_node j).(sink) <- 1;
+    depict (clause_node j) sink;
+    for k = 0 to 2 do
+      let lit = lits.(k) in
+      let v = Cnf.var lit in
+      budget.(intermediate j k) <- 1;
+      weight.(intermediate j k).(var_node v) <- 1;
+      weight.(intermediate j k).(truth_node v (lit > 0)) <- 1;
+      depict (intermediate j k) (var_node v);
+      weight.(clause_node j).(truth_node v (lit > 0)) <-
+        weight.(clause_node j).(truth_node v (lit > 0)) + 2;
+      depict (clause_node j) (intermediate j k)
+    done
+  done;
+  (* S: a sink.  H: the hub, forced to link every clause node. *)
+  budget.(sink) <- 0;
+  budget.(hub) <- m;
+  for j = 0 to m - 1 do
+    weight.(hub).(clause_node j) <- 1;
+    depict hub (clause_node j)
+  done;
+  (* Core: the verified no-NE game, complete length-1 interior; the
+     central node's weights are scaled by s and extended with the escape
+     preferences. *)
+  let core = Gadget.core () in
+  for a = 0 to Gadget.core_size - 1 do
+    budget.(core_node a) <- 1;
+    for b = 0 to Gadget.core_size - 1 do
+      if a <> b then begin
+        depict (core_node a) (core_node b);
+        let w = Instance.weight core a b in
+        weight.(core_node a).(core_node b) <- (if a = central then s * w else w)
+      end
+    done
+  done;
+  depict (core_node central) hub;
+  for j = 0 to m - 1 do
+    for k = 0 to 2 do
+      weight.(core_node central).(intermediate j k) <- c_i
+    done
+  done;
+  let instance = Instance.general ~weight ~cost ~length ~budget () in
+  {
+    instance;
+    formula;
+    var_node;
+    truth_node;
+    clause_node;
+    intermediate;
+    sink;
+    hub;
+    core_node;
+    budget_k = 1;
+    anchors = [];
+    relays = [];
+  }
+
+(* Forced suffix of a node's strategy under build_k (empty for k = 1):
+   its assigned anchors, plus tree children for the hub and relays —
+   everything except the one meaningful slot. *)
+let forced_links t u =
+  let instance = t.instance in
+  let n = Instance.n instance in
+  if t.budget_k = 1 then []
+  else
+    List.filter
+      (fun v ->
+        v <> u
+        && Instance.cost instance u v = 1
+        && (List.mem v t.anchors
+           || (List.mem u (t.hub :: t.relays) && Instance.weight instance u v > 0)))
+      (List.init n Fun.id)
+
+(* The satisfied literal the clause node links: the one whose truth node
+   carries the largest preference (duplicate literals in a clause stack
+   their weight on one truth node, which makes that link the unique best
+   response). *)
+let best_satisfied_literal t j assignment =
+  let lits = clause_literals t.formula j in
+  let best = ref None in
+  for k = 0 to 2 do
+    let lit = lits.(k) in
+    let v = Cnf.var lit in
+    if assignment.(v) = (lit > 0) then begin
+      let w =
+        Instance.weight t.instance (t.clause_node j) (t.truth_node v (lit > 0))
+      in
+      match !best with
+      | Some (_, w') when w' >= w -> ()
+      | _ -> best := Some (k, w)
+    end
+  done;
+  Option.map fst !best
+
+let encode t assignment =
+  let n = Instance.n t.instance in
+  let num_vars = Cnf.num_vars t.formula in
+  let m = Cnf.num_clauses t.formula in
+  let strategies = Array.make n [] in
+  (* Forced parts first (no-ops for k = 1): anchors, relays, hub
+     children, truth-node and sink padding. *)
+  if t.budget_k > 1 then begin
+    for u = 0 to n - 1 do
+      strategies.(u) <- forced_links t u
+    done;
+    List.iter
+      (fun z -> strategies.(z) <- List.filter (( <> ) z) t.anchors)
+      t.anchors
+  end;
+  let set_real u v = strategies.(u) <- v :: strategies.(u) in
+  for i = 1 to num_vars do
+    set_real (t.var_node i) (t.truth_node i assignment.(i))
+  done;
+  for j = 0 to m - 1 do
+    for k = 0 to 2 do
+      let lit = (clause_literals t.formula j).(k) in
+      set_real (t.intermediate j k) (t.var_node (Cnf.var lit))
+    done;
+    set_real (t.clause_node j)
+      (match best_satisfied_literal t j assignment with
+      | Some k -> t.intermediate j k
+      | None -> t.sink)
+  done;
+  if t.budget_k = 1 then strategies.(t.hub) <- List.init m t.clause_node;
+  (* Forced residual core shape (see gadget.ml: 0 -> 3, 2 -> 3, 1 -> 4,
+     3 -> 4) plus the central escape. *)
+  set_real (t.core_node 0) (t.core_node 3);
+  set_real (t.core_node 1) (t.core_node central);
+  set_real (t.core_node 2) (t.core_node 3);
+  set_real (t.core_node 3) (t.core_node central);
+  set_real (t.core_node central) t.hub;
+  Config.of_lists n strategies
+
+let decode t config =
+  let num_vars = Cnf.num_vars t.formula in
+  Array.init (num_vars + 1) (fun i ->
+      i > 0 && List.mem (t.truth_node i true) (Config.targets config (t.var_node i)))
+
+let candidate_strategies t =
+  let n = Instance.n t.instance in
+  let num_vars = Cnf.num_vars t.formula in
+  let m = Cnf.num_clauses t.formula in
+  let forced u = forced_links t u in
+  (* Default: forced part only (truths, sink, relays, hub for k >= 2). *)
+  let candidates = Array.init n (fun u -> [ forced u ]) in
+  if t.budget_k > 1 then
+    List.iter
+      (fun z -> candidates.(z) <- [ List.filter (( <> ) z) t.anchors ])
+      t.anchors;
+  for i = 1 to num_vars do
+    candidates.(t.var_node i) <-
+      [
+        t.truth_node i true :: forced (t.var_node i);
+        t.truth_node i false :: forced (t.var_node i);
+      ]
+  done;
+  for j = 0 to m - 1 do
+    candidates.(t.clause_node j) <-
+      List.map
+        (fun real -> real :: forced (t.clause_node j))
+        (t.sink :: List.init 3 (t.intermediate j));
+    for k = 0 to 2 do
+      let lit = (clause_literals t.formula j).(k) in
+      candidates.(t.intermediate j k) <-
+        [ t.var_node (Cnf.var lit) :: forced (t.intermediate j k) ]
+    done
+  done;
+  if t.budget_k = 1 then candidates.(t.hub) <- [ List.init m t.clause_node ];
+  let core_cand i reals =
+    candidates.(t.core_node i) <-
+      List.map (fun r -> r :: forced (t.core_node i)) reals
+  in
+  core_cand 0 [ t.core_node 3 ];
+  core_cand 1 [ t.core_node central ];
+  core_cand 2 [ t.core_node 3; t.core_node 1 ];
+  core_cand 3 [ t.core_node central ];
+  core_cand central
+    (t.hub
+    :: List.filter_map
+         (fun b -> if b = central then None else Some (t.core_node b))
+         (List.init Gadget.core_size Fun.id));
+  candidates
+
+(* ------------------------------------------------------------------ *)
+(* Uniform budget k >= 2 (the paper's "easily adapted ... by using
+   additional nodes").  See the .mli for the construction. *)
+
+(* Balanced k-ary relay tree: every clause node sits at depth [depth];
+   [relay_counts.(d)] relays at depth d (1 <= d < depth); the parent of
+   the i-th node at depth d+1 is the (i / k)-th node at depth d. *)
+let relay_plan ~k ~m =
+  let rec depth_for d cap = if cap >= m then d else depth_for (d + 1) (cap * k) in
+  let depth = depth_for 1 k in
+  let counts = Array.make depth 0 in
+  (* counts.(d) for d in [1, depth): ceil (m / k^(depth - d)). *)
+  for d = 1 to depth - 1 do
+    let pow = int_of_float (float_of_int k ** float_of_int (depth - d)) in
+    counts.(d) <- (m + pow - 1) / pow
+  done;
+  (depth, counts)
+
+let build_k ~k formula =
+  if k < 1 then invalid_arg "Reduction.build_k: k must be >= 1";
+  if k = 1 then build formula
+  else begin
+    let num_vars = Cnf.num_vars formula in
+    let m = Cnf.num_clauses formula in
+    if num_vars < 1 || m < 1 then invalid_arg "Reduction.build_k: empty formula";
+    List.iter
+      (fun c -> if List.length c <> 3 then invalid_arg "Reduction.build_k: need exact 3SAT")
+      (Cnf.clauses formula);
+    let var_node i = 3 * (i - 1) in
+    let truth_node i positive = (3 * (i - 1)) + if positive then 1 else 2 in
+    let clause_base = 3 * num_vars in
+    let clause_node j = clause_base + (4 * j) in
+    let intermediate j kk = clause_base + (4 * j) + 1 + kk in
+    let sink = clause_base + (4 * m) in
+    let depth, relay_counts = relay_plan ~k ~m in
+    let relay_total = Array.fold_left ( + ) 0 relay_counts in
+    let relay_base = sink + 1 in
+    (* relay (d, i): the i-th relay at depth d, 1 <= d < depth. *)
+    let relay d i =
+      let offset = ref 0 in
+      for d' = 1 to d - 1 do
+        offset := !offset + relay_counts.(d')
+      done;
+      relay_base + !offset + i
+    in
+    let hub = relay_base + relay_total in
+    let core_node i = hub + 1 + i in
+    let anchor z = hub + 1 + Gadget.core_size + z in
+    let n = hub + 1 + Gadget.core_size + k + 1 in
+    let unaffordable = k + 1 in
+    let weight = Array.init n (fun _ -> Array.make n 0) in
+    let length = Array.init n (fun _ -> Array.make n 1) in
+    let cost = Array.init n (fun _ -> Array.make n unaffordable) in
+    let budget = Array.make n k in
+    let depict u v = cost.(u).(v) <- 1 in
+    (* --- real preference structure (same skeleton as build) --- *)
+    for i = 1 to num_vars do
+      List.iter
+        (fun b ->
+          weight.(var_node i).(truth_node i b) <- 1;
+          depict (var_node i) (truth_node i b))
+        [ true; false ]
+    done;
+    for j = 0 to m - 1 do
+      let lits = clause_literals formula j in
+      weight.(clause_node j).(sink) <- 1;
+      depict (clause_node j) sink;
+      for kk = 0 to 2 do
+        let lit = lits.(kk) in
+        let v = Cnf.var lit in
+        weight.(intermediate j kk).(var_node v) <- 1;
+        weight.(intermediate j kk).(truth_node v (lit > 0)) <- 1;
+        depict (intermediate j kk) (var_node v);
+        weight.(clause_node j).(truth_node v (lit > 0)) <-
+          weight.(clause_node j).(truth_node v (lit > 0)) + 2;
+        depict (clause_node j) (intermediate j kk)
+      done
+    done;
+    (* Relay tree: the children of depth-d node i live at depth d+1 (or
+       are clause nodes when d = depth - 1). *)
+    let node_at d i = if d = 0 then hub else if d = depth then clause_node i else relay d i in
+    let count_at d = if d = 0 then 1 else if d = depth then m else relay_counts.(d) in
+    let children = Array.make n [] in
+    for d = 0 to depth - 1 do
+      for i = 0 to count_at (d + 1) - 1 do
+        let parent = node_at d (i / k) in
+        let child = node_at (d + 1) i in
+        children.(parent) <- child :: children.(parent);
+        weight.(parent).(child) <- 1;
+        depict parent child
+      done
+    done;
+    (* Core with the recalibrated escape. *)
+    let s = max 1 (m * (m - 1)) in
+    let penalty = (2 * n) + 1 in
+    let hub_to_intermediate = depth + 2 in
+    let c_i =
+      (* smallest integer strictly above 3 s (M-1) / (m (M - (D+2))) *)
+      let num = 3 * s * (penalty - 1) in
+      let den = m * (penalty - hub_to_intermediate) in
+      (num / den) + 1
+    in
+    if m > 1 then
+      assert (c_i * (m - 1) * (penalty - hub_to_intermediate) < 3 * s * (penalty - 1));
+    let core = Gadget.core () in
+    for a = 0 to Gadget.core_size - 1 do
+      for b = 0 to Gadget.core_size - 1 do
+        if a <> b then begin
+          depict (core_node a) (core_node b);
+          let w = Instance.weight core a b in
+          weight.(core_node a).(core_node b) <- (if a = central then s * w else w)
+        end
+      done
+    done;
+    depict (core_node central) hub;
+    for j = 0 to m - 1 do
+      for kk = 0 to 2 do
+        weight.(core_node central).(intermediate j kk) <- c_i
+      done
+    done;
+    (* Anchor cluster: each anchor prefers the other k. *)
+    for z = 0 to k do
+      for z' = 0 to k do
+        if z <> z' then begin
+          weight.(anchor z).(anchor z') <- 1;
+          depict (anchor z) (anchor z')
+        end
+      done
+    done;
+    (* Budget absorption: every non-anchor node with real need r < k gets
+       k - r anchor preferences, weighted to strictly dominate anything
+       its freed budget could buy. *)
+    let real_need u =
+      if u < clause_base then if u mod 3 = 0 then 1 else 0 (* X_i vs truths *)
+      else if u < sink then
+        if (u - clause_base) mod 4 = 0 then 1 (* clause node *) else 1 (* intermediate *)
+      else if u = sink then 0
+      else if u < hub then List.length children.(u) (* relay *)
+      else if u = hub then List.length children.(u)
+      else if u < anchor 0 then 1 (* core *)
+      else k (* anchors, already saturated *)
+    in
+    for u = 0 to anchor 0 - 1 do
+      let r = real_need u in
+      if r < k then begin
+        let total_real = Array.fold_left ( + ) 0 weight.(u) in
+        let w_big = (penalty * max 1 total_real) + 1 in
+        for z = 0 to k - r - 1 do
+          weight.(u).(anchor z) <- w_big;
+          depict u (anchor z)
+        done
+      end
+    done;
+    let instance = Instance.general ~penalty ~weight ~cost ~length ~budget () in
+    {
+      instance;
+      formula;
+      var_node;
+      truth_node;
+      clause_node;
+      intermediate;
+      sink;
+      hub;
+      core_node;
+      budget_k = k;
+      anchors = List.init (k + 1) anchor;
+      relays = List.init relay_total (fun i -> relay_base + i);
+    }
+  end

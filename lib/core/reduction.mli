@@ -1,0 +1,99 @@
+(** The Theorem-2 reduction: 3SAT formula -> non-uniform BBC game such
+    that the game has a pure Nash equilibrium iff the formula is
+    satisfiable.
+
+    The construction follows the paper's Figure 2 architecture — variable
+    nodes choosing a truth node, intermediate nodes relaying clause
+    literals, clause nodes linking a satisfied intermediate or escaping to
+    [S] — with two engineering changes (documented in DESIGN.md), both
+    forced by making every inequality machine-checkable:
+
+    - the paper's Figure-1 gadget is replaced by this library's verified
+      5-node no-NE core ({!Gadget}), coupled to the clause layer through
+      one designated core node (the "central" node 4, mirroring the
+      paper's central nodes);
+    - the escape target is split in two: [S] is a budget-0 {e sink} that
+      unsatisfied clause nodes link (its only role is being 1 hop away),
+      while a hub [H] links every clause node and is the central node's
+      escape route.  Keeping [S] out-degree 0 removes cross-clause
+      shortcuts that would otherwise destabilize the intended equilibrium
+      (the paper glosses over these paths); keeping [H] unreachable from
+      the clause side keeps the two halves independent except through the
+      central node's choice.
+
+    The weights on the central node are scaled by [s = max(1, m(m-1))]
+    and its per-intermediate preference is [c_I] (= [3m - 1], or 4 when
+    [m = 1]) so that exactly one threshold separates "all [m] clauses
+    satisfied" (central node strictly prefers [H]: a pure NE exists) from
+    "at most [m-1] satisfied" (it strictly prefers re-entering the no-NE
+    core: no profile is stable).
+
+    Node ids: variable [i] maps to [X_i = 3i], [X_iT = 3i+1],
+    [X_iF = 3i+2]; clause [j] to [K_j] and intermediates [I_j1..I_j3];
+    then [S], [H], and the 5 core nodes last.
+
+    Link restriction uses non-uniform {e costs} rather than the paper's
+    non-uniform lengths: links absent from the Figure-2 skeleton are
+    priced above every budget (Theorem 2 explicitly covers games that are
+    non-uniform in costs), so the strategy space is exactly the depicted
+    digraph and lengths stay uniform at 1.  This is equivalent for the
+    depicted plays but eliminates "long-link escape" strategies whose
+    cost sits between real paths and the disconnection penalty — a class
+    of deviation the paper's sketch does not account for. *)
+
+type t = {
+  instance : Instance.t;
+  formula : Bbc_sat.Cnf.t;
+  var_node : int -> int;  (** [X_i] (variables are 1-based, as in CNF). *)
+  truth_node : int -> bool -> int;  (** [truth_node i true] is [X_iT]. *)
+  clause_node : int -> int;  (** [K_j], clauses 0-based. *)
+  intermediate : int -> int -> int;  (** [intermediate j k], [k < 3]. *)
+  sink : int;  (** [S]. *)
+  hub : int;  (** [H]. *)
+  core_node : int -> int;  (** The 5 no-NE-core nodes, [0 <= i < 5]. *)
+  budget_k : int;  (** The uniform budget (1 for {!build}). *)
+  anchors : int list;  (** Budget-absorbing anchor cluster ([] for k = 1). *)
+  relays : int list;  (** Hub relay tree interior ([] for k = 1). *)
+}
+
+val build : Bbc_sat.Cnf.t -> t
+(** Requires a 3SAT formula (every clause exactly 3 literals; duplicate
+    literals allowed) with at least one variable and one clause. *)
+
+val build_k : k:int -> Bbc_sat.Cnf.t -> t
+(** The paper's "adapted to work where the budget of each node is k, for
+    k >= 2, by using additional nodes": {e every} node has budget exactly
+    [k].  The additional nodes are
+
+    - an {e anchor cluster} of [k+1] nodes, each preferring the other
+      [k]: a forced clique that dead-ends.  Every node whose "real" role
+      needs [r < k] links gets [k - r] heavily-weighted anchor
+      preferences, so its direct anchor links are strictly dominant and
+      exactly one budget slot (or however many the role needs) stays
+      meaningful;
+    - a balanced [k]-ary {e relay tree} between the hub [H] and the
+      clause nodes (padded so every clause sits at the same depth [D]),
+      replacing the k=1 hub's budget-[m] fan-out; the central node's
+      escape weight [c_I] is recalibrated numerically for the longer
+      [D + 2] hub-to-intermediate distance.
+
+    [build_k ~k:1] coincides with {!build}. *)
+
+val encode : t -> bool array -> Config.t
+(** The intended profile for an assignment (indexed by variable, index 0
+    unused): variables link their assigned truth node, satisfied clauses
+    link their highest-preference satisfied intermediate, unsatisfied ones link [S],
+    the central core node links [H], and all forced nodes their targets.
+    If the assignment satisfies the formula, this profile is a pure NE
+    (checked in tests/E2 with {!Stability.is_stable}). *)
+
+val decode : t -> Config.t -> bool array
+(** Read the variable assignment off a profile ([X_i -> X_iT] means
+    true). *)
+
+val candidate_strategies : t -> int list list array
+(** The reduced strategy space used for exhaustive no-NE certification on
+    small unsatisfiable formulas: forced nodes get their unique
+    (strictly dominant) strategy, variable nodes their two truth links,
+    clause nodes their three intermediates or [S], and the central node
+    its in-core links or [H]. *)

@@ -1,0 +1,116 @@
+type summary = {
+  optimum : int;
+  optimal_profile : Config.t;
+  best_equilibrium : (int * Config.t) option;
+  worst_equilibrium : (int * Config.t) option;
+  equilibria : int;
+  profiles : int;
+}
+
+let analyze ?objective ?candidates ?(max_profiles = 2_000_000) instance =
+  let n = Instance.n instance in
+  let candidates =
+    match candidates with
+    | Some c -> c
+    | None -> Array.init n (Exhaustive.all_strategies instance)
+  in
+  if Exhaustive.space_size candidates > float_of_int max_profiles then None
+  else begin
+    let optimum = ref max_int and optimal_profile = ref None in
+    let best_ne = ref None and worst_ne = ref None in
+    let equilibria = ref 0 and profiles = ref 0 in
+    let profile = Array.make n [] in
+    let rec assign u =
+      if u = n then begin
+        incr profiles;
+        let config = Config.of_lists n (Array.copy profile) in
+        let cost = Eval.social_cost ?objective instance config in
+        if cost < !optimum then begin
+          optimum := cost;
+          optimal_profile := Some config
+        end;
+        if Stability.is_stable ?objective instance config then begin
+          incr equilibria;
+          (match !best_ne with
+          | Some (c, _) when c <= cost -> ()
+          | _ -> best_ne := Some (cost, config));
+          match !worst_ne with
+          | Some (c, _) when c >= cost -> ()
+          | _ -> worst_ne := Some (cost, config)
+        end
+      end
+      else
+        List.iter
+          (fun s ->
+            profile.(u) <- s;
+            assign (u + 1))
+          candidates.(u)
+    in
+    assign 0;
+    match !optimal_profile with
+    | None -> None (* empty candidate space *)
+    | Some c ->
+        Some
+          {
+            optimum = !optimum;
+            optimal_profile = c;
+            best_equilibrium = !best_ne;
+            worst_equilibrium = !worst_ne;
+            equilibria = !equilibria;
+            profiles = !profiles;
+          }
+  end
+
+let ratio_of value summary =
+  Option.map
+    (fun (cost, _) -> float_of_int cost /. float_of_int (max summary.optimum 1))
+    value
+
+let price_of_stability summary = ratio_of summary.best_equilibrium summary
+
+let price_of_anarchy summary = ratio_of summary.worst_equilibrium summary
+
+let local_search ?objective ?(restarts = 3) ?(max_sweeps = 50) rng instance =
+  let n = Instance.n instance in
+  let random_start () =
+    let strategies =
+      Array.init n (fun u ->
+          let choices = Array.of_list (Exhaustive.maximal_strategies instance u) in
+          if Array.length choices = 0 then []
+          else Bbc_prng.Splitmix.choose rng choices)
+    in
+    Config.of_lists n strategies
+  in
+  let improve_once config cost =
+    (* Best single-node replacement by social cost. *)
+    let best = ref None in
+    for u = 0 to n - 1 do
+      List.iter
+        (fun s ->
+          if s <> Config.targets config u then begin
+            let config' = Config.with_strategy config u s in
+            let c = Eval.social_cost ?objective instance config' in
+            match !best with
+            | Some (_, c') when c' <= c -> ()
+            | _ -> if c < cost then best := Some (config', c)
+          end)
+        (Exhaustive.all_strategies instance u)
+    done;
+    !best
+  in
+  let run_from config =
+    let rec go config cost sweeps =
+      if sweeps >= max_sweeps then (cost, config)
+      else
+        match improve_once config cost with
+        | Some (config', cost') -> go config' cost' (sweeps + 1)
+        | None -> (cost, config)
+    in
+    go config (Eval.social_cost ?objective instance config) 0
+  in
+  let best = ref (run_from (random_start ())) in
+  for _ = 2 to max 1 restarts do
+    let candidate = run_from (random_start ()) in
+    if fst candidate < fst !best then best := candidate
+  done;
+  !best

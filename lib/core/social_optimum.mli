@@ -1,0 +1,51 @@
+(** Exact social optima and exact price of anarchy / stability on small
+    games.
+
+    The paper's PoA/PoS statements are asymptotic; on instances whose
+    profile space fits in memory we can compute the quantities exactly:
+    the socially optimal profile, the best and worst pure equilibria, and
+    the exact ratios.  Used by the E12 extension experiment and to
+    sanity-check the lower-bound-based estimators of {!Metrics}. *)
+
+type summary = {
+  optimum : int;  (** Minimum social cost over all profiles. *)
+  optimal_profile : Config.t;
+  best_equilibrium : (int * Config.t) option;  (** None if no pure NE. *)
+  worst_equilibrium : (int * Config.t) option;
+  equilibria : int;  (** Number of pure equilibria. *)
+  profiles : int;  (** Profiles examined. *)
+}
+
+val analyze :
+  ?objective:Objective.t ->
+  ?candidates:int list list array ->
+  ?max_profiles:int ->
+  Instance.t ->
+  summary option
+(** Exhaustive analysis of the profile space (default: all feasible
+    strategies of every node; [max_profiles] defaults to [2_000_000]).
+    [None] if the space is larger than [max_profiles].
+
+    Note: with a restricted candidate space, [optimum] is exact for that
+    space and every reported equilibrium is a true NE (full-deviation
+    check), but equilibria outside the space are not seen. *)
+
+val price_of_stability : summary -> float option
+(** [best NE cost / optimum]; [None] if no pure NE exists. *)
+
+val price_of_anarchy : summary -> float option
+(** [worst NE cost / optimum]. *)
+
+val local_search :
+  ?objective:Objective.t ->
+  ?restarts:int ->
+  ?max_sweeps:int ->
+  Bbc_prng.Splitmix.t ->
+  Instance.t ->
+  int * Config.t
+(** Heuristic optimum for instances whose profile space is too large for
+    {!analyze}: hill-climbing on the social cost (each step replaces one
+    node's strategy with its socially-best alternative), restarted from
+    [restarts] (default 3) random maximal-strategy profiles; returns the
+    best (cost, profile) found.  An upper bound on the true optimum —
+    useful as the denominator of a conservative PoA estimate. *)

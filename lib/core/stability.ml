@@ -1,0 +1,81 @@
+type deviation = {
+  node : int;
+  current_cost : int;
+  better : Best_response.result;
+}
+
+let find_deviation ?objective instance config =
+  let n = Instance.n instance in
+  let rec go u =
+    if u >= n then None
+    else
+      match Best_response.improving ?objective instance config u with
+      | Some better ->
+          Some
+            {
+              node = u;
+              current_cost = Eval.node_cost ?objective instance config u;
+              better;
+            }
+      | None -> go (u + 1)
+  in
+  go 0
+
+let is_stable ?objective instance config =
+  Config.feasible instance config
+  && Option.is_none (find_deviation ?objective instance config)
+
+let nodes_stable ?objective instance config nodes =
+  Config.feasible instance config
+  && List.for_all
+       (fun u -> Option.is_none (Best_response.improving ?objective instance config u))
+       nodes
+
+let is_stable_parallel ?objective ?domains instance config =
+  let n = Instance.n instance in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (min 4 (Domain.recommended_domain_count () - 1))
+  in
+  if not (Config.feasible instance config) then false
+  else if domains = 1 || n < 2 * domains then
+    Option.is_none (find_deviation ?objective instance config)
+  else begin
+    (* Round-robin node assignment; a shared flag lets every domain stop
+       as soon as any of them finds an improving deviation. *)
+    let unstable = Atomic.make false in
+    let worker d () =
+      let u = ref d in
+      while (not (Atomic.get unstable)) && !u < n do
+        if Option.is_some (Best_response.improving ?objective instance config !u)
+        then Atomic.set unstable true;
+        u := !u + domains
+      done
+    in
+    let handles = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
+    List.iter Domain.join handles;
+    not (Atomic.get unstable)
+  end
+
+let unstable_nodes ?objective instance config =
+  let n = Instance.n instance in
+  List.filter
+    (fun u -> Option.is_some (Best_response.improving ?objective instance config u))
+    (List.init n Fun.id)
+
+let stability_gap ?objective instance config =
+  let costs = Eval.all_costs ?objective instance config in
+  let gap = ref 0 in
+  for u = 0 to Instance.n instance - 1 do
+    let best = Best_response.best_cost ?objective instance config u in
+    if costs.(u) - best > !gap then gap := costs.(u) - best
+  done;
+  !gap
+
+let pp_deviation fmt d =
+  Format.fprintf fmt "node %d: cost %d -> %d via [%a]" d.node d.current_cost
+    d.better.cost
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") Format.pp_print_int)
+    d.better.strategy

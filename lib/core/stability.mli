@@ -1,0 +1,46 @@
+(** Nash-equilibrium verification (polynomial in the instance size).
+
+    A profile is stable (a pure Nash equilibrium) when no node has a
+    feasible strategy with strictly smaller cost, all other strategies
+    fixed.  Verification runs one exact best-response computation per
+    node; [is_stable] short-circuits on the first unstable node. *)
+
+type deviation = {
+  node : int;
+  current_cost : int;
+  better : Best_response.result;  (** A strictly improving strategy. *)
+}
+
+val is_stable : ?objective:Objective.t -> Instance.t -> Config.t -> bool
+
+val nodes_stable :
+  ?objective:Objective.t -> Instance.t -> Config.t -> int list -> bool
+(** Stability restricted to the given nodes (no improving deviation for
+    any of them).  Used with symmetry arguments: verifying one
+    representative per orbit of a vertex-symmetric configuration is
+    equivalent to verifying every node. *)
+
+val is_stable_parallel :
+  ?objective:Objective.t -> ?domains:int -> Instance.t -> Config.t -> bool
+(** {!is_stable} with the per-node best-response checks fanned out over
+    OCaml 5 domains ([domains] defaults to
+    [min 4 (Domain.recommended_domain_count () - 1)], floored at 1 — so
+    on a single-core machine this transparently degrades to the
+    sequential path).  Exact same verdict as {!is_stable}; each node's
+    check is independent (it only reads the shared instance and
+    profile), so on real multicore hardware the speedup is near-linear
+    up to GC contention; with fewer cores than domains it is pure
+    overhead. *)
+
+val find_deviation :
+  ?objective:Objective.t -> Instance.t -> Config.t -> deviation option
+(** First improving deviation in node order, if any. *)
+
+val unstable_nodes : ?objective:Objective.t -> Instance.t -> Config.t -> int list
+(** All nodes that currently have an improving deviation. *)
+
+val stability_gap : ?objective:Objective.t -> Instance.t -> Config.t -> int
+(** Max over nodes of [current_cost - best_response_cost]; 0 iff stable.
+    (The additive analogue of epsilon-equilibrium.) *)
+
+val pp_deviation : Format.formatter -> deviation -> unit

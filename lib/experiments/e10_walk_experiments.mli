@@ -1,0 +1,6 @@
+(** E10 — Section 4.3: max-cost-first walk experiments, plus the exact-best-response vs first-improvement step-policy ablation. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

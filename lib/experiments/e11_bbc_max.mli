@@ -1,0 +1,6 @@
+(** E11 — Section 5: the BBC-max variant — the Theorem-7 no-NE search (negative finding), Theorem-8 high-anarchy equilibria, Theorem-9 PoS. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,6 @@
+(** E12 — extension: exact optima, equilibrium counts, exact PoS/PoA and ordinal-potential verdicts for small uniform games by complete enumeration. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,79 @@
+(* E13 (the paper's open conjecture, footnote 2): "we conjecture that
+   pure Nash equilibria do exist in all cases where only the budgets are
+   non-uniform."
+
+   We test it computationally: games with uniform weights, costs and
+   lengths but random non-uniform budgets, (a) exhaustively at small n
+   (complete profile spaces), (b) by best-response dynamics at larger n
+   (convergence to a verified NE).  A single counterexample would refute
+   the conjecture; none has appeared. *)
+
+module SM = Bbc_prng.Splitmix
+
+let random_budget_instance rng ~n ~max_budget =
+  let weight = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0 else 1)) in
+  let ones = Array.init n (fun _ -> Array.make n 1) in
+  let budget = Array.init n (fun _ -> SM.int rng (max_budget + 1)) in
+  Bbc.Instance.general ~weight ~cost:ones ~length:ones ~budget ()
+
+let exhaustive_row rng ~objective ~n ~max_budget ~trials =
+  let with_ne = ref 0 and without = ref 0 and aborted = ref 0 in
+  for _ = 1 to trials do
+    let instance = random_budget_instance rng ~n ~max_budget in
+    match Bbc.Exhaustive.has_equilibrium ~objective ~max_profiles:2_000_000 instance with
+    | Some true -> incr with_ne
+    | Some false -> incr without
+    | None -> incr aborted
+  done;
+  [
+    Printf.sprintf "exhaustive n=%d b<=%d (%s)" n max_budget
+      (Bbc.Objective.to_string objective);
+    Table.cell_int trials;
+    Table.cell_int !with_ne;
+    Table.cell_int !without;
+    Table.cell_int !aborted;
+  ]
+
+let dynamics_row rng ~objective ~n ~max_budget ~trials =
+  let converged = ref 0 and other = ref 0 in
+  for _ = 1 to trials do
+    let instance = random_budget_instance rng ~n ~max_budget in
+    let start = Bbc.Config.empty n in
+    match
+      Bbc.Dynamics.run ~objective ~scheduler:Bbc.Dynamics.Round_robin
+        ~max_rounds:(8 * n) instance start
+    with
+    | Bbc.Dynamics.Converged (c, _) when Bbc.Stability.is_stable ~objective instance c ->
+        incr converged
+    | _ -> incr other
+  done;
+  [
+    Printf.sprintf "dynamics n=%d b<=%d (%s)" n max_budget
+      (Bbc.Objective.to_string objective);
+    Table.cell_int trials;
+    Table.cell_int !converged;
+    "-";
+    Table.cell_int !other;
+  ]
+
+let run ?(quick = true) fmt =
+  Table.section fmt "E13  Footnote-2 conjecture: budget-only non-uniformity keeps pure NE";
+  let t =
+    Table.create ~title:"Random games, non-uniform only in budgets"
+      ~claim:
+        "paper (footnote 2): 'we conjecture that pure NE do exist in all \
+         cases where only the budgets are non-uniform'"
+      ~columns:[ "workload"; "trials"; "NE found"; "no NE"; "other" ]
+  in
+  let rng = SM.create 1313 in
+  let sum = Bbc.Objective.Sum and max_o = Bbc.Objective.Max in
+  Table.add_row t (exhaustive_row rng ~objective:sum ~n:4 ~max_budget:3 ~trials:(if quick then 40 else 150));
+  Table.add_row t (exhaustive_row rng ~objective:sum ~n:5 ~max_budget:2 ~trials:(if quick then 10 else 40));
+  Table.add_row t (exhaustive_row rng ~objective:max_o ~n:4 ~max_budget:3 ~trials:(if quick then 40 else 150));
+  Table.add_row t (dynamics_row rng ~objective:sum ~n:12 ~max_budget:4 ~trials:(if quick then 15 else 50));
+  Table.add_row t (dynamics_row rng ~objective:sum ~n:20 ~max_budget:5 ~trials:(if quick then 5 else 20));
+  Table.render fmt t;
+  Table.note fmt
+    "a 'no NE' entry above 0 would refute the conjecture; 'other' counts \
+     non-converged dynamics runs (not counterexamples — walks may cycle \
+     even when equilibria exist)"

@@ -1,0 +1,6 @@
+(** E13 — extension: computational test of the paper's footnote-2 conjecture (budget-only non-uniformity preserves pure NE existence). *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

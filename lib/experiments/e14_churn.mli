@@ -1,0 +1,6 @@
+(** E14 — extension: resilience of verified equilibria under churn (random strategy wipes), measuring re-stabilization and cost drift. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,9 @@
+(** E15 — baseline comparison (paper Section 1.3): the Fabrikant et al.
+    alpha-priced network creation game vs BBC's budgeted links — landmark
+    equilibria (complete graph, star) and the shapes the budget cap rules
+    out. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

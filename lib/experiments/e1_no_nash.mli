@@ -1,0 +1,6 @@
+(** E1 — Theorem 1 / Figure 1: certify that non-uniform preferences can eliminate all pure Nash equilibria (unconditional 5-node core + padding to the paper's n = 11). *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

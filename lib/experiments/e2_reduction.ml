@@ -1,0 +1,113 @@
+(* E2 — Theorem 2 / Figure 2: the 3SAT reduction.  For satisfiable
+   formulas the encoded profile is a verified pure NE that decodes back
+   to a satisfying assignment; for small unsatisfiable formulas the
+   reduced profile space is exhaustively certified to contain no NE. *)
+
+module Cnf = Bbc_sat.Cnf
+module Solver = Bbc_sat.Solver
+
+let sat_rows rng ~count ~num_vars ~num_clauses =
+  List.init count (fun i ->
+      let formula, _ = Bbc_sat.Gen.planted_3sat rng ~num_vars ~num_clauses in
+      let t = Bbc.Reduction.build formula in
+      match Solver.solve formula with
+      | Solver.Sat assignment ->
+          let config = Bbc.Reduction.encode t assignment in
+          let stable = Bbc.Stability.is_stable t.instance config in
+          let decoded = Cnf.eval formula (Bbc.Reduction.decode t config) in
+          [
+            Printf.sprintf "planted-%d" i;
+            Table.cell_int num_vars;
+            Table.cell_int num_clauses;
+            Table.cell_int (Bbc.Instance.n t.instance);
+            "yes";
+            Table.cell_bool stable;
+            Table.cell_bool decoded;
+          ]
+      | Solver.Unsat -> [ Printf.sprintf "planted-%d" i; "-"; "-"; "-"; "!"; "-"; "-" ])
+
+let unsat_row name formula =
+  let t = Bbc.Reduction.build formula in
+  let candidates = Bbc.Reduction.candidate_strategies t in
+  let has_ne =
+    match Bbc.Exhaustive.has_equilibrium ~candidates t.instance with
+    | Some b -> Table.cell_bool b
+    | None -> "aborted"
+  in
+  [
+    name;
+    Table.cell_int (Cnf.num_vars formula);
+    Table.cell_int (Cnf.num_clauses formula);
+    Table.cell_int (Bbc.Instance.n t.instance);
+    "no";
+    has_ne;
+    "-";
+  ]
+
+let run ?(quick = true) fmt =
+  Table.section fmt "E2  Theorem 2: 3SAT -> BBC reduction (NP-hardness witness)";
+  let t =
+    Table.create ~title:"Reduction faithfulness"
+      ~claim:
+        "Thm 2: the constructed game has a pure NE iff the formula is \
+         satisfiable (SAT -> encoded profile stable; UNSAT -> exhaustive \
+         no-NE over the reduced space)"
+      ~columns:[ "formula"; "vars"; "clauses"; "game n"; "SAT"; "pure NE"; "decodes" ]
+  in
+  let rng = Bbc_prng.Splitmix.create 2026 in
+  Table.add_rows t (sat_rows rng ~count:(if quick then 3 else 6) ~num_vars:3 ~num_clauses:4);
+  Table.add_rows t
+    (sat_rows rng ~count:(if quick then 2 else 4) ~num_vars:(if quick then 4 else 6)
+       ~num_clauses:(if quick then 6 else 10));
+  Table.add_row t
+    (unsat_row "unsat (x)(~x)" (Cnf.make ~num_vars:1 [ [ 1; 1; 1 ]; [ -1; -1; -1 ] ]));
+  Table.add_row t
+    (unsat_row "unsat 2-var, 4-clause"
+       (Cnf.make ~num_vars:2 [ [ 1; 2; 2 ]; [ 1; -2; -2 ]; [ -1; 2; 2 ]; [ -1; -2; -2 ] ]));
+  (* The paper's k >= 2 extension (uniform budgets): anchor cluster plus
+     a balanced hub relay tree; see Reduction.build_k. *)
+  List.iter
+    (fun k ->
+      let f = Cnf.make ~num_vars:3 [ [ 1; 2; 3 ]; [ -1; 2; -3 ]; [ 1; -2; 3 ] ] in
+      let t2 = Bbc.Reduction.build_k ~k f in
+      (match Bbc_sat.Solver.solve f with
+      | Bbc_sat.Solver.Sat assignment ->
+          let config = Bbc.Reduction.encode t2 assignment in
+          Table.add_row t
+            [
+              Printf.sprintf "sat, uniform k=%d" k;
+              "3";
+              "3";
+              Table.cell_int (Bbc.Instance.n t2.instance);
+              "yes";
+              Table.cell_bool (Bbc.Stability.is_stable t2.instance config);
+              Table.cell_bool (Cnf.eval f (Bbc.Reduction.decode t2 config));
+            ]
+      | Bbc_sat.Solver.Unsat -> ());
+      let u = Cnf.make ~num_vars:1 [ [ 1; 1; 1 ]; [ -1; -1; -1 ] ] in
+      let tu = Bbc.Reduction.build_k ~k u in
+      let has_ne =
+        match
+          Bbc.Exhaustive.has_equilibrium
+            ~candidates:(Bbc.Reduction.candidate_strategies tu)
+            tu.instance
+        with
+        | Some b -> Table.cell_bool b
+        | None -> "aborted"
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "unsat (x)(~x), uniform k=%d" k;
+          "1";
+          "2";
+          Table.cell_int (Bbc.Instance.n tu.instance);
+          "no";
+          has_ne;
+          "-";
+        ])
+    (if quick then [ 2 ] else [ 2; 3 ]);
+  Table.render fmt t;
+  Table.note fmt
+    "UNSAT certification enumerates the reduced profile space (forced \
+     nodes pinned to their strictly dominant strategies); every profile \
+     is checked against all feasible deviations"

@@ -1,0 +1,6 @@
+(** E2 — Theorem 2 / Figure 2: execute the 3SAT reduction in both directions (satisfiable -> verified equilibrium that decodes back; unsatisfiable -> exhaustive no-NE), including the uniform-budget k >= 2 extension. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,58 @@
+(* E3 — Theorem 3: fractional BBC games always have a pure NE.  The
+   computational witness: better-response descent reaches a profile whose
+   stability gap (best discovered improvement) is ~0, including on the
+   fractionalization of the integral no-NE core — the sharpest contrast
+   with Theorem 1. *)
+
+let row name instance profile ~max_sweeps =
+  let initial_gap = Bbc.Fractional.stability_gap instance profile in
+  let final, sweeps = Bbc.Fractional.improve_until ~max_sweeps instance profile in
+  let final_gap = Bbc.Fractional.stability_gap instance final in
+  [
+    name;
+    Table.cell_int (Bbc.Instance.n instance);
+    Table.cell_float ~decimals:3 initial_gap;
+    Table.cell_int sweeps;
+    Table.cell_float ~decimals:5 final_gap;
+    Table.cell_bool (Bbc.Fractional.feasible instance final);
+  ]
+
+let run ?(quick = true) fmt =
+  Table.section fmt "E3  Theorem 3: fractional BBC games reach equilibrium";
+  let t =
+    Table.create ~title:"Better-response descent to eps-equilibria"
+      ~claim:
+        "Thm 3: every fractional BBC game has a pure NE (existence via \
+         quasi-concavity); witnessed here by descent reaching ~zero \
+         stability gap"
+      ~columns:[ "instance"; "n"; "initial gap"; "sweeps"; "final gap"; "feasible" ]
+  in
+  let core = Bbc.Gadget.core () in
+  Table.add_row t
+    (row "no-NE core (fractionalized)" core (Bbc.Fractional.uniform_profile core)
+       ~max_sweeps:60);
+  let uni = Bbc.Instance.uniform ~n:5 ~k:1 in
+  Table.add_row t
+    (row "(5,1)-uniform, uniform start" uni (Bbc.Fractional.uniform_profile uni)
+       ~max_sweeps:60);
+  let rng = Bbc_prng.Splitmix.create 33 in
+  let trials = if quick then 2 else 5 in
+  for i = 1 to trials do
+    let n = 5 in
+    let weight =
+      Array.init n (fun u ->
+          Array.init n (fun v ->
+              if u = v then 0 else Bbc_prng.Splitmix.int rng 4))
+    in
+    let inst = Bbc.Instance.of_weights ~k:1 weight in
+    Table.add_row t
+      (row
+         (Printf.sprintf "random non-uniform #%d" i)
+         inst
+         (Bbc.Fractional.uniform_profile inst)
+         ~max_sweeps:60)
+  done;
+  Table.render fmt t;
+  Table.note fmt
+    "gaps are measured against the searched deviation set (pure \
+     strategies, uniform spread, pairwise budget transfers)"

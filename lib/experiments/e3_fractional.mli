@@ -1,0 +1,6 @@
+(** E3 — Theorem 3: fractional games reach (approximate) equilibria by better-response descent, including on the fractionalized no-NE core. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

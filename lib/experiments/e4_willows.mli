@@ -1,0 +1,6 @@
+(** E4 — Lemma 6 / Figure 3 / Lemma 1: verify Forest-of-Willows stability across the parameter spectrum, with fairness ratios against the Lemma-1 bound and cost ratios against the degree-k lower bound. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,6 @@
+(** E5 — Theorem 4: the price-of-anarchy lower-bound family (max-tail willows), measured cost ratios against the sqrt(n/k)/log_k n shape. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,6 @@
+(** E6 — Lemma 7: diameters and radii of verified stable graphs against the O(sqrt(n log_k n)) and O(sqrt n) bounds. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,68 @@
+(* E7 — Theorem 5 / Corollary 1 / Lemma 8: no Abelian Cayley graph with
+   2 <= k and large enough n is stable.  For each family we report the
+   explicit Theorem-5 deviation's exact improvement and (where feasible)
+   the full stability verdict for the identity node, plus the
+   near-complete regime k > (n-2)/2 where stability returns. *)
+
+module Cayley = Bbc_group.Cayley
+
+let row name c ~expect_stable =
+  let n = Bbc_group.Abelian.order c.Cayley.group in
+  let k = Cayley.degree c in
+  let dev = Bbc.Cayley_game.best_theorem5_deviation c in
+  let stable = Bbc.Cayley_game.is_stable c in
+  [
+    name;
+    Table.cell_int n;
+    Table.cell_int k;
+    (match dev with
+    | Some d -> Printf.sprintf "-%d" (d.old_cost - d.new_cost)
+    | None -> "none");
+    Table.cell_bool stable;
+    Table.cell_bool expect_stable;
+  ]
+
+let run ?(quick = true) fmt =
+  Table.section fmt "E7  Theorem 5: Abelian Cayley graphs are not stable";
+  let t =
+    Table.create ~title:"Cayley families under the (n,k)-uniform game"
+      ~claim:
+        "Thm 5: for k >= 2 and n >= c 2^k no Abelian Cayley graph is \
+         stable (swap a_i for a_i + a_i); Cor 1: hypercubes unstable for \
+         k > 4; Lemma 8: stable again once k > (n-2)/2; k = 1 directed \
+         cycle stable"
+      ~columns:[ "family"; "n"; "k"; "thm-5 gain"; "stable"; "theory" ]
+  in
+  let rng = Bbc_prng.Splitmix.create 7 in
+  let rows =
+    [
+      ("directed cycle Z_16", Cayley.circulant ~n:16 ~offsets:[ 1 ], true);
+      ("circulant Z_16 {1,2}", Cayley.circulant ~n:16 ~offsets:[ 1; 2 ], false);
+      ("circulant Z_24 {1,5}", Cayley.circulant ~n:24 ~offsets:[ 1; 5 ], false);
+      ("circulant Z_40 {1,7,19}", Cayley.circulant ~n:40 ~offsets:[ 1; 7; 19 ], false);
+      ("random circulant Z_36 k=3", Cayley.random_circulant rng ~n:36 ~k:3, false);
+      ("torus 5x5", Cayley.torus 5 5, false);
+      ("torus 6x6", Cayley.torus 6 6, false);
+      ("hypercube Q4", Cayley.hypercube 4, false);
+      ("hypercube Q5", Cayley.hypercube 5, false);
+      ("near-complete Z_9 k=4", Cayley.circulant ~n:9 ~offsets:[ 1; 2; 3; 4 ], true);
+      ("complete Z_8", Cayley.circulant ~n:8 ~offsets:[ 1; 2; 3; 4; 5; 6; 7 ], true);
+      ("small circulant Z_5 {1,2}", Cayley.circulant ~n:5 ~offsets:[ 1; 2 ], true);
+    ]
+    @
+    if quick then []
+    else
+      [
+        ("circulant Z_64 {1,9}", Cayley.circulant ~n:64 ~offsets:[ 1; 9 ], false);
+        ("torus 8x8", Cayley.torus 8 8, false);
+        ("random circulant Z_60 k=4", Cayley.random_circulant rng ~n:60 ~k:4, false);
+      ]
+  in
+  List.iter (fun (name, c, expect) -> Table.add_row t (row name c ~expect_stable:expect)) rows;
+  Table.render fmt t;
+  Table.note fmt
+    "thm-5 gain = exact cost improvement for the identity node from \
+     replacing its a_i-link by a_i+a_i (none for hypercubes, where \
+     a+a = 0; Corollary 1 instability there comes from the full best \
+     response).  'theory' marks the paper's predicted verdict; small \
+     instances below the n >= c 2^k threshold may legitimately be stable"

@@ -1,0 +1,6 @@
+(** E7 — Theorem 5 / Corollary 1 / Lemma 8: Abelian Cayley instability, with the exact a_i -> a_i + a_i deviation payoff per family. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

@@ -1,0 +1,6 @@
+(** E8 — Theorem 6: steps to strong connectivity from random starts and from the adversarially-scheduled ring+path Omega(n^2) family. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

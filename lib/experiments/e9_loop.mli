@@ -1,0 +1,6 @@
+(** E9 — Figure 4: trace the (7,2)-uniform best-response loop (uniform BBC games are not ordinal potential games). *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+(** Print the experiment's tables to the formatter.  [quick] (default
+    [true]) selects the fast parameter set; [false] runs the larger
+    sweeps reported in EXPERIMENTS.md's full-mode numbers. *)

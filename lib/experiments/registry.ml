@@ -1,0 +1,30 @@
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    { id = "e1"; title = "Theorem 1: no pure NE (non-uniform games)"; run = E1_no_nash.run };
+    { id = "e2"; title = "Theorem 2: 3SAT reduction"; run = E2_reduction.run };
+    { id = "e3"; title = "Theorem 3: fractional games"; run = E3_fractional.run };
+    { id = "e4"; title = "Lemma 6 / Fig 3: Forest of Willows"; run = E4_willows.run };
+    { id = "e5"; title = "Theorem 4: price of anarchy"; run = E5_anarchy.run };
+    { id = "e6"; title = "Lemma 7: stable-graph diameter"; run = E6_diameter.run };
+    { id = "e7"; title = "Theorem 5: Cayley instability"; run = E7_cayley.run };
+    { id = "e8"; title = "Theorem 6: convergence to strong connectivity"; run = E8_convergence.run };
+    { id = "e9"; title = "Figure 4: best-response loop"; run = E9_loop.run };
+    { id = "e10"; title = "Section 4.3: walk experiments"; run = E10_walk_experiments.run };
+    { id = "e11"; title = "Section 5: BBC-max"; run = E11_bbc_max.run };
+    { id = "e12"; title = "Extension: exact small-game analysis"; run = E12_exact_small.run };
+    { id = "e13"; title = "Footnote-2 conjecture: non-uniform budgets"; run = E13_budget_conjecture.run };
+    { id = "e14"; title = "Extension: equilibrium resilience under churn"; run = E14_churn.run };
+    { id = "e15"; title = "Baseline: Fabrikant et al. network creation game"; run = E15_baseline.run };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick fmt = List.iter (fun e -> e.run ?quick fmt) all

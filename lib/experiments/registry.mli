@@ -1,0 +1,15 @@
+(** The experiment registry: one entry per reproduced figure/claim (see
+    DESIGN.md's per-experiment index). *)
+
+type entry = {
+  id : string;  (** "e1" .. "e12". *)
+  title : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+val all : entry list
+
+val find : string -> entry option
+(** Lookup by id (case-insensitive). *)
+
+val run_all : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,45 @@
+type t = {
+  title : string;
+  claim : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~claim ~columns = { title; claim; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): %d cells, expected %d" t.title
+         (List.length row) (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let render fmt t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let pad width s = s ^ String.make (width - String.length s) ' ' in
+  let line row = String.concat "  " (List.map2 pad widths row) in
+  Format.fprintf fmt "@.%s@." t.title;
+  Format.fprintf fmt "  paper: %s@." t.claim;
+  Format.fprintf fmt "  %s@." (line t.columns);
+  Format.fprintf fmt "  %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.fprintf fmt "  %s@." (line row)) rows
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_bool b = if b then "yes" else "no"
+
+let section fmt name =
+  Format.fprintf fmt "@.%s@.%s@." (String.make 72 '=') name
+
+let note fmt s = Format.fprintf fmt "  note: %s@." s

@@ -1,0 +1,7 @@
+(** Maximum flow (Edmonds–Karp: BFS augmenting paths on the residual
+    network).  Used for connectivity certificates in tests and for
+    cross-checking the min-cost solver's feasibility answers. *)
+
+val solve : Network.t -> source:int -> sink:int -> float
+(** Maximum flow value from [source] to [sink].  The network's flows are
+    left in the final state. *)

@@ -1,0 +1,71 @@
+type result = { sent : float; cost : float }
+
+(* SPFA: shortest path from [source] to every node in the residual graph
+   using arc costs.  Returns (dist, pred_arc). *)
+let spfa net source =
+  let n = Network.n net in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let in_queue = Array.make n false in
+  let queue = Queue.create () in
+  dist.(source) <- 0.;
+  Queue.add source queue;
+  in_queue.(source) <- true;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    in_queue.(u) <- false;
+    let du = dist.(u) in
+    List.iter
+      (fun a ->
+        if Network.residual net a > Network.eps then begin
+          let v = Network.dst net a in
+          let nd = du +. Network.cost net a in
+          if nd < dist.(v) -. Network.eps then begin
+            dist.(v) <- nd;
+            pred.(v) <- a;
+            if not in_queue.(v) then begin
+              Queue.add v queue;
+              in_queue.(v) <- true
+            end
+          end
+        end)
+      (Network.out_arcs net u)
+  done;
+  (dist, pred)
+
+let solve net ~source ~sink ~amount =
+  if amount < 0. then invalid_arg "Mincost.solve: negative amount";
+  if source = sink then invalid_arg "Mincost.solve: source = sink";
+  let sent = ref 0. and total_cost = ref 0. in
+  let continue = ref true in
+  while !continue && amount -. !sent > Network.eps do
+    let dist, pred = spfa net source in
+    if dist.(sink) = infinity then continue := false
+    else begin
+      (* Bottleneck along the predecessor path. *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else
+          let a = pred.(v) in
+          bottleneck (Network.src net a) (Float.min acc (Network.residual net a))
+      in
+      let push_amount = bottleneck sink (amount -. !sent) in
+      let rec apply v =
+        if v <> source then begin
+          let a = pred.(v) in
+          Network.push net a push_amount;
+          apply (Network.src net a)
+        end
+      in
+      apply sink;
+      sent := !sent +. push_amount;
+      total_cost := !total_cost +. (push_amount *. dist.(sink))
+    end
+  done;
+  { sent = !sent; cost = !total_cost }
+
+let min_cost_unit_flow net ~source ~sink =
+  Network.reset net;
+  let r = solve net ~source ~sink ~amount:1.0 in
+  Network.reset net;
+  if 1.0 -. r.sent > Network.eps then None else Some r.cost

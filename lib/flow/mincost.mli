@@ -1,0 +1,26 @@
+(** Minimum-cost flow by successive shortest paths.
+
+    Costs may be negative on residual arcs, so path-finding uses SPFA
+    (queue-based Bellman–Ford).  Networks in this project are small (one
+    per node pair of a fractional BBC game), so the simplicity of SPFA is
+    preferred over Dijkstra-with-potentials.
+
+    The fractional BBC model (paper, Section 3.2) evaluates, for every
+    ordered pair [(u, v)], the cost of a minimum-cost {e unit} flow from
+    [u] to [v] in a network whose arcs are the fractional links bought by
+    the nodes plus an infinite-capacity arc of cost [M] per pair; the
+    latter guarantees a unit flow always exists. *)
+
+type result = {
+  sent : float;  (** Amount of flow actually routed (= requested amount if feasible). *)
+  cost : float;  (** Total cost of the routed flow. *)
+}
+
+val solve : Network.t -> source:int -> sink:int -> amount:float -> result
+(** Route up to [amount] units of flow at minimum cost.  The network's
+    flows are left in the final state (use {!Network.reset} to reuse).
+    Raises [Invalid_argument] if [amount < 0] or [source = sink]. *)
+
+val min_cost_unit_flow : Network.t -> source:int -> sink:int -> float option
+(** Cost of a minimum-cost unit flow, or [None] if a full unit cannot be
+    routed.  Resets the network before and after solving. *)

@@ -1,0 +1,49 @@
+type t = { dist : int array array }
+
+let compute g =
+  let n = Digraph.n g in
+  let dist = Array.init n (fun _ -> Array.make n Paths.unreachable) in
+  for v = 0 to n - 1 do
+    dist.(v).(v) <- 0
+  done;
+  Digraph.iter_edges g (fun u v len -> if len < dist.(u).(v) then dist.(u).(v) <- len);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = dist.(i).(k) in
+      if dik <> Paths.unreachable then
+        for j = 0 to n - 1 do
+          let dkj = dist.(k).(j) in
+          if dkj <> Paths.unreachable && dik + dkj < dist.(i).(j) then
+            dist.(i).(j) <- dik + dkj
+        done
+    done
+  done;
+  { dist }
+
+let distance t u v = t.dist.(u).(v)
+
+let matrix t = t.dist
+
+let eccentricity t v =
+  let best = ref 0 in
+  let ok = ref true in
+  Array.iteri
+    (fun u d ->
+      if u <> v then
+        if d = Paths.unreachable then ok := false else if d > !best then best := d)
+    t.dist.(v);
+  if !ok then Some !best else None
+
+let diameter t =
+  let n = Array.length t.dist in
+  if n <= 1 then Some 0
+  else begin
+    let best = ref 0 in
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      match eccentricity t v with
+      | None -> ok := false
+      | Some e -> if e > !best then best := e
+    done;
+    if !ok then Some !best else None
+  end

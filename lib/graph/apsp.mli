@@ -1,0 +1,23 @@
+(** All-pairs shortest paths (Floyd–Warshall).
+
+    O(n^3) regardless of density — slower than n single-source runs on
+    the sparse graphs this project mostly handles, but valuable as an
+    independent oracle: the test suite cross-checks {!Paths.dijkstra}
+    against it, and dense-instance callers (the fractional experiments)
+    can amortize one matrix across many queries. *)
+
+type t
+
+val compute : Digraph.t -> t
+
+val distance : t -> int -> int -> int
+(** [Paths.unreachable] when no path exists; 0 on the diagonal. *)
+
+val matrix : t -> int array array
+(** The full distance matrix (not a copy; treat as read-only). *)
+
+val eccentricity : t -> int -> int option
+(** Max distance from a vertex; [None] if it does not reach everyone. *)
+
+val diameter : t -> int option
+(** [None] unless the graph is strongly connected. *)

@@ -1,0 +1,20 @@
+(** Minimal binary min-heap of [(priority, payload)] pairs with integer
+    priorities, used by Dijkstra and min-cost-flow.  Lazy deletion is the
+    caller's concern (push duplicates, skip stale pops). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val push : t -> int -> int -> unit
+(** [push h priority payload]. *)
+
+val pop : t -> (int * int) option
+(** Remove and return the [(priority, payload)] pair with the smallest
+    priority, or [None] if the heap is empty. *)
+
+val clear : t -> unit

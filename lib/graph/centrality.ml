@@ -1,0 +1,68 @@
+(* Brandes' algorithm: one BFS per source, accumulating pair
+   dependencies in reverse BFS order. *)
+let betweenness g =
+  let n = Digraph.n g in
+  let centrality = Array.make n 0.0 in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0.0 in
+  let delta = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  let order = Array.make n 0 in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill sigma 0 n 0.0;
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    let count = ref 0 in
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    let queue = Queue.create () in
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      order.(!count) <- v;
+      incr count;
+      Digraph.iter_out g v (fun w _ ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w queue
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- v :: preds.(w)
+          end)
+    done;
+    for i = !count - 1 downto 0 do
+      let w = order.(i) in
+      List.iter
+        (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+        preds.(w);
+      if w <> s then centrality.(w) <- centrality.(w) +. delta.(w)
+    done
+  done;
+  centrality
+
+let in_degrees g =
+  let n = Digraph.n g in
+  let deg = Array.make n 0 in
+  Digraph.iter_edges g (fun _ v _ -> deg.(v) <- deg.(v) + 1);
+  deg
+
+let gini values =
+  let n = Array.length values in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy values in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( + ) 0 sorted in
+    if total = 0 then 0.0
+    else begin
+      (* G = (2 * sum_i i*x_(i) / (n * sum x)) - (n+1)/n with 1-based i. *)
+      let weighted = ref 0.0 in
+      Array.iteri
+        (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. float_of_int x))
+        sorted;
+      (2.0 *. !weighted /. (float_of_int n *. float_of_int total))
+      -. (float_of_int (n + 1) /. float_of_int n)
+    end
+  end

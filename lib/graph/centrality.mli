@@ -1,0 +1,21 @@
+(** Centrality measures for analyzing equilibrium networks.
+
+    Betweenness (Brandes 2001, directed, unit lengths) measures how much
+    shortest-path traffic transits each node — in an equilibrium overlay,
+    the nodes everyone implicitly depends on.  In-degree is the crude
+    "attention" measure the social-network example reports. *)
+
+val betweenness : Digraph.t -> float array
+(** [betweenness g] returns, for each vertex, the number of shortest
+    paths between ordered pairs (s, t) (s, t distinct from the vertex)
+    that pass through it, each pair contributing fractionally when it
+    has several shortest paths.  Edge lengths are ignored (hop-count
+    paths), matching the uniform-game metric. *)
+
+val in_degrees : Digraph.t -> int array
+
+val gini : int array -> float
+(** Gini coefficient of a non-negative integer distribution (0 =
+    perfectly equal, -> 1 = concentrated); 0 for empty or all-zero
+    input.  Used to quantify how unequally incoming links are
+    distributed across an equilibrium. *)

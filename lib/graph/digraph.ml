@@ -1,0 +1,100 @@
+type t = {
+  size : int;
+  adj : (int * int) list array; (* adj.(u) = [(v, length); ...] *)
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { size = n; adj = Array.make n []; edges = 0 }
+
+let n g = g.size
+
+let edge_count g = g.edges
+
+let check_vertex g u name =
+  if u < 0 || u >= g.size then
+    invalid_arg (Printf.sprintf "Digraph.%s: vertex %d out of range [0,%d)" name u g.size)
+
+let add_edge g u v len =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Digraph.add_edge: self-loop";
+  if len < 0 then invalid_arg "Digraph.add_edge: negative length";
+  let rec replace = function
+    | [] -> None
+    | (v', _) :: rest when v' = v -> Some ((v, len) :: rest)
+    | e :: rest -> (
+        match replace rest with None -> None | Some rest' -> Some (e :: rest'))
+  in
+  match replace g.adj.(u) with
+  | Some adj' -> g.adj.(u) <- adj'
+  | None ->
+      g.adj.(u) <- (v, len) :: g.adj.(u);
+      g.edges <- g.edges + 1
+
+let remove_edge g u v =
+  check_vertex g u "remove_edge";
+  check_vertex g v "remove_edge";
+  let before = List.length g.adj.(u) in
+  g.adj.(u) <- List.filter (fun (v', _) -> v' <> v) g.adj.(u);
+  if List.length g.adj.(u) < before then g.edges <- g.edges - 1
+
+let remove_out_edges g u =
+  check_vertex g u "remove_out_edges";
+  g.edges <- g.edges - List.length g.adj.(u);
+  g.adj.(u) <- []
+
+let mem_edge g u v =
+  check_vertex g u "mem_edge";
+  List.exists (fun (v', _) -> v' = v) g.adj.(u)
+
+let edge_length g u v =
+  check_vertex g u "edge_length";
+  List.assoc_opt v g.adj.(u)
+
+let out_edges g u =
+  check_vertex g u "out_edges";
+  g.adj.(u)
+
+let out_degree g u =
+  check_vertex g u "out_degree";
+  List.length g.adj.(u)
+
+let iter_out g u f =
+  check_vertex g u "iter_out";
+  List.iter (fun (v, len) -> f v len) g.adj.(u)
+
+let iter_edges g f =
+  for u = 0 to g.size - 1 do
+    List.iter (fun (v, len) -> f u v len) g.adj.(u)
+  done
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun u v len -> acc := f !acc u v len);
+  !acc
+
+let edges g =
+  fold_edges g (fun acc u v len -> (u, v, len) :: acc) [] |> List.sort compare
+
+let copy g = { size = g.size; adj = Array.copy g.adj; edges = g.edges }
+
+let transpose g =
+  let t = create g.size in
+  iter_edges g (fun u v len -> add_edge t v u len);
+  t
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v, len) -> add_edge g u v len) es;
+  g
+
+let of_unit_edges n es = of_edges n (List.map (fun (u, v) -> (u, v, 1)) es)
+
+let equal g1 g2 = g1.size = g2.size && edges g1 = edges g2
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>digraph(%d vertices, %d edges)" g.size g.edges;
+  List.iter (fun (u, v, len) -> Format.fprintf fmt "@,  %d -> %d (len %d)" u v len) (edges g);
+  Format.fprintf fmt "@]"

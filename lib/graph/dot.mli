@@ -1,0 +1,12 @@
+(** Graphviz export, used by the CLI and examples to visualize equilibria
+    and gadgets. *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?show_lengths:bool ->
+  Digraph.t ->
+  string
+(** Render the graph in DOT syntax.  [vertex_label] defaults to the vertex
+    number; edge lengths are printed as edge labels when [show_lengths]
+    (default: only when some length differs from 1). *)

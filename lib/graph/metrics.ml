@@ -1,0 +1,83 @@
+let fold_distances g src ~init ~f =
+  let dist = Paths.shortest g src in
+  let acc = ref (Some init) in
+  Array.iteri
+    (fun v d ->
+      if v <> src then
+        match !acc with
+        | None -> ()
+        | Some a -> if d = Paths.unreachable then acc := None else acc := Some (f a d))
+    dist;
+  !acc
+
+let eccentricity g u = if Digraph.n g <= 1 then Some 0 else fold_distances g u ~init:0 ~f:max
+
+let total_distance g u = fold_distances g u ~init:0 ~f:( + )
+
+let diameter g =
+  let n = Digraph.n g in
+  if n <= 1 then Some 0
+  else begin
+    let best = ref (Some 0) in
+    (try
+       for u = 0 to n - 1 do
+         match eccentricity g u with
+         | None ->
+             best := None;
+             raise Exit
+         | Some e -> best := Some (max e (Option.get !best))
+       done
+     with Exit -> ());
+    !best
+  end
+
+let radius g =
+  let n = Digraph.n g in
+  if n <= 1 then Some 0
+  else begin
+    let best = ref None in
+    for u = 0 to n - 1 do
+      match eccentricity g u with
+      | None -> ()
+      | Some e -> (
+          match !best with None -> best := Some e | Some b -> if e < b then best := Some e)
+    done;
+    !best
+  end
+
+let sum_of_distances g =
+  let n = Digraph.n g in
+  let total = ref (Some 0) in
+  (try
+     for u = 0 to n - 1 do
+       match total_distance g u with
+       | None ->
+           total := None;
+           raise Exit
+       | Some s -> total := Some (s + Option.get !total)
+     done
+   with Exit -> ());
+  !total
+
+let average_distance g =
+  let n = Digraph.n g in
+  if n <= 1 then Some 0.
+  else
+    Option.map
+      (fun s -> float_of_int s /. float_of_int (n * (n - 1)))
+      (sum_of_distances g)
+
+let max_out_degree g =
+  let best = ref 0 in
+  for u = 0 to Digraph.n g - 1 do
+    best := max !best (Digraph.out_degree g u)
+  done;
+  !best
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to Digraph.n g - 1 do
+    let d = Digraph.out_degree g u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare

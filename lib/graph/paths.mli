@@ -1,0 +1,32 @@
+(** Single-source shortest paths.
+
+    Distances are returned as an [int array] indexed by vertex, with
+    [unreachable] (= [max_int]) marking vertices with no path from the
+    source.  The BBC cost model replaces [unreachable] by the disconnection
+    penalty [M] at a higher layer. *)
+
+val unreachable : int
+(** Sentinel distance ([max_int]) for vertices with no path. *)
+
+val bfs : Digraph.t -> int -> int array
+(** [bfs g src] is the array of hop-count distances from [src], ignoring
+    edge lengths (every edge counts 1).  Exact for uniform games. *)
+
+val dijkstra : Digraph.t -> int -> int array
+(** [dijkstra g src] is the array of length-weighted distances from [src].
+    Edge lengths must be non-negative (enforced by {!Digraph.add_edge}). *)
+
+val shortest : Digraph.t -> int -> int array
+(** [shortest g src] dispatches to {!bfs} when every edge of [g] has length
+    1, to {!dijkstra} otherwise. *)
+
+val all_unit_lengths : Digraph.t -> bool
+(** Whether every edge of the graph has length 1. *)
+
+val distance : Digraph.t -> int -> int -> int
+(** [distance g u v] is the shortest-path distance from [u] to [v]
+    ([unreachable] if there is no path). *)
+
+val path : Digraph.t -> int -> int -> int list option
+(** [path g u v] is a shortest path [u; ...; v] as a vertex list, or [None]
+    if [v] is unreachable from [u]. *)

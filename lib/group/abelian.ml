@@ -1,0 +1,54 @@
+type t = { moduli : int array; order : int }
+type element = int
+
+let create ms =
+  if ms = [] then invalid_arg "Abelian.create: empty factor list";
+  List.iter (fun m -> if m < 1 then invalid_arg "Abelian.create: modulus < 1") ms;
+  let moduli = Array.of_list ms in
+  { moduli; order = Array.fold_left ( * ) 1 moduli }
+
+let cyclic n = create [ n ]
+
+let boolean_cube d =
+  if d < 1 then invalid_arg "Abelian.boolean_cube: dimension < 1";
+  create (List.init d (fun _ -> 2))
+
+let order g = g.order
+let rank g = Array.length g.moduli
+let moduli g = Array.to_list g.moduli
+
+let identity _g = 0
+
+let to_coords g x =
+  if x < 0 || x >= g.order then invalid_arg "Abelian.to_coords: element out of range";
+  let rec go x i acc =
+    if i < 0 then acc
+    else go (x / g.moduli.(i)) (i - 1) ((x mod g.moduli.(i)) :: acc)
+  in
+  go x (Array.length g.moduli - 1) []
+
+let of_coords g cs =
+  if List.length cs <> Array.length g.moduli then
+    invalid_arg "Abelian.of_coords: wrong coordinate count";
+  List.fold_left2
+    (fun acc c m -> (acc * m) + (((c mod m) + m) mod m))
+    0 cs (moduli g)
+
+let add g x y =
+  let cx = to_coords g x and cy = to_coords g y in
+  of_coords g (List.map2 ( + ) cx cy)
+
+let neg g x = of_coords g (List.map (fun c -> -c) (to_coords g x))
+
+let sub g x y = add g x (neg g y)
+
+let element_order g x =
+  let rec go acc p = if acc = 0 then p else go (add g acc x) (p + 1) in
+  if x = 0 then 1 else go x 1
+
+let elements g = List.init g.order Fun.id
+
+let pp_element g fmt x =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") Format.pp_print_int)
+    (to_coords g x)

@@ -1,0 +1,45 @@
+module Digraph = Bbc_graph.Digraph
+
+type t = {
+  group : Abelian.t;
+  generators : Abelian.element list;
+  graph : Digraph.t;
+}
+
+let make group generators =
+  let identity = Abelian.identity group in
+  if List.mem identity generators then
+    invalid_arg "Cayley.make: identity generator would create self-loops";
+  let sorted = List.sort_uniq compare generators in
+  if List.length sorted <> List.length generators then
+    invalid_arg "Cayley.make: repeated generator";
+  let n = Abelian.order group in
+  let graph = Digraph.create n in
+  List.iter
+    (fun x ->
+      List.iter (fun a -> Digraph.add_edge graph x (Abelian.add group x a) 1) generators)
+    (Abelian.elements group);
+  { group; generators; graph }
+
+let circulant ~n ~offsets =
+  let group = Abelian.cyclic n in
+  make group (List.map (fun o -> ((o mod n) + n) mod n) offsets)
+
+let hypercube d =
+  let group = Abelian.boolean_cube d in
+  let unit i = Abelian.of_coords group (List.init d (fun j -> if i = j then 1 else 0)) in
+  make group (List.init d unit)
+
+let torus a b =
+  let group = Abelian.create [ a; b ] in
+  make group [ Abelian.of_coords group [ 1; 0 ]; Abelian.of_coords group [ 0; 1 ] ]
+
+let degree t = List.length t.generators
+
+let random_circulant rng ~n ~k =
+  if k > n - 1 then invalid_arg "Cayley.random_circulant: k > n - 1";
+  let offsets =
+    Bbc_prng.Splitmix.sample_without_replacement rng k (n - 1)
+    |> List.map (fun o -> o + 1)
+  in
+  circulant ~n ~offsets

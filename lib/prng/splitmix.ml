@@ -1,0 +1,69 @@
+(* Splitmix64 (Steele, Lea & Flood, OOPSLA 2014).  The state advances by a
+   fixed odd increment ("golden gamma"); outputs are the state passed through
+   a 64-bit variant of the MurmurHash3 finalizer. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = max_int in
+  let rec loop () =
+    let raw = Int64.to_int (next_int64 t) land mask in
+    let v = raw mod bound in
+    if raw - v > mask - bound + 1 then loop () else v
+  in
+  loop ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Splitmix.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t m n =
+  if m > n then invalid_arg "Splitmix.sample_without_replacement: m > n";
+  (* Floyd's algorithm: O(m) expected insertions. *)
+  let chosen = Hashtbl.create (2 * m) in
+  for j = n - m to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) chosen []
+  |> List.sort compare
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Splitmix.choose: empty array";
+  a.(int t (Array.length a))

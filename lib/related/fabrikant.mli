@@ -1,0 +1,50 @@
+(** The network creation game of Fabrikant, Luthra, Maneva, Papadimitriou
+    and Shenker (PODC 2003) — the main model the BBC paper positions
+    itself against (Section 1.3).
+
+    Differences from BBC: links are {e undirected} (either endpoint's
+    purchase serves both), there is {e no budget} — instead every link
+    costs a uniform price [alpha] — and player [u] minimizes
+
+    {v cost(u) = alpha * |S_u| + sum_v d(u, v) v}
+
+    with [d] the hop distance in the undirected union of all bought
+    links.  Known landmarks reproduced in tests and E15: the complete
+    graph is an equilibrium for [alpha <= 1]; the star is an equilibrium
+    for [alpha >= 1]; equilibria always exist (in stark contrast to
+    Theorem 1's no-NE BBC games).
+
+    Strategies reuse {!Bbc.Config} (the directed representation records
+    who pays for each link); distances ignore direction.  Exact best
+    responses enumerate all [2^(n-1)] link subsets, so keep [n] below
+    ~14. *)
+
+type t = private { n : int; alpha : int; penalty : int }
+
+val create : ?penalty:int -> n:int -> alpha:int -> unit -> t
+(** [alpha >= 0]; [penalty] (for disconnected pairs) defaults to
+    [4 * n * (alpha + 1)]. *)
+
+val node_cost : t -> Bbc.Config.t -> int -> int
+(** [alpha * |S_u| + sum of undirected distances]. *)
+
+val social_cost : t -> Bbc.Config.t -> int
+
+val best_response : t -> Bbc.Config.t -> int -> int list * int
+(** Exact optimum over all [2^(n-1)] subsets (first minimum in subset
+    order).  Exponential — small [n] only. *)
+
+val is_stable : t -> Bbc.Config.t -> bool
+
+val star : t -> Bbc.Config.t
+(** Node 0 buys a link to everyone. *)
+
+val complete : t -> Bbc.Config.t
+(** Every pair linked, bought by the lower-numbered endpoint. *)
+
+val empty : t -> Bbc.Config.t
+
+val run_dynamics :
+  ?max_rounds:int -> t -> Bbc.Config.t -> (Bbc.Config.t * int) option
+(** Round-robin exact-best-response dynamics; [Some (equilibrium,
+    rounds)] on convergence, [None] if the round budget runs out. *)

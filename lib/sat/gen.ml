@@ -1,0 +1,39 @@
+module Splitmix = Bbc_prng.Splitmix
+
+let random_clause rng num_vars =
+  let vars = Splitmix.sample_without_replacement rng 3 num_vars in
+  List.map (fun v0 -> if Splitmix.bool rng then v0 + 1 else -(v0 + 1)) vars
+
+let random_3sat rng ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Gen.random_3sat: need at least 3 variables";
+  let clauses = List.init num_clauses (fun _ -> random_clause rng num_vars) in
+  Cnf.make ~num_vars clauses
+
+let planted_3sat rng ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Gen.planted_3sat: need at least 3 variables";
+  let hidden = Array.init (num_vars + 1) (fun _ -> Splitmix.bool rng) in
+  let rec draw () =
+    let clause = random_clause rng num_vars in
+    if Cnf.clause_satisfied clause hidden then clause else draw ()
+  in
+  let clauses = List.init num_clauses (fun _ -> draw ()) in
+  (Cnf.make ~num_vars clauses, hidden)
+
+let pigeonhole ~holes =
+  if holes < 1 then invalid_arg "Gen.pigeonhole: need at least one hole";
+  let pigeons = holes + 1 in
+  (* Variable p_{i,j} (pigeon i in hole j), 1-based packing. *)
+  let var i j = (i * holes) + j + 1 in
+  let num_vars = pigeons * holes in
+  let every_pigeon_placed =
+    List.init pigeons (fun i -> List.init holes (fun j -> var i j))
+  in
+  let no_hole_shared =
+    List.concat
+      (List.init holes (fun j ->
+           List.concat
+             (List.init pigeons (fun i ->
+                  List.filteri (fun i' _ -> i' > i) (List.init pigeons Fun.id)
+                  |> List.map (fun i' -> [ -var i j; -var i' j ])))))
+  in
+  Cnf.make ~num_vars (every_pigeon_placed @ no_hole_shared)

@@ -1,0 +1,17 @@
+(** Random 3SAT formula generation for the reduction experiments. *)
+
+val random_3sat : Bbc_prng.Splitmix.t -> num_vars:int -> num_clauses:int -> Cnf.t
+(** Each clause draws three distinct variables uniformly and negates each
+    with probability 1/2.  Requires [num_vars >= 3]. *)
+
+val planted_3sat :
+  Bbc_prng.Splitmix.t -> num_vars:int -> num_clauses:int -> Cnf.t * bool array
+(** Like {!random_3sat} but every clause is checked (and re-drawn) to be
+    satisfied by a hidden random assignment, which is returned (indexed by
+    variable, index 0 unused).  The formula is satisfiable by
+    construction. *)
+
+val pigeonhole : holes:int -> Cnf.t
+(** The PHP(holes+1, holes) principle: unsatisfiable by construction, with
+    clauses of width [holes] and 2; used as an unsatisfiable control in the
+    reduction experiments (note: not 3SAT for [holes > 3]). *)

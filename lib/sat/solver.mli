@@ -1,0 +1,18 @@
+(** A small DPLL SAT solver: unit propagation, pure-literal elimination,
+    most-occurring-variable branching.  Complete (always terminates with
+    the right answer); adequate for the reduction experiments, whose
+    formulas have at most a few dozen variables. *)
+
+type outcome =
+  | Sat of bool array
+      (** Witness assignment, indexed by variable (index 0 unused). *)
+  | Unsat
+
+val solve : Cnf.t -> outcome
+
+val is_satisfiable : Cnf.t -> bool
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments (exhaustive over [2^num_vars];
+    intended for formulas with at most ~20 variables, used to cross-check
+    the DPLL solver in tests). *)

@@ -1,0 +1,63 @@
+The CLI verifies named constructions:
+
+  $ bbc_cli verify willows --height 2 --tail 1
+  construction: willows (n=22)
+  objective:    sum
+  social cost:  1518
+  stable:       true
+
+  $ bbc_cli verify loop7
+  construction: loop7 (n=7)
+  objective:    sum
+  social cost:  76
+  stable:       false
+  deviation:    node 0: cost 11 -> 10 via [3 6]
+
+Max objective:
+
+  $ bbc_cli verify ring --nodes 6 --objective max
+  construction: ring (n=6)
+  objective:    max
+  social cost:  30
+  stable:       true
+
+Graphviz export:
+
+  $ bbc_cli dot ring --nodes 3
+  digraph g {
+    0 [label="0"];
+    1 [label="1"];
+    2 [label="2"];
+    0 -> 1;
+    1 -> 2;
+    2 -> 0;
+  }
+
+Save / load round trip:
+
+  $ bbc_cli save willows --height 1 --tail 0 -o w.game --config w.cfg
+  wrote w.game (6 nodes)
+  wrote w.cfg
+  $ bbc_cli load w.game w.cfg
+  loaded uniform(n=6, k=2, M=24)
+  feasible: true
+  social cost (sum): 52
+  stable: true
+  $ cat w.game
+  bbc-instance v1
+  n 6
+  penalty 24
+  uniform 2
+
+Dynamics on a deterministic instance:
+
+  $ bbc_cli dynamics ring --nodes 5
+  outcome: converged (rounds=1 steps=5 deviations=0)
+  final social cost: 50
+  strongly connected: true
+
+Unknown construction:
+
+  $ bbc_cli verify not-a-thing
+  bbc: unknown construction "not-a-thing"
+  [124]

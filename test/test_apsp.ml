@@ -1,0 +1,65 @@
+module A = Bbc_graph.Apsp
+module D = Bbc_graph.Digraph
+module P = Bbc_graph.Paths
+module G = Bbc_graph.Generators
+module SM = Bbc_prng.Splitmix
+
+let test_matches_dijkstra_random () =
+  let rng = SM.create 31 in
+  for _ = 1 to 15 do
+    let g = G.gnp rng ~n:20 ~p:0.15 in
+    (* Randomize lengths to exercise the weighted path. *)
+    D.iter_edges g (fun u v _ -> D.add_edge g u v (1 + SM.int rng 5));
+    let apsp = A.compute g in
+    for u = 0 to 19 do
+      let d = P.dijkstra g u in
+      for v = 0 to 19 do
+        Alcotest.(check int) "apsp = dijkstra" d.(v) (A.distance apsp u v)
+      done
+    done
+  done
+
+let test_diagonal_zero () =
+  let g = G.directed_ring 5 in
+  let apsp = A.compute g in
+  for v = 0 to 4 do
+    Alcotest.(check int) "diagonal" 0 (A.distance apsp v v)
+  done
+
+let test_unreachable () =
+  let g = G.directed_path 4 in
+  let apsp = A.compute g in
+  Alcotest.(check int) "backwards" P.unreachable (A.distance apsp 3 0)
+
+let test_diameter_agrees () =
+  let rng = SM.create 37 in
+  for _ = 1 to 10 do
+    let g = G.random_k_out rng ~n:15 ~k:2 in
+    Alcotest.(check (option int)) "diameter agreement"
+      (Bbc_graph.Metrics.diameter g)
+      (A.diameter (A.compute g))
+  done
+
+let test_eccentricity () =
+  let g = G.directed_ring 6 in
+  let apsp = A.compute g in
+  Alcotest.(check (option int)) "ring eccentricity" (Some 5) (A.eccentricity apsp 2);
+  let h = G.directed_path 3 in
+  Alcotest.(check (option int)) "tail sees nobody" None
+    (A.eccentricity (A.compute h) 2)
+
+let test_parallel_edge_min () =
+  (* A longer direct edge must lose to a shorter relay path. *)
+  let g = D.of_edges 3 [ (0, 1, 9); (0, 2, 1); (2, 1, 1) ] in
+  let apsp = A.compute g in
+  Alcotest.(check int) "relay wins" 2 (A.distance apsp 0 1)
+
+let suite =
+  [
+    Alcotest.test_case "matches dijkstra" `Quick test_matches_dijkstra_random;
+    Alcotest.test_case "diagonal zero" `Quick test_diagonal_zero;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "diameter agrees" `Quick test_diameter_agrees;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    Alcotest.test_case "relay beats direct" `Quick test_parallel_edge_min;
+  ]

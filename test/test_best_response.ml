@@ -1,0 +1,182 @@
+module I = Bbc.Instance
+module C = Bbc.Config
+module E = Bbc.Eval
+module BR = Bbc.Best_response
+
+(* Reference implementation: enumerate all feasible strategies and
+   evaluate each by rebuilding the graph.  Quadratically slower than the
+   production d_{-u} decomposition; used to cross-check it. *)
+let naive_best ?objective instance config u =
+  List.fold_left
+    (fun (best_s, best_c) s ->
+      let c = E.node_cost ?objective instance (C.with_strategy config u s) u in
+      if c < best_c then (s, c) else (best_s, best_c))
+    ([], max_int)
+    (Bbc.Exhaustive.all_strategies instance u)
+
+let test_candidate_targets () =
+  let inst = I.uniform ~n:5 ~k:2 in
+  Alcotest.(check (list int)) "all but self" [ 0; 1; 3; 4 ] (BR.candidate_targets inst 2)
+
+let test_candidate_targets_costly () =
+  let w = Array.make_matrix 3 3 1 in
+  let cost = [| [| 0; 9; 1 |]; [| 1; 0; 1 |]; [| 1; 1; 0 |] |] in
+  let ones = Array.make_matrix 3 3 1 in
+  let inst = I.general ~weight:w ~cost ~length:ones ~budget:[| 2; 2; 2 |] () in
+  Alcotest.(check (list int)) "unaffordable excluded" [ 2 ] (BR.candidate_targets inst 0)
+
+let test_exact_on_ring () =
+  (* In a (5,1) ring, each node's current strategy is already optimal. *)
+  let inst = I.uniform ~n:5 ~k:1 in
+  let c = C.of_lists 5 (Array.init 5 (fun v -> [ (v + 1) mod 5 ])) in
+  let r = BR.exact inst c 0 in
+  Alcotest.(check int) "optimal cost" 10 r.cost;
+  Alcotest.(check (list int)) "keeps the ring link" [ 1 ] r.strategy
+
+let test_exact_picks_shortcut () =
+  (* Path 0->1->2->3 with k=1: node 0's best response is to link 1
+     (linking 2 or 3 disconnects earlier nodes? no weights... linking 1
+     reaches 1,2,3 at 1,2,3 = 6; linking 2 reaches 2,3 = 1,2 but 1
+     unreachable -> M+3). *)
+  let inst = I.uniform ~n:4 ~k:1 in
+  let c = C.of_lists 4 [| [ 3 ]; [ 2 ]; [ 3 ]; [] |] in
+  let r = BR.exact inst c 0 in
+  Alcotest.(check (list int)) "link the chain head" [ 1 ] r.strategy;
+  Alcotest.(check int) "cost" 6 r.cost
+
+let test_exact_matches_naive_uniform () =
+  let rng = Bbc_prng.Splitmix.create 55 in
+  for _ = 1 to 25 do
+    let n = 7 in
+    let inst = I.uniform ~n ~k:2 in
+    let g = Bbc_graph.Generators.random_k_out rng ~n ~k:2 in
+    let c = C.of_graph g in
+    let u = Bbc_prng.Splitmix.int rng n in
+    let fast = BR.exact inst c u in
+    let _, slow_cost = naive_best inst c u in
+    Alcotest.(check int) "optimal values agree" slow_cost fast.cost
+  done
+
+let test_exact_matches_naive_nonuniform () =
+  let rng = Bbc_prng.Splitmix.create 56 in
+  for _ = 1 to 15 do
+    let n = 6 in
+    let weight =
+      Array.init n (fun u ->
+          Array.init n (fun v -> if u = v then 0 else Bbc_prng.Splitmix.int rng 4))
+    in
+    let inst = I.of_weights ~k:1 weight in
+    let g = Bbc_graph.Generators.random_k_out rng ~n ~k:1 in
+    let c = C.of_graph g in
+    for u = 0 to n - 1 do
+      let fast = BR.exact inst c u in
+      let _, slow_cost = naive_best inst c u in
+      Alcotest.(check int) "optimal values agree" slow_cost fast.cost
+    done
+  done
+
+let test_exact_matches_naive_max () =
+  let rng = Bbc_prng.Splitmix.create 57 in
+  for _ = 1 to 15 do
+    let n = 6 in
+    let inst = I.uniform ~n ~k:2 in
+    let g = Bbc_graph.Generators.random_k_out rng ~n ~k:2 in
+    let c = C.of_graph g in
+    let u = Bbc_prng.Splitmix.int rng n in
+    let fast = BR.exact ~objective:Max inst c u in
+    let _, slow_cost = naive_best ~objective:Bbc.Objective.Max inst c u in
+    Alcotest.(check int) "max objective agrees" slow_cost fast.cost
+  done
+
+let test_exact_cost_is_achieved () =
+  let rng = Bbc_prng.Splitmix.create 58 in
+  for _ = 1 to 20 do
+    let n = 8 in
+    let inst = I.uniform ~n ~k:2 in
+    let c = C.of_graph (Bbc_graph.Generators.random_k_out rng ~n ~k:2) in
+    let u = Bbc_prng.Splitmix.int rng n in
+    let r = BR.exact inst c u in
+    let realized = E.node_cost inst (C.with_strategy c u r.strategy) u in
+    Alcotest.(check int) "reported = realized" r.cost realized
+  done
+
+let test_improving_none_at_optimum () =
+  let inst = I.uniform ~n:4 ~k:3 in
+  (* Complete graph: nobody can improve. *)
+  let c = C.of_lists 4 (Array.init 4 (fun v -> List.filter (fun x -> x <> v) [ 0; 1; 2; 3 ])) in
+  for u = 0 to 3 do
+    Alcotest.(check bool) "no improvement" true (BR.improving inst c u = None)
+  done
+
+let test_improving_finds_strict () =
+  let inst = I.uniform ~n:4 ~k:1 in
+  let c = C.of_lists 4 [| []; [ 2 ]; [ 3 ]; [ 1 ] |] in
+  match BR.improving inst c 0 with
+  | Some r ->
+      Alcotest.(check bool) "strictly better" true
+        (r.cost < E.node_cost inst c 0)
+  | None -> Alcotest.fail "node 0 should improve from the empty strategy"
+
+let test_budget_respected () =
+  let w = Array.make_matrix 4 4 1 in
+  let cost = [| [| 0; 2; 2; 2 |]; [| 1; 0; 1; 1 |]; [| 1; 1; 0; 1 |]; [| 1; 1; 1; 0 |] |] in
+  let ones = Array.make_matrix 4 4 1 in
+  let inst = I.general ~weight:w ~cost ~length:ones ~budget:[| 3; 3; 3; 3 |] () in
+  let c = C.empty 4 in
+  let r = BR.exact inst c 0 in
+  (* Node 0 can afford only one link (each costs 2, budget 3). *)
+  Alcotest.(check int) "single link" 1 (List.length r.strategy)
+
+let test_greedy_reasonable () =
+  let rng = Bbc_prng.Splitmix.create 60 in
+  for _ = 1 to 10 do
+    let n = 8 in
+    let inst = I.uniform ~n ~k:2 in
+    let c = C.of_graph (Bbc_graph.Generators.random_k_out rng ~n ~k:2) in
+    let u = Bbc_prng.Splitmix.int rng n in
+    let g = BR.greedy inst c u in
+    let e = BR.exact inst c u in
+    Alcotest.(check bool) "greedy >= exact" true (g.cost >= e.cost);
+    Alcotest.(check bool) "greedy is realizable" true
+      (g.cost = E.node_cost inst (C.with_strategy c u g.strategy) u)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "candidate targets" `Quick test_candidate_targets;
+    Alcotest.test_case "candidate targets respect cost" `Quick test_candidate_targets_costly;
+    Alcotest.test_case "exact on ring" `Quick test_exact_on_ring;
+    Alcotest.test_case "exact picks chain head" `Quick test_exact_picks_shortcut;
+    Alcotest.test_case "exact = naive (uniform)" `Quick test_exact_matches_naive_uniform;
+    Alcotest.test_case "exact = naive (nonuniform)" `Quick test_exact_matches_naive_nonuniform;
+    Alcotest.test_case "exact = naive (max)" `Quick test_exact_matches_naive_max;
+    Alcotest.test_case "reported cost is realized" `Quick test_exact_cost_is_achieved;
+    Alcotest.test_case "improving: none at optimum" `Quick test_improving_none_at_optimum;
+    Alcotest.test_case "improving: strict improvement" `Quick test_improving_finds_strict;
+    Alcotest.test_case "budget respected" `Quick test_budget_respected;
+    Alcotest.test_case "greedy sanity" `Quick test_greedy_reasonable;
+  ]
+
+
+let test_all_best () =
+  let rng = Bbc_prng.Splitmix.create 61 in
+  for _ = 1 to 10 do
+    let n = 7 in
+    let inst = I.uniform ~n ~k:2 in
+    let c = C.of_graph (Bbc_graph.Generators.random_k_out rng ~n ~k:2) in
+    let u = Bbc_prng.Splitmix.int rng n in
+    let e = BR.exact inst c u in
+    let all = BR.all_best inst c u in
+    Alcotest.(check bool) "exact's strategy among all_best" true
+      (List.exists (fun (r : BR.result) -> r.strategy = e.strategy) all);
+    List.iter
+      (fun (r : BR.result) ->
+        Alcotest.(check int) "same optimal cost" e.cost r.cost;
+        Alcotest.(check int) "realized" r.cost
+          (E.node_cost inst (C.with_strategy c u r.strategy) u))
+      all;
+    Alcotest.(check int) "no duplicates" (List.length all)
+      (List.length (List.sort_uniq compare (List.map (fun (r : BR.result) -> r.strategy) all)))
+  done
+
+let suite = suite @ [ Alcotest.test_case "all_best" `Quick test_all_best ]

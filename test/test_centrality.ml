@@ -1,0 +1,68 @@
+module C = Bbc_graph.Centrality
+module D = Bbc_graph.Digraph
+module G = Bbc_graph.Generators
+
+let feps = Alcotest.float 1e-9
+
+let test_path_betweenness () =
+  (* 0 -> 1 -> 2 -> 3: node 1 carries pairs (0,2), (0,3); node 2 carries
+     (0,3), (1,3). *)
+  let g = G.directed_path 4 in
+  let b = C.betweenness g in
+  Alcotest.check feps "endpoint" 0.0 b.(0);
+  Alcotest.check feps "node 1" 2.0 b.(1);
+  Alcotest.check feps "node 2" 2.0 b.(2);
+  Alcotest.check feps "endpoint" 0.0 b.(3)
+
+let test_ring_symmetric () =
+  let g = G.directed_ring 6 in
+  let b = C.betweenness g in
+  for v = 1 to 5 do
+    Alcotest.check feps "vertex-transitive" b.(0) b.(v)
+  done;
+  Alcotest.(check bool) "positive" true (b.(0) > 0.0)
+
+let test_star_hub () =
+  (* Everyone links 0 and 0 links 1: 0 carries most pairs. *)
+  let g = D.of_unit_edges 5 [ (1, 0); (2, 0); (3, 0); (4, 0); (0, 1) ] in
+  let b = C.betweenness g in
+  for v = 2 to 4 do
+    Alcotest.(check bool) "hub dominates leaves" true (b.(0) > b.(v))
+  done
+
+let test_split_shortest_paths () =
+  (* Two equal-length paths 0->1->3 and 0->2->3: nodes 1 and 2 each get
+     half of the (0,3) pair. *)
+  let g = D.of_unit_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let b = C.betweenness g in
+  Alcotest.check feps "half each (1)" 0.5 b.(1);
+  Alcotest.check feps "half each (2)" 0.5 b.(2)
+
+let test_complete_zero () =
+  (* All pairs adjacent: nothing transits anyone. *)
+  let g = G.complete 5 in
+  Array.iter (fun x -> Alcotest.check feps "zero" 0.0 x) (C.betweenness g)
+
+let test_in_degrees () =
+  let g = D.of_unit_edges 4 [ (0, 1); (2, 1); (3, 1); (1, 0) ] in
+  Alcotest.(check (array int)) "in degrees" [| 1; 3; 0; 0 |] (C.in_degrees g)
+
+let test_gini () =
+  Alcotest.check feps "uniform" 0.0 (C.gini [| 3; 3; 3; 3 |]);
+  Alcotest.check feps "empty" 0.0 (C.gini [||]);
+  Alcotest.check feps "all zero" 0.0 (C.gini [| 0; 0 |]);
+  (* One node holds everything: G = (n-1)/n. *)
+  Alcotest.check feps "concentrated" 0.75 (C.gini [| 0; 0; 0; 12 |]);
+  Alcotest.(check bool) "monotone under spreading" true
+    (C.gini [| 0; 0; 6; 6 |] < C.gini [| 0; 0; 0; 12 |])
+
+let suite =
+  [
+    Alcotest.test_case "path betweenness" `Quick test_path_betweenness;
+    Alcotest.test_case "ring symmetric" `Quick test_ring_symmetric;
+    Alcotest.test_case "star hub" `Quick test_star_hub;
+    Alcotest.test_case "split shortest paths" `Quick test_split_shortest_paths;
+    Alcotest.test_case "complete graph zero" `Quick test_complete_zero;
+    Alcotest.test_case "in degrees" `Quick test_in_degrees;
+    Alcotest.test_case "gini" `Quick test_gini;
+  ]

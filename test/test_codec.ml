@@ -1,0 +1,95 @@
+module Codec = Bbc.Codec
+module I = Bbc.Instance
+module C = Bbc.Config
+
+let instances_equal a b =
+  let n = I.n a in
+  n = I.n b
+  && I.penalty a = I.penalty b
+  && List.for_all
+       (fun u ->
+         I.budget a u = I.budget b u
+         && List.for_all
+              (fun v ->
+                u = v
+                || I.weight a u v = I.weight b u v
+                   && I.cost a u v = I.cost b u v
+                   && I.length a u v = I.length b u v)
+              (List.init n Fun.id))
+       (List.init n Fun.id)
+
+let test_uniform_roundtrip () =
+  let inst = I.uniform ~n:7 ~k:3 in
+  match Codec.instance_of_string (Codec.instance_to_string inst) with
+  | Ok inst' ->
+      Alcotest.(check bool) "uniform roundtrip" true (instances_equal inst inst');
+      Alcotest.(check bool) "still uniform" true (I.is_uniform inst')
+  | Error e -> Alcotest.fail e
+
+let test_general_roundtrip () =
+  let weight = [| [| 0; 3; 0 |]; [| 1; 0; 2 |]; [| 0; 5; 0 |] |] in
+  let cost = [| [| 0; 2; 1 |]; [| 1; 0; 1 |]; [| 3; 1; 0 |] |] in
+  let length = [| [| 1; 4; 1 |]; [| 2; 1; 1 |]; [| 1; 1; 1 |] |] in
+  let inst = I.general ~weight ~cost ~length ~budget:[| 2; 1; 3 |] () in
+  match Codec.instance_of_string (Codec.instance_to_string inst) with
+  | Ok inst' -> Alcotest.(check bool) "general roundtrip" true (instances_equal inst inst')
+  | Error e -> Alcotest.fail e
+
+let test_gadget_roundtrip () =
+  let inst = Bbc.Gadget.no_nash ~n:11 in
+  match Codec.instance_of_string (Codec.instance_to_string inst) with
+  | Ok inst' -> Alcotest.(check bool) "gadget roundtrip" true (instances_equal inst inst')
+  | Error e -> Alcotest.fail e
+
+let test_config_roundtrip () =
+  let c = C.of_lists 5 [| [ 1; 3 ]; []; [ 0 ]; [ 2; 4 ]; [] |] in
+  match Codec.config_of_string (Codec.config_to_string c) with
+  | Ok c' -> Alcotest.(check bool) "config roundtrip" true (C.equal c c')
+  | Error e -> Alcotest.fail e
+
+let test_empty_config_roundtrip () =
+  let c = C.empty 4 in
+  match Codec.config_of_string (Codec.config_to_string c) with
+  | Ok c' -> Alcotest.(check bool) "empty roundtrip" true (C.equal c c')
+  | Error e -> Alcotest.fail e
+
+let test_comments_and_blanks () =
+  let text = "bbc-config v1\n# a comment\nn 3\n\n0: 1 # trailing\n" in
+  match Codec.config_of_string text with
+  | Ok c -> Alcotest.(check (list int)) "parsed" [ 1 ] (C.targets c 0)
+  | Error e -> Alcotest.fail e
+
+let test_errors () =
+  let bad = [ ""; "nonsense"; "bbc-config v1\nn x\n"; "bbc-config v1\nn 2\n5: 1\n" ] in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) "rejected" true
+        (Result.is_error (Codec.config_of_string text)))
+    bad;
+  Alcotest.(check bool) "bad instance" true
+    (Result.is_error (Codec.instance_of_string "bbc-instance v1\nn 2\npenalty 9\nuniform 5\n"))
+
+let test_file_roundtrip () =
+  let dir = Filename.temp_file "bbc" "" in
+  Sys.remove dir;
+  let path = dir ^ ".game" in
+  let inst = I.uniform ~n:5 ~k:2 in
+  (match Codec.save_instance path inst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Codec.load_instance path with
+  | Ok inst' -> Alcotest.(check bool) "file roundtrip" true (instances_equal inst inst')
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "uniform roundtrip" `Quick test_uniform_roundtrip;
+    Alcotest.test_case "general roundtrip" `Quick test_general_roundtrip;
+    Alcotest.test_case "gadget roundtrip" `Quick test_gadget_roundtrip;
+    Alcotest.test_case "config roundtrip" `Quick test_config_roundtrip;
+    Alcotest.test_case "empty config" `Quick test_empty_config_roundtrip;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+  ]

@@ -1,0 +1,44 @@
+module D = Bbc_graph.Digraph
+module Dot = Bbc_graph.Dot
+
+let test_basic_output () =
+  let g = D.of_unit_edges 3 [ (0, 1); (1, 2) ] in
+  let s = Dot.to_dot g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length s > 10 && String.sub s 0 9 = "digraph g");
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "edge 0->1" true (contains "0 -> 1;");
+  Alcotest.(check bool) "edge 1->2" true (contains "1 -> 2;");
+  Alcotest.(check bool) "closing brace" true (contains "}")
+
+let test_lengths_shown_when_nonunit () =
+  let g = D.of_edges 2 [ (0, 1, 5) ] in
+  let s = Dot.to_dot g in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "label with length" true (contains "label=\"5\"")
+
+let test_custom_labels () =
+  let g = D.of_unit_edges 2 [ (0, 1) ] in
+  let s = Dot.to_dot ~name:"willow" ~vertex_label:(fun v -> Printf.sprintf "n%d" v) g in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "graph name" true (contains "digraph willow");
+  Alcotest.(check bool) "vertex label" true (contains "label=\"n1\"")
+
+let suite =
+  [
+    Alcotest.test_case "basic output" `Quick test_basic_output;
+    Alcotest.test_case "lengths shown" `Quick test_lengths_shown_when_nonunit;
+    Alcotest.test_case "custom labels" `Quick test_custom_labels;
+  ]

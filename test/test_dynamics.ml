@@ -1,0 +1,209 @@
+module I = Bbc.Instance
+module C = Bbc.Config
+module D = Bbc.Dynamics
+module Scc = Bbc_graph.Scc
+
+let test_converges_from_empty_small () =
+  let inst = I.uniform ~n:5 ~k:1 in
+  match D.run ~scheduler:Round_robin ~max_rounds:100 inst (C.empty 5) with
+  | Converged (c, stats) ->
+      Alcotest.(check bool) "result is a NE" true (Bbc.Stability.is_stable inst c);
+      Alcotest.(check bool) "made progress" true (stats.deviations > 0)
+  | o -> Alcotest.fail (Format.asprintf "expected convergence, got %a" D.pp_outcome o)
+
+let test_stable_start_converges_immediately () =
+  let inst = I.uniform ~n:5 ~k:1 in
+  let ring = C.of_lists 5 (Array.init 5 (fun v -> [ (v + 1) mod 5 ])) in
+  match D.run ~scheduler:Round_robin ~max_rounds:10 inst ring with
+  | Converged (c, stats) ->
+      Alcotest.(check bool) "unchanged" true (C.equal c ring);
+      Alcotest.(check int) "one silent round" 1 stats.rounds;
+      Alcotest.(check int) "no deviations" 0 stats.deviations
+  | o -> Alcotest.fail (Format.asprintf "expected convergence, got %a" D.pp_outcome o)
+
+let test_figure4_loop_cycles () =
+  let inst, config = Bbc.Constructions.best_response_loop () in
+  match D.run ~scheduler:Round_robin ~max_rounds:50 inst config with
+  | Cycled { period; _ } -> Alcotest.(check int) "period 2 rounds" 2 period
+  | o -> Alcotest.fail (Format.asprintf "expected a cycle, got %a" D.pp_outcome o)
+
+let test_figure4_loop_deviation_count () =
+  let inst, config = Bbc.Constructions.best_response_loop () in
+  (* Count deviations over the first full period: the paper's loop has 6
+     (three nodes moving twice). *)
+  let moves = ref [] in
+  (match
+     D.run
+       ~on_step:(fun s -> if s.moved then moves := s.node :: !moves)
+       ~scheduler:Round_robin ~max_rounds:50 inst config
+   with
+  | Cycled _ -> ()
+  | o -> Alcotest.fail (Format.asprintf "expected a cycle, got %a" D.pp_outcome o));
+  Alcotest.(check (list int)) "six deviations by three nodes"
+    [ 0; 1; 3; 0; 1; 3 ] (List.rev !moves)
+
+let test_max_cost_first_converges () =
+  let inst = I.uniform ~n:6 ~k:2 in
+  let rng = Bbc_prng.Splitmix.create 100 in
+  let g = Bbc_graph.Generators.random_k_out rng ~n:6 ~k:2 in
+  match D.run ~scheduler:Max_cost_first ~max_rounds:2000 inst (C.of_graph g) with
+  | Converged (c, _) ->
+      Alcotest.(check bool) "NE" true (Bbc.Stability.is_stable inst c)
+  | Cycled _ -> () (* the paper reports such walks may fail to converge *)
+  | Exhausted _ -> Alcotest.fail "walk neither converged nor cycled in 2000 steps"
+
+let test_random_order_runs () =
+  let inst = I.uniform ~n:6 ~k:1 in
+  match D.run ~scheduler:(Random_order 7) ~max_rounds:200 inst (C.empty 6) with
+  | Converged (c, _) -> Alcotest.(check bool) "NE" true (Bbc.Stability.is_stable inst c)
+  | o -> Alcotest.fail (Format.asprintf "expected convergence, got %a" D.pp_outcome o)
+
+let strongly_connected inst c = Scc.is_strongly_connected (C.to_graph inst c)
+
+let test_strong_connectivity_theorem6 () =
+  (* Theorem 6: round-robin reaches strong connectivity within n^2 steps. *)
+  let rng = Bbc_prng.Splitmix.create 200 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 3 do
+        let inst = I.uniform ~n ~k:1 in
+        let g = Bbc_graph.Generators.random_k_out rng ~n ~k:1 in
+        match
+          D.first_strong_connectivity ~scheduler:Round_robin ~max_rounds:(2 * n)
+            inst (C.of_graph g)
+        with
+        | Some (stats, _) ->
+            Alcotest.(check bool) "within n^2 steps" true (stats.steps <= n * n)
+        | None -> Alcotest.fail "never became strongly connected"
+      done)
+    [ 6; 10; 14 ]
+
+let test_connectivity_persists () =
+  (* Lemma 9 consequence: once strongly connected, best-response steps
+     keep it strongly connected. *)
+  let inst = I.uniform ~n:8 ~k:1 in
+  let rng = Bbc_prng.Splitmix.create 300 in
+  let g = Bbc_graph.Generators.random_k_out rng ~n:8 ~k:1 in
+  let connected_seen = ref false in
+  let current = ref (C.of_graph g) in
+  let check () =
+    let sc = strongly_connected inst !current in
+    if !connected_seen then
+      Alcotest.(check bool) "connectivity persists" true sc
+    else if sc then connected_seen := true
+  in
+  check ();
+  ignore
+    (D.run
+       ~on_step:(fun s ->
+         if s.moved then begin
+           current := C.with_strategy !current s.node s.strategy;
+           check ()
+         end)
+       ~scheduler:Round_robin ~max_rounds:64 inst !current)
+
+(* The adversarial schedule of the paper's Omega(n^2) argument: start at
+   the tail of the path, proceed along the path, then around the ring. *)
+let adversarial_order ~ring ~path =
+  Array.of_list (List.init path (fun j -> ring + j) @ List.init ring Fun.id)
+
+let test_ring_with_path_slow_convergence () =
+  let ring = 8 and path = 4 in
+  let inst, config = Bbc.Constructions.ring_with_path ~ring ~path in
+  match
+    D.first_strong_connectivity
+      ~scheduler:(Fixed_order (adversarial_order ~ring ~path))
+      ~max_rounds:200 inst config
+  with
+  | Some (stats, _) ->
+      Alcotest.(check bool) "needs many rounds" true (stats.rounds >= 2);
+      Alcotest.(check bool) "within n^2" true (stats.steps <= 12 * 12)
+  | None -> Alcotest.fail "never strongly connected"
+
+let test_ring_with_path_quadratic_growth () =
+  (* Under the adversarial order, steps to strong connectivity grow
+     quadratically: roughly path * n activations. *)
+  let measure ring path =
+    let inst, config = Bbc.Constructions.ring_with_path ~ring ~path in
+    match
+      D.first_strong_connectivity
+        ~scheduler:(Fixed_order (adversarial_order ~ring ~path))
+        ~max_rounds:500 inst config
+    with
+    | Some (stats, _) -> stats.steps
+    | None -> Alcotest.fail "never strongly connected"
+  in
+  let s1 = measure 8 4 in
+  let s2 = measure 16 8 in
+  Alcotest.(check bool) "superlinear growth" true (s2 >= 3 * s1)
+
+let test_stats_accounting () =
+  let inst = I.uniform ~n:4 ~k:1 in
+  match D.run ~scheduler:Round_robin ~max_rounds:50 inst (C.empty 4) with
+  | Converged (_, stats) ->
+      Alcotest.(check int) "steps = rounds * n" (stats.rounds * 4) stats.steps;
+      Alcotest.(check bool) "deviations <= steps" true (stats.deviations <= stats.steps)
+  | o -> Alcotest.fail (Format.asprintf "expected convergence, got %a" D.pp_outcome o)
+
+let test_final_config_accessor () =
+  let inst = I.uniform ~n:4 ~k:1 in
+  let o = D.run ~scheduler:Round_robin ~max_rounds:50 inst (C.empty 4) in
+  let c = D.final_config o in
+  Alcotest.(check int) "right size" 4 (C.n c)
+
+let suite =
+  [
+    Alcotest.test_case "converges from empty" `Quick test_converges_from_empty_small;
+    Alcotest.test_case "stable start: immediate convergence" `Quick test_stable_start_converges_immediately;
+    Alcotest.test_case "figure-4 loop cycles" `Quick test_figure4_loop_cycles;
+    Alcotest.test_case "figure-4 deviation pattern" `Quick test_figure4_loop_deviation_count;
+    Alcotest.test_case "max-cost-first scheduler" `Quick test_max_cost_first_converges;
+    Alcotest.test_case "random-order scheduler" `Quick test_random_order_runs;
+    Alcotest.test_case "theorem 6: n^2 steps" `Quick test_strong_connectivity_theorem6;
+    Alcotest.test_case "connectivity persists (lemma 9)" `Quick test_connectivity_persists;
+    Alcotest.test_case "ring+path slow convergence" `Quick test_ring_with_path_slow_convergence;
+    Alcotest.test_case "ring+path quadratic growth" `Quick test_ring_with_path_quadratic_growth;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "final_config accessor" `Quick test_final_config_accessor;
+  ]
+
+let test_first_improvement_policy () =
+  (* First-improvement walks still converge to genuine equilibria (every
+     move is strictly improving, convergence means a silent full round). *)
+  let inst = I.uniform ~n:7 ~k:1 in
+  let rng = Bbc_prng.Splitmix.create 500 in
+  for _ = 1 to 5 do
+    let g = Bbc_graph.Generators.random_k_out rng ~n:7 ~k:1 in
+    match
+      D.run ~policy:D.First_improvement ~scheduler:Round_robin ~max_rounds:200
+        inst (C.of_graph g)
+    with
+    | Converged (c, _) ->
+        Alcotest.(check bool) "NE" true (Bbc.Stability.is_stable inst c)
+    | Cycled _ -> ()
+    | Exhausted _ -> Alcotest.fail "neither converged nor cycled"
+  done
+
+let test_first_improvement_moves_are_improving () =
+  let inst = I.uniform ~n:6 ~k:2 in
+  let rng = Bbc_prng.Splitmix.create 501 in
+  let c0 = C.of_graph (Bbc_graph.Generators.random_k_out rng ~n:6 ~k:2) in
+  let current = ref c0 in
+  ignore
+    (D.run ~policy:D.First_improvement
+       ~on_step:(fun s ->
+         if s.moved then begin
+           let before = Bbc.Eval.node_cost inst !current s.node in
+           current := C.with_strategy !current s.node s.strategy;
+           let after = Bbc.Eval.node_cost inst !current s.node in
+           Alcotest.(check bool) "strictly improving" true (after < before)
+         end)
+       ~scheduler:Round_robin ~max_rounds:50 inst c0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "first-improvement policy" `Quick test_first_improvement_policy;
+      Alcotest.test_case "first-improvement moves improve" `Quick
+        test_first_improvement_moves_are_improving;
+    ]

@@ -1,0 +1,75 @@
+module F = Bbc_related.Fabrikant
+module C = Bbc.Config
+
+let test_complete_stable_iff_cheap () =
+  (* Fabrikant et al.: the complete graph is an equilibrium iff
+     alpha <= 1 (dropping a link saves alpha and adds one hop). *)
+  List.iter
+    (fun (alpha, expect) ->
+      let t = F.create ~n:6 ~alpha () in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete, alpha=%d" alpha)
+        expect
+        (F.is_stable t (F.complete t)))
+    [ (0, true); (1, true); (2, false); (4, false) ]
+
+let test_star_stable_iff_pricey () =
+  List.iter
+    (fun (alpha, expect) ->
+      let t = F.create ~n:6 ~alpha () in
+      Alcotest.(check bool)
+        (Printf.sprintf "star, alpha=%d" alpha)
+        expect
+        (F.is_stable t (F.star t)))
+    [ (0, false); (1, true); (3, true) ]
+
+let test_costs () =
+  (* n=4 star, alpha=2: center pays 3*2 + 3 = 9; each leaf pays
+     0 + 1 + 2 + 2 = 5; social = 9 + 15 = 24. *)
+  let t = F.create ~n:4 ~alpha:2 () in
+  let star = F.star t in
+  Alcotest.(check int) "center" 9 (F.node_cost t star 0);
+  Alcotest.(check int) "leaf" 5 (F.node_cost t star 2);
+  Alcotest.(check int) "social" 24 (F.social_cost t star)
+
+let test_links_are_bidirectional () =
+  (* A leaf of the star reaches everyone although it bought nothing. *)
+  let t = F.create ~n:5 ~alpha:1 () in
+  let c = F.node_cost t (F.star t) 3 in
+  Alcotest.(check bool) "no penalty terms" true (c < t.penalty);
+  Alcotest.(check int) "1 + 3 * 2" 7 c
+
+let test_best_response_exact () =
+  (* From the empty profile, with alpha=1 and n=4, a node's best response
+     buys links (disconnection is expensive). *)
+  let t = F.create ~n:4 ~alpha:1 () in
+  let s, cost = F.best_response t (F.empty t) 0 in
+  Alcotest.(check (list int)) "buy everyone" [ 1; 2; 3 ] s;
+  Alcotest.(check int) "cost" (3 + 3) cost
+
+let test_dynamics_converges () =
+  (* Pure NE exist in this model; round-robin BR finds one quickly. *)
+  List.iter
+    (fun alpha ->
+      let t = F.create ~n:6 ~alpha () in
+      match F.run_dynamics t (F.empty t) with
+      | Some (eq, _) -> Alcotest.(check bool) "verified" true (F.is_stable t eq)
+      | None -> Alcotest.fail "did not converge")
+    [ 0; 1; 2; 4 ]
+
+let test_validation () =
+  Alcotest.(check bool) "n too small" true
+    (try ignore (F.create ~n:1 ~alpha:1 ()); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative alpha" true
+    (try ignore (F.create ~n:4 ~alpha:(-1) ()); false with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "complete stable iff alpha <= 1" `Quick test_complete_stable_iff_cheap;
+    Alcotest.test_case "star stable iff alpha >= 1" `Quick test_star_stable_iff_pricey;
+    Alcotest.test_case "cost arithmetic" `Quick test_costs;
+    Alcotest.test_case "links bidirectional" `Quick test_links_are_bidirectional;
+    Alcotest.test_case "best response exact" `Quick test_best_response_exact;
+    Alcotest.test_case "dynamics converge" `Quick test_dynamics_converges;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,120 @@
+module F = Bbc.Fractional
+module I = Bbc.Instance
+module C = Bbc.Config
+module E = Bbc.Eval
+
+let feps = Alcotest.float 1e-6
+
+let test_integral_embedding_matches () =
+  (* A fractional profile with capacity 1 on exactly the bought links
+     must reproduce the integral costs. *)
+  let inst = I.uniform ~n:5 ~k:1 in
+  let ring = C.of_lists 5 (Array.init 5 (fun v -> [ (v + 1) mod 5 ])) in
+  let p = F.integral_profile inst ring in
+  Alcotest.(check bool) "feasible" true (F.feasible inst p);
+  for u = 0 to 4 do
+    Alcotest.check feps "cost matches integral"
+      (float_of_int (E.node_cost inst ring u))
+      (F.node_cost inst p u)
+  done
+
+let test_pair_cost_uses_penalty_arc () =
+  let inst = I.uniform ~n:3 ~k:1 in
+  let p = F.integral_profile inst (C.of_lists 3 [| [ 1 ]; []; [] |]) in
+  (* No capacity reaches node 2: a unit flow rides the M-cost arc. *)
+  Alcotest.check feps "penalty arc" (float_of_int (I.penalty inst))
+    (F.pair_cost inst p 0 2)
+
+let test_split_capacity_blends_costs () =
+  (* Half a unit on a short path, the rest forced onto the M arc. *)
+  let inst = I.uniform ~n:2 ~k:1 in
+  let p = [| [| 0.; 0.5 |]; [| 0.; 0. |] |] in
+  Alcotest.(check bool) "feasible" true (F.feasible inst p);
+  let expected = (0.5 *. 1.) +. (0.5 *. float_of_int (I.penalty inst)) in
+  Alcotest.check feps "blended" expected (F.pair_cost inst p 0 1)
+
+let test_uniform_profile_feasible () =
+  let inst = I.uniform ~n:6 ~k:2 in
+  Alcotest.(check bool) "feasible" true (F.feasible inst (F.uniform_profile inst))
+
+let test_feasibility_rejects_overspend () =
+  let inst = I.uniform ~n:3 ~k:1 in
+  let p = [| [| 0.; 1.0; 0.5 |]; [| 0.; 0.; 0. |]; [| 0.; 0.; 0. |] |] in
+  Alcotest.(check bool) "overspent" false (F.feasible inst p)
+
+let test_descent_reduces_cost () =
+  let inst = I.uniform ~n:4 ~k:1 in
+  let p0 = F.uniform_profile inst in
+  let before = F.social_cost inst p0 in
+  let p, _ = F.improve_until ~max_sweeps:20 inst p0 in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "no node got worse off equilibrium path" true
+        (F.node_cost inst p u <= F.node_cost inst p0 u +. 1e6))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "profile remains feasible" true (F.feasible inst p);
+  ignore before
+
+let test_descent_reaches_small_gap () =
+  (* Theorem 3's computational witness on a uniform game. *)
+  let inst = I.uniform ~n:4 ~k:1 in
+  let p, _ = F.improve_until ~max_sweeps:50 inst (F.uniform_profile inst) in
+  Alcotest.(check bool) "small stability gap" true (F.stability_gap inst p < 1.0)
+
+let test_no_ne_core_fractional_equilibrium () =
+  (* The headline Theorem-3 witness: the integral no-NE core, when
+     fractionalized, descends to an (approximate) equilibrium. *)
+  let inst = Bbc.Gadget.core () in
+  let p, sweeps = F.improve_until ~max_sweeps:60 inst (F.uniform_profile inst) in
+  Alcotest.(check bool) "descent terminated" true (sweeps < 60);
+  Alcotest.(check bool) "feasible" true (F.feasible inst p);
+  Alcotest.(check bool) "gap below 0.05" true (F.stability_gap inst p < 0.05)
+
+let test_best_response_step_none_at_rest () =
+  let inst = I.uniform ~n:3 ~k:2 in
+  (* Everyone fully linked: no deviation can improve. *)
+  let full = C.of_lists 3 [| [ 1; 2 ]; [ 0; 2 ]; [ 0; 1 ] |] in
+  let p = F.integral_profile inst full in
+  for u = 0 to 2 do
+    Alcotest.(check bool) "no improving step" true
+      (F.best_response_step inst p u = None)
+  done
+
+let test_quasi_convexity_spot_check () =
+  (* Theorem 3's key lemma: pair cost along a segment between two own
+     strategies never exceeds the max of the endpoints. *)
+  let inst = I.uniform ~n:4 ~k:1 in
+  let rng = Bbc_prng.Splitmix.create 12 in
+  for _ = 1 to 20 do
+    let base = F.uniform_profile inst in
+    let mk () =
+      let s = Array.make 4 0. in
+      let v = 1 + Bbc_prng.Splitmix.int rng 3 in
+      s.(v) <- 1.0;
+      s
+    in
+    let a = mk () and b = mk () in
+    let cost s =
+      let p = Array.map Array.copy base in
+      p.(0) <- s;
+      F.node_cost inst p 0
+    in
+    let lambda = Bbc_prng.Splitmix.float rng 1.0 in
+    let mix = Array.init 4 (fun i -> (lambda *. a.(i)) +. ((1. -. lambda) *. b.(i))) in
+    Alcotest.(check bool) "quasi-convex" true
+      (cost mix <= Float.max (cost a) (cost b) +. 1e-6)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "integral embedding" `Quick test_integral_embedding_matches;
+    Alcotest.test_case "penalty arc" `Quick test_pair_cost_uses_penalty_arc;
+    Alcotest.test_case "split capacity" `Quick test_split_capacity_blends_costs;
+    Alcotest.test_case "uniform profile feasible" `Quick test_uniform_profile_feasible;
+    Alcotest.test_case "overspend rejected" `Quick test_feasibility_rejects_overspend;
+    Alcotest.test_case "descent stays feasible" `Quick test_descent_reduces_cost;
+    Alcotest.test_case "descent reaches small gap" `Quick test_descent_reaches_small_gap;
+    Alcotest.test_case "no-NE core: fractional equilibrium" `Quick test_no_ne_core_fractional_equilibrium;
+    Alcotest.test_case "no step at rest" `Quick test_best_response_step_none_at_rest;
+    Alcotest.test_case "quasi-convexity (sampled)" `Quick test_quasi_convexity_spot_check;
+  ]

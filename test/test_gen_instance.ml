@@ -1,0 +1,101 @@
+module GI = Bbc.Gen_instance
+module I = Bbc.Instance
+module SM = Bbc_prng.Splitmix
+
+let test_sparse_weights_shape () =
+  let rng = SM.create 1 in
+  let inst = GI.sparse_weights rng ~n:8 ~k:2 () in
+  Alcotest.(check int) "n" 8 (I.n inst);
+  for u = 0 to 7 do
+    Alcotest.(check int) "budget" 2 (I.budget inst u);
+    for v = 0 to 7 do
+      if u <> v then begin
+        Alcotest.(check int) "unit cost" 1 (I.cost inst u v);
+        Alcotest.(check bool) "weight range" true
+          (I.weight inst u v >= 0 && I.weight inst u v <= 3)
+      end
+    done
+  done
+
+let test_sparse_weights_density () =
+  let rng = SM.create 2 in
+  let inst = GI.sparse_weights rng ~n:20 ~k:1 ~zero_probability:0.0 () in
+  for u = 0 to 19 do
+    for v = 0 to 19 do
+      if u <> v then
+        Alcotest.(check bool) "no zeros at p=0" true (I.weight inst u v > 0)
+    done
+  done
+
+let test_random_budgets () =
+  let rng = SM.create 3 in
+  let inst = GI.random_budgets rng ~n:10 ~max_budget:3 in
+  for u = 0 to 9 do
+    Alcotest.(check bool) "in range" true (I.budget inst u >= 0 && I.budget inst u <= 3);
+    for v = 0 to 9 do
+      if u <> v then Alcotest.(check int) "uniform weight" 1 (I.weight inst u v)
+    done
+  done
+
+let test_random_costs () =
+  let rng = SM.create 4 in
+  let inst = GI.random_costs rng ~n:10 ~k:3 () in
+  for u = 0 to 9 do
+    for v = 0 to 9 do
+      if u <> v then
+        Alcotest.(check bool) "cost range" true
+          (I.cost inst u v >= 1 && I.cost inst u v <= 3)
+    done
+  done
+
+let test_metric_lengths_triangle () =
+  let rng = SM.create 5 in
+  let inst = GI.metric_lengths rng ~n:12 ~k:2 () in
+  for u = 0 to 11 do
+    for v = 0 to 11 do
+      if u <> v then begin
+        Alcotest.(check int) "symmetric" (I.length inst u v) (I.length inst v u);
+        for w = 0 to 11 do
+          if w <> u && w <> v then
+            Alcotest.(check bool) "triangle inequality" true
+              (I.length inst u v <= I.length inst u w + I.length inst w v)
+        done
+      end
+    done
+  done
+
+let test_perturbed_uniform () =
+  let rng = SM.create 6 in
+  let inst = GI.perturbed_uniform rng ~n:8 ~k:2 ~flips:3 in
+  let twos = ref 0 in
+  for u = 0 to 7 do
+    for v = 0 to 7 do
+      if u <> v then begin
+        let w = I.weight inst u v in
+        Alcotest.(check bool) "weights in {1,2}" true (w = 1 || w = 2);
+        if w = 2 then incr twos
+      end
+    done
+  done;
+  Alcotest.(check bool) "at most 'flips' twos" true (!twos <= 3)
+
+let test_determinism () =
+  let a = GI.sparse_weights (SM.create 9) ~n:6 ~k:1 () in
+  let b = GI.sparse_weights (SM.create 9) ~n:6 ~k:1 () in
+  for u = 0 to 5 do
+    for v = 0 to 5 do
+      if u <> v then
+        Alcotest.(check int) "same seed same instance" (I.weight a u v) (I.weight b u v)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "sparse weights shape" `Quick test_sparse_weights_shape;
+    Alcotest.test_case "sparse density" `Quick test_sparse_weights_density;
+    Alcotest.test_case "random budgets" `Quick test_random_budgets;
+    Alcotest.test_case "random costs" `Quick test_random_costs;
+    Alcotest.test_case "metric lengths" `Quick test_metric_lengths_triangle;
+    Alcotest.test_case "perturbed uniform" `Quick test_perturbed_uniform;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

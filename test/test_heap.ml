@@ -1,0 +1,71 @@
+module H = Bbc_graph.Binary_heap
+
+let test_empty () =
+  let h = H.create () in
+  Alcotest.(check bool) "empty" true (H.is_empty h);
+  Alcotest.(check int) "size" 0 (H.size h);
+  Alcotest.(check (option (pair int int))) "pop empty" None (H.pop h)
+
+let test_ordering () =
+  let h = H.create () in
+  List.iter (fun p -> H.push h p (100 + p)) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let rec drain acc =
+    match H.pop h with Some (p, v) -> drain ((p, v) :: acc) | None -> List.rev acc
+  in
+  let out = drain [] in
+  Alcotest.(check (list (pair int int))) "sorted with payloads"
+    [ (1, 101); (2, 102); (3, 103); (5, 105); (7, 107); (8, 108); (9, 109) ]
+    out
+
+let test_duplicates () =
+  let h = H.create () in
+  H.push h 4 0;
+  H.push h 4 1;
+  H.push h 4 2;
+  Alcotest.(check int) "size" 3 (H.size h);
+  let prios = List.init 3 (fun _ -> fst (Option.get (H.pop h))) in
+  Alcotest.(check (list int)) "equal priorities" [ 4; 4; 4 ] prios
+
+let test_growth () =
+  let h = H.create ~capacity:1 () in
+  for i = 999 downto 0 do
+    H.push h i i
+  done;
+  Alcotest.(check int) "size after growth" 1000 (H.size h);
+  for i = 0 to 999 do
+    Alcotest.(check (option (pair int int))) "ascending" (Some (i, i)) (H.pop h)
+  done
+
+let test_interleaved () =
+  let h = H.create () in
+  H.push h 10 0;
+  H.push h 5 1;
+  Alcotest.(check (option (pair int int))) "min first" (Some (5, 1)) (H.pop h);
+  H.push h 1 2;
+  H.push h 20 3;
+  Alcotest.(check (option (pair int int))) "new min" (Some (1, 2)) (H.pop h);
+  Alcotest.(check (option (pair int int))) "then" (Some (10, 0)) (H.pop h);
+  H.clear h;
+  Alcotest.(check bool) "cleared" true (H.is_empty h)
+
+let test_random_heapsort () =
+  let rng = Bbc_prng.Splitmix.create 55 in
+  for _ = 1 to 20 do
+    let xs = List.init 200 (fun _ -> Bbc_prng.Splitmix.int rng 1000) in
+    let h = H.create () in
+    List.iter (fun x -> H.push h x x) xs;
+    let rec drain acc =
+      match H.pop h with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+    in
+    Alcotest.(check (list int)) "heapsort = sort" (List.sort compare xs) (drain [])
+  done
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "duplicate priorities" `Quick test_duplicates;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "interleaved ops" `Quick test_interleaved;
+    Alcotest.test_case "random heapsort" `Quick test_random_heapsort;
+  ]

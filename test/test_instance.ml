@@ -1,0 +1,93 @@
+module I = Bbc.Instance
+
+let test_uniform () =
+  let t = I.uniform ~n:10 ~k:3 in
+  Alcotest.(check int) "n" 10 (I.n t);
+  Alcotest.(check bool) "uniform" true (I.is_uniform t);
+  Alcotest.(check (option int)) "k" (Some 3) (I.uniform_k t);
+  Alcotest.(check int) "weight" 1 (I.weight t 0 5);
+  Alcotest.(check int) "cost" 1 (I.cost t 2 7);
+  Alcotest.(check int) "length" 1 (I.length t 1 9);
+  Alcotest.(check int) "budget" 3 (I.budget t 4);
+  Alcotest.(check bool) "penalty exceeds n*maxlen" true (I.penalty t > 10)
+
+let test_uniform_validation () =
+  let expect_invalid f =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () -> I.uniform ~n:1 ~k:1);
+  expect_invalid (fun () -> I.uniform ~n:5 ~k:0);
+  expect_invalid (fun () -> I.uniform ~n:5 ~k:5)
+
+let test_general () =
+  let w = [| [| 0; 2 |]; [| 1; 0 |] |] in
+  let c = [| [| 0; 3 |]; [| 1; 0 |] |] in
+  let l = [| [| 1; 4 |]; [| 2; 1 |] |] in
+  let t = I.general ~weight:w ~cost:c ~length:l ~budget:[| 3; 1 |] () in
+  Alcotest.(check bool) "not uniform" false (I.is_uniform t);
+  Alcotest.(check (option int)) "no uniform k" None (I.uniform_k t);
+  Alcotest.(check int) "weight" 2 (I.weight t 0 1);
+  Alcotest.(check int) "cost" 3 (I.cost t 0 1);
+  Alcotest.(check int) "length" 2 (I.length t 1 0);
+  Alcotest.(check int) "max length" 4 (I.max_length t);
+  Alcotest.(check bool) "default penalty > n * maxlen" true (I.penalty t > 2 * 4)
+
+let test_general_validation () =
+  let ones n = Array.init n (fun _ -> Array.make n 1) in
+  let expect_invalid f =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  (* ragged *)
+  expect_invalid (fun () ->
+      I.general
+        ~weight:[| [| 0; 1 |]; [| 1 |] |]
+        ~cost:(ones 2) ~length:(ones 2) ~budget:[| 1; 1 |] ());
+  (* negative weight *)
+  expect_invalid (fun () ->
+      I.general
+        ~weight:[| [| 0; -1 |]; [| 1; 0 |] |]
+        ~cost:(ones 2) ~length:(ones 2) ~budget:[| 1; 1 |] ());
+  (* zero length *)
+  expect_invalid (fun () ->
+      I.general ~weight:(ones 2) ~cost:(ones 2)
+        ~length:[| [| 0; 0 |]; [| 1; 0 |] |]
+        ~budget:[| 1; 1 |] ());
+  (* penalty too small *)
+  expect_invalid (fun () ->
+      I.general ~penalty:2 ~weight:(ones 2) ~cost:(ones 2) ~length:(ones 2)
+        ~budget:[| 1; 1 |] ())
+
+let test_of_weights () =
+  let t = I.of_weights ~k:2 [| [| 0; 5; 0 |]; [| 1; 0; 1 |]; [| 0; 0; 0 |] |] in
+  Alcotest.(check int) "weight carried" 5 (I.weight t 0 1);
+  Alcotest.(check int) "unit cost" 1 (I.cost t 0 2);
+  Alcotest.(check int) "budget" 2 (I.budget t 1)
+
+let test_with_penalty () =
+  let t = I.uniform ~n:4 ~k:1 in
+  let t' = I.with_penalty t 100 in
+  Alcotest.(check int) "penalty updated" 100 (I.penalty t');
+  Alcotest.(check int) "original unchanged" 16 (I.penalty t);
+  Alcotest.(check bool) "too-small penalty rejected" true
+    (try
+       ignore (I.with_penalty t 4);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "uniform accessors" `Quick test_uniform;
+    Alcotest.test_case "uniform validation" `Quick test_uniform_validation;
+    Alcotest.test_case "general accessors" `Quick test_general;
+    Alcotest.test_case "general validation" `Quick test_general_validation;
+    Alcotest.test_case "of_weights" `Quick test_of_weights;
+    Alcotest.test_case "with_penalty" `Quick test_with_penalty;
+  ]

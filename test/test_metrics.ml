@@ -1,0 +1,82 @@
+module M = Bbc.Metrics
+module I = Bbc.Instance
+module C = Bbc.Config
+
+let test_node_lower_bound_small () =
+  (* n=4, k=1: best layout is a path: 1 + 2 + 3 = 6. *)
+  Alcotest.(check int) "k=1" 6 (M.node_cost_lower_bound ~n:4 ~k:1);
+  (* n=4, k=3: everyone at distance 1. *)
+  Alcotest.(check int) "k=3" 3 (M.node_cost_lower_bound ~n:4 ~k:3);
+  (* n=7, k=2: 2 at 1, 4 at 2 = 10. *)
+  Alcotest.(check int) "k=2" 10 (M.node_cost_lower_bound ~n:7 ~k:2)
+
+let test_social_lower_bound () =
+  Alcotest.(check int) "n * node bound" (7 * 10) (M.social_cost_lower_bound ~n:7 ~k:2)
+
+let test_lower_bound_is_achieved_by_ring () =
+  (* k=1: the ring achieves exactly the lower bound. *)
+  let n = 6 in
+  let inst = I.uniform ~n ~k:1 in
+  let ring = C.of_lists n (Array.init n (fun v -> [ (v + 1) mod n ])) in
+  Alcotest.(check int) "ring social = bound" (M.social_cost_lower_bound ~n ~k:1)
+    (Bbc.Eval.social_cost inst ring)
+
+let test_lower_bound_no_overflow () =
+  let b = M.node_cost_lower_bound ~n:1_000_000 ~k:2 in
+  Alcotest.(check bool) "positive and sane" true (b > 0 && b < max_int / 2)
+
+let test_eccentricity_lower_bound () =
+  Alcotest.(check int) "n=4 k=3" 1 (M.eccentricity_lower_bound ~n:4 ~k:3);
+  Alcotest.(check int) "n=7 k=2" 2 (M.eccentricity_lower_bound ~n:7 ~k:2);
+  Alcotest.(check int) "n=8 k=2" 3 (M.eccentricity_lower_bound ~n:8 ~k:2);
+  Alcotest.(check int) "n=2" 1 (M.eccentricity_lower_bound ~n:2 ~k:1)
+
+let test_floor_log () =
+  Alcotest.(check int) "log2 8" 3 (M.floor_log ~base:2 8);
+  Alcotest.(check int) "log2 7" 2 (M.floor_log ~base:2 7);
+  Alcotest.(check int) "log3 27" 3 (M.floor_log ~base:3 27);
+  Alcotest.(check int) "log of 1" 0 (M.floor_log ~base:5 1)
+
+let test_fairness_on_ring () =
+  let n = 5 in
+  let inst = I.uniform ~n ~k:1 in
+  let ring = C.of_lists n (Array.init n (fun v -> [ (v + 1) mod n ])) in
+  let f = M.fairness inst ring in
+  Alcotest.(check int) "min = max on the ring" f.min_cost f.max_cost;
+  Alcotest.(check (float 1e-9)) "ratio 1" 1.0 f.ratio;
+  Alcotest.(check int) "spread 0" 0 f.spread
+
+let test_lemma1_bounds_positive () =
+  let b = M.lemma1_spread_bound ~n:100 ~k:2 in
+  Alcotest.(check int) "spread bound n(1+log)" (100 + (100 * 6)) b;
+  let r = M.lemma1_ratio_bound ~n:100 ~k:2 in
+  Alcotest.(check bool) "ratio bound sane" true (r > 1.0 && r < 10.0)
+
+let test_anarchy_ratio () =
+  let n = 6 in
+  let inst = I.uniform ~n ~k:1 in
+  let ring = C.of_lists n (Array.init n (fun v -> [ (v + 1) mod n ])) in
+  Alcotest.(check (float 1e-9)) "ring is optimal" 1.0 (M.anarchy_ratio inst ring)
+
+let test_anarchy_ratio_requires_uniform () =
+  let inst = I.of_weights ~k:1 [| [| 0; 1 |]; [| 1; 0 |] |] in
+  let c = C.of_lists 2 [| [ 1 ]; [ 0 ] |] in
+  Alcotest.(check bool) "rejects general instances" true
+    (try
+       ignore (M.anarchy_ratio inst c);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "node lower bound" `Quick test_node_lower_bound_small;
+    Alcotest.test_case "social lower bound" `Quick test_social_lower_bound;
+    Alcotest.test_case "ring achieves k=1 bound" `Quick test_lower_bound_is_achieved_by_ring;
+    Alcotest.test_case "lower bound overflow safety" `Quick test_lower_bound_no_overflow;
+    Alcotest.test_case "eccentricity lower bound" `Quick test_eccentricity_lower_bound;
+    Alcotest.test_case "floor_log" `Quick test_floor_log;
+    Alcotest.test_case "fairness on the ring" `Quick test_fairness_on_ring;
+    Alcotest.test_case "lemma 1 bounds" `Quick test_lemma1_bounds_positive;
+    Alcotest.test_case "anarchy ratio" `Quick test_anarchy_ratio;
+    Alcotest.test_case "anarchy ratio domain" `Quick test_anarchy_ratio_requires_uniform;
+  ]

@@ -1,0 +1,118 @@
+module SM = Bbc_prng.Splitmix
+
+let test_determinism () =
+  let a = SM.create 42 and b = SM.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (SM.next_int64 a) (SM.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = SM.create 1 and b = SM.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (List.init 4 (fun _ -> SM.next_int64 a) = List.init 4 (fun _ -> SM.next_int64 b))
+
+let test_copy_independent () =
+  let a = SM.create 7 in
+  ignore (SM.next_int64 a);
+  let b = SM.copy a in
+  Alcotest.(check int64) "copy continues identically" (SM.next_int64 a) (SM.next_int64 b);
+  ignore (SM.next_int64 a);
+  (* advancing a does not advance b *)
+  let xa = SM.next_int64 a and xb = SM.next_int64 b in
+  Alcotest.(check bool) "streams now offset" true (xa <> xb)
+
+let test_split_independent () =
+  let a = SM.create 9 in
+  let b = SM.split a in
+  let xs = List.init 8 (fun _ -> SM.next_int64 a) in
+  let ys = List.init 8 (fun _ -> SM.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = SM.create 3 in
+  for _ = 1 to 1000 do
+    let x = SM.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_int_covers_range () =
+  let rng = SM.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(SM.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let rng = SM.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (SM.int rng 0))
+
+let test_int_in_range () =
+  let rng = SM.create 11 in
+  for _ = 1 to 200 do
+    let x = SM.int_in_range rng ~lo:(-3) ~hi:4 in
+    Alcotest.(check bool) "in [-3,4]" true (x >= -3 && x <= 4)
+  done
+
+let test_float_bounds () =
+  let rng = SM.create 13 in
+  for _ = 1 to 1000 do
+    let x = SM.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_bool_balance () =
+  let rng = SM.create 17 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if SM.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_shuffle_permutation () =
+  let rng = SM.create 19 in
+  let a = Array.init 20 Fun.id in
+  SM.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = SM.create 23 in
+  for _ = 1 to 100 do
+    let s = SM.sample_without_replacement rng 5 12 in
+    Alcotest.(check int) "five elements" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 12)) s
+  done
+
+let test_sample_full () =
+  let rng = SM.create 29 in
+  let s = SM.sample_without_replacement rng 6 6 in
+  Alcotest.(check (list int)) "all of [0,6)" [ 0; 1; 2; 3; 4; 5 ] s
+
+let test_choose () =
+  let rng = SM.create 31 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.mem (SM.choose rng a) a)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "deterministic streams" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "split is independent" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "int rejects zero bound" `Quick test_int_invalid;
+    Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample the full range" `Quick test_sample_full;
+    Alcotest.test_case "choose" `Quick test_choose;
+  ]

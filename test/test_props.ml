@@ -1,0 +1,299 @@
+(* Property-based tests (qcheck, registered through QCheck_alcotest).
+   Random structures are derived from a generated seed through the
+   library's own deterministic generators, so failures reproduce. *)
+
+module Q = QCheck
+module SM = Bbc_prng.Splitmix
+module D = Bbc_graph.Digraph
+module P = Bbc_graph.Paths
+module G = Bbc_graph.Generators
+module Scc = Bbc_graph.Scc
+module I = Bbc.Instance
+module C = Bbc.Config
+module E = Bbc.Eval
+
+let seed_arb = Q.int_bound 1_000_000
+
+let random_graph seed ~n ~k = G.random_k_out (SM.create seed) ~n ~k
+
+let prop_bfs_equals_dijkstra =
+  Q.Test.make ~count:100 ~name:"bfs = dijkstra on unit graphs" seed_arb (fun seed ->
+      let g = random_graph seed ~n:25 ~k:2 in
+      let src = seed mod 25 in
+      P.bfs g src = P.dijkstra g src)
+
+let prop_triangle_inequality =
+  Q.Test.make ~count:60 ~name:"shortest paths satisfy the triangle inequality"
+    seed_arb (fun seed ->
+      let g = random_graph seed ~n:15 ~k:2 in
+      let dist = Array.init 15 (fun v -> P.shortest g v) in
+      let ok = ref true in
+      for u = 0 to 14 do
+        for v = 0 to 14 do
+          for w = 0 to 14 do
+            if
+              dist.(u).(v) <> P.unreachable
+              && dist.(v).(w) <> P.unreachable
+              && (dist.(u).(w) = P.unreachable
+                 || dist.(u).(w) > dist.(u).(v) + dist.(v).(w))
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let mutually_reachable g u v =
+  (Bbc_graph.Traversal.reachable_set g u).(v)
+  && (Bbc_graph.Traversal.reachable_set g v).(u)
+
+let prop_scc_is_mutual_reachability =
+  Q.Test.make ~count:40 ~name:"same SCC <-> mutually reachable" seed_arb
+    (fun seed ->
+      let g = G.gnp (SM.create seed) ~n:12 ~p:0.12 in
+      let scc = Scc.compute g in
+      let ok = ref true in
+      for u = 0 to 11 do
+        for v = 0 to 11 do
+          let same = scc.component.(u) = scc.component.(v) in
+          if same <> mutually_reachable g u v then ok := false
+        done
+      done;
+      !ok)
+
+let prop_config_graph_roundtrip =
+  Q.Test.make ~count:80 ~name:"config -> graph -> config roundtrip" seed_arb
+    (fun seed ->
+      let n = 12 and k = 3 in
+      let inst = I.uniform ~n ~k in
+      let c = C.of_graph (random_graph seed ~n ~k) in
+      C.equal c (C.of_graph (C.to_graph inst c)))
+
+let prop_adding_link_never_hurts_owner =
+  Q.Test.make ~count:60 ~name:"buying an extra link never raises own cost"
+    seed_arb (fun seed ->
+      let n = 10 in
+      let inst = I.uniform ~n ~k:3 in
+      let rng = SM.create seed in
+      let c = C.of_graph (G.random_k_out rng ~n ~k:2) in
+      let u = SM.int rng n in
+      let current = C.targets c u in
+      let extra =
+        List.filter (fun v -> v <> u && not (List.mem v current)) (List.init n Fun.id)
+      in
+      match extra with
+      | [] -> true
+      | v :: _ ->
+          let c' = C.with_strategy c u (v :: current) in
+          E.node_cost inst c' u <= E.node_cost inst c u)
+
+let prop_best_response_is_lower_bound =
+  Q.Test.make ~count:60 ~name:"exact best response <= any strategy's cost"
+    seed_arb (fun seed ->
+      let n = 9 in
+      let inst = I.uniform ~n ~k:2 in
+      let rng = SM.create seed in
+      let c = C.of_graph (G.random_k_out rng ~n ~k:2) in
+      let u = SM.int rng n in
+      let best = (Bbc.Best_response.exact inst c u).cost in
+      (* Compare against a random feasible strategy. *)
+      let trial =
+        SM.sample_without_replacement rng 2 (n - 1)
+        |> List.map (fun t -> if t >= u then t + 1 else t)
+      in
+      best <= E.node_cost inst (C.with_strategy c u trial) u
+      && best <= E.node_cost inst c u)
+
+let prop_mover_reach_never_decreases =
+  Q.Test.make ~count:50 ~name:"a best-response step never lowers the mover's reach"
+    seed_arb (fun seed ->
+      let n = 10 in
+      let inst = I.uniform ~n ~k:1 in
+      let rng = SM.create seed in
+      let c = C.of_graph (G.random_k_out rng ~n ~k:1) in
+      let u = SM.int rng n in
+      let before = Bbc_graph.Traversal.reach (C.to_graph inst c) u in
+      match Bbc.Best_response.improving inst c u with
+      | None -> true
+      | Some _ ->
+          let best = Bbc.Best_response.exact inst c u in
+          let c' = C.with_strategy c u best.strategy in
+          Bbc_graph.Traversal.reach (C.to_graph inst c') u >= before)
+
+let prop_flow_cost_equals_shortest_path =
+  Q.Test.make ~count:40
+    ~name:"unit-capacity min-cost flow = shortest path (with penalty)" seed_arb
+    (fun seed ->
+      let n = 8 in
+      let inst = I.uniform ~n ~k:2 in
+      let c = C.of_graph (random_graph seed ~n ~k:2) in
+      let p = Bbc.Fractional.integral_profile inst c in
+      let g = C.to_graph inst c in
+      let rng = SM.create (seed + 1) in
+      let u = SM.int rng n in
+      let v = (u + 1 + SM.int rng (n - 1)) mod n in
+      if u = v then true
+      else begin
+        let d = (P.shortest g u).(v) in
+        let expected =
+          if d = P.unreachable then float_of_int (I.penalty inst)
+          else float_of_int (min d (I.penalty inst))
+        in
+        Float.abs (Bbc.Fractional.pair_cost inst p u v -. expected) < 1e-6
+      end)
+
+let prop_willows_budgets_and_connectivity =
+  Q.Test.make ~count:20 ~name:"willows: full budgets, strong connectivity"
+    (Q.triple (Q.int_range 2 3) (Q.int_range 1 3) (Q.int_range 0 2))
+    (fun (k, h, l) ->
+      let p = Bbc.Willows.{ k; h; l } in
+      if Bbc.Willows.size p > 130 then true
+      else begin
+        let inst, config = Bbc.Willows.build p in
+        C.feasible inst config
+        && Scc.is_strongly_connected (C.to_graph inst config)
+        && Array.for_all
+             (fun v -> C.strategy_size config v = k)
+             (Array.init (Bbc.Willows.size p) Fun.id)
+      end)
+
+let prop_solver_witness_satisfies =
+  Q.Test.make ~count:60 ~name:"DPLL witnesses satisfy their formulas" seed_arb
+    (fun seed ->
+      let rng = SM.create seed in
+      let f = Bbc_sat.Gen.random_3sat rng ~num_vars:7 ~num_clauses:20 in
+      match Bbc_sat.Solver.solve f with
+      | Sat w -> Bbc_sat.Cnf.eval f w
+      | Unsat -> Bbc_sat.Solver.count_models f = 0)
+
+let prop_group_axioms =
+  Q.Test.make ~count:80 ~name:"abelian group axioms"
+    (Q.pair seed_arb (Q.list_of_size (Q.Gen.int_range 1 3) (Q.int_range 2 5)))
+    (fun (seed, moduli) ->
+      let module A = Bbc_group.Abelian in
+      let g = A.create moduli in
+      let rng = SM.create seed in
+      let x = SM.int rng (A.order g) and y = SM.int rng (A.order g) in
+      A.add g x y = A.add g y x
+      && A.add g x (A.neg g x) = A.identity g
+      && A.add g x (A.identity g) = x)
+
+let prop_social_cost_decomposes =
+  Q.Test.make ~count:40 ~name:"social cost = sum of node costs" seed_arb
+    (fun seed ->
+      let n = 10 in
+      let inst = I.uniform ~n ~k:2 in
+      let c = C.of_graph (random_graph seed ~n ~k:2) in
+      E.social_cost inst c = Array.fold_left ( + ) 0 (E.all_costs inst c))
+
+let prop_max_cost_le_sum_cost =
+  Q.Test.make ~count:40 ~name:"max objective <= sum objective per node" seed_arb
+    (fun seed ->
+      let n = 10 in
+      let inst = I.uniform ~n ~k:2 in
+      let c = C.of_graph (random_graph seed ~n ~k:2) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if E.node_cost ~objective:Max inst c u > E.node_cost inst c u then ok := false
+      done;
+      !ok)
+
+let prop_dynamics_deviations_strictly_improve =
+  Q.Test.make ~count:25 ~name:"every dynamics move strictly improves the mover"
+    seed_arb (fun seed ->
+      let n = 8 in
+      let inst = I.uniform ~n ~k:1 in
+      let c0 = C.of_graph (random_graph seed ~n ~k:1) in
+      let ok = ref true in
+      let current = ref c0 in
+      ignore
+        (Bbc.Dynamics.run
+           ~on_step:(fun s ->
+             if s.moved then begin
+               let before = E.node_cost inst !current s.node in
+               current := C.with_strategy !current s.node s.strategy;
+               let after = E.node_cost inst !current s.node in
+               if after >= before then ok := false
+             end)
+           ~scheduler:Round_robin ~max_rounds:30 inst c0);
+      !ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bfs_equals_dijkstra;
+      prop_triangle_inequality;
+      prop_scc_is_mutual_reachability;
+      prop_config_graph_roundtrip;
+      prop_adding_link_never_hurts_owner;
+      prop_best_response_is_lower_bound;
+      prop_mover_reach_never_decreases;
+      prop_flow_cost_equals_shortest_path;
+      prop_willows_budgets_and_connectivity;
+      prop_solver_witness_satisfies;
+      prop_group_axioms;
+      prop_social_cost_decomposes;
+      prop_max_cost_le_sum_cost;
+      prop_dynamics_deviations_strictly_improve;
+    ]
+
+let prop_codec_roundtrip =
+  Q.Test.make ~count:40 ~name:"codec: instance and config roundtrip" seed_arb
+    (fun seed ->
+      let rng = SM.create seed in
+      let inst = Bbc.Gen_instance.sparse_weights rng ~n:7 ~k:2 () in
+      let config = C.of_graph (G.random_k_out rng ~n:7 ~k:2) in
+      let inst_ok =
+        match Bbc.Codec.instance_of_string (Bbc.Codec.instance_to_string inst) with
+        | Ok inst' ->
+            List.for_all
+              (fun u ->
+                List.for_all
+                  (fun v -> u = v || I.weight inst u v = I.weight inst' u v)
+                  (List.init 7 Fun.id))
+              (List.init 7 Fun.id)
+        | Error _ -> false
+      in
+      let config_ok =
+        match Bbc.Codec.config_of_string (Bbc.Codec.config_to_string config) with
+        | Ok c' -> C.equal config c'
+        | Error _ -> false
+      in
+      inst_ok && config_ok)
+
+let prop_stability_gap_zero_iff_stable =
+  Q.Test.make ~count:40 ~name:"stability gap = 0 <-> stable" seed_arb (fun seed ->
+      let n = 8 in
+      let inst = I.uniform ~n ~k:1 in
+      let c = C.of_graph (random_graph seed ~n ~k:1) in
+      Bbc.Stability.is_stable inst c = (Bbc.Stability.stability_gap inst c = 0))
+
+let prop_budget_instances_feasible_dynamics =
+  Q.Test.make ~count:20 ~name:"dynamics keeps profiles feasible" seed_arb
+    (fun seed ->
+      let rng = SM.create seed in
+      let inst = Bbc.Gen_instance.random_budgets rng ~n:8 ~max_budget:3 in
+      let outcome =
+        Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:40 inst
+          (C.empty 8)
+      in
+      C.feasible inst (Bbc.Dynamics.final_config outcome))
+
+let prop_betweenness_nonnegative_bounded =
+  Q.Test.make ~count:30 ~name:"betweenness in [0, (n-1)(n-2)]" seed_arb
+    (fun seed ->
+      let n = 12 in
+      let g = random_graph seed ~n ~k:2 in
+      let b = Bbc_graph.Centrality.betweenness g in
+      Array.for_all
+        (fun x -> x >= 0.0 && x <= float_of_int ((n - 1) * (n - 2)))
+        b)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_codec_roundtrip;
+        prop_stability_gap_zero_iff_stable;
+        prop_budget_instances_feasible_dynamics;
+        prop_betweenness_nonnegative_bounded;
+      ]

@@ -1,0 +1,53 @@
+module T = Bbc_experiments.Table
+
+let render t =
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  T.render fmt t;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+  go 0
+
+let test_rendering () =
+  let t = T.create ~title:"T" ~claim:"C" ~columns:[ "a"; "bb" ] in
+  T.add_row t [ "1"; "2" ];
+  T.add_rows t [ [ "333"; "4" ] ];
+  let s = render t in
+  Alcotest.(check bool) "title" true (contains s "T");
+  Alcotest.(check bool) "claim" true (contains s "paper: C");
+  Alcotest.(check bool) "row order" true (contains s "1    2");
+  Alcotest.(check bool) "second row" true (contains s "333  4")
+
+let test_column_mismatch () =
+  let t = T.create ~title:"T" ~claim:"C" ~columns:[ "a" ] in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       T.add_row t [ "1"; "2" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (T.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (T.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "bool yes" "yes" (T.cell_bool true);
+  Alcotest.(check string) "bool no" "no" (T.cell_bool false)
+
+let test_registry () =
+  Alcotest.(check int) "fifteen experiments" 15
+    (List.length Bbc_experiments.Registry.all);
+  Alcotest.(check bool) "find e7" true
+    (Option.is_some (Bbc_experiments.Registry.find "E7"));
+  Alcotest.(check bool) "unknown id" true
+    (Option.is_none (Bbc_experiments.Registry.find "e99"))
+
+let suite =
+  [
+    Alcotest.test_case "rendering" `Quick test_rendering;
+    Alcotest.test_case "column mismatch" `Quick test_column_mismatch;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+    Alcotest.test_case "registry" `Quick test_registry;
+  ]

@@ -1,0 +1,155 @@
+(* Directed search over Figure-5-like architectures for a BBC-max no-NE
+   instance.  Two mirrored sub-gadgets i in {0,1}:
+
+     iC   central switch (free: links iLT or iRT, or anything else)
+     iLT, iRT  tops (forced, single preference; wiring enumerated)
+     iRB  bottom switch (free; paper preferences w(iRB,iS)=w(iRB,iC)=a)
+     iS   sink head (forced -> ix)
+     ix, iy  sink chain (forced: ix -> iy, iy -> iC)
+
+   n = 16.  Free nodes: 0C, 1C, 0RB, 1RB.  The enumeration covers the
+   tops' forced targets and the centrals' weight profile; each variant is
+   screened by exhaustive search over the free nodes' FULL strategy sets
+   (17 strategies each -> 83k profiles, with early exit). *)
+
+module B = Bbc
+module SM = Bbc_prng.Splitmix
+
+(* Node ids: gadget i base = 8*i: C=0, LT=1, RT=2, RB=3, S=4, x=5, y=6,
+   spare=7 (an extra forced relay, wiring enumerated). *)
+let c i = (8 * i) + 0
+let lt i = (8 * i) + 1
+let rt i = (8 * i) + 2
+let rb i = (8 * i) + 3
+let s i = (8 * i) + 4
+let x i = (8 * i) + 5
+let y i = (8 * i) + 6
+let spare i = (8 * i) + 7
+
+let n = 16
+
+let build ~lt_target ~rt_target ~spare_target ~zeta ~xi ~a ~cross =
+  let weight = Array.init n (fun _ -> Array.make n 0) in
+  let forced u v = weight.(u).(v) <- 1 in
+  for i = 0 to 1 do
+    let j = 1 - i in
+    (* Tops: forced targets from the enumerated choice. *)
+    let resolve = function
+      | `OwnS -> s i
+      | `OtherS -> s j
+      | `OtherC -> c j
+      | `OtherLT -> lt j
+      | `OwnRB -> rb i
+      | `Spare -> spare i
+      | `OtherSpare -> spare j
+    in
+    forced (lt i) (resolve lt_target);
+    forced (rt i) (resolve rt_target);
+    forced (spare i) (resolve spare_target);
+    (* Sink chain. *)
+    forced (s i) (x i);
+    forced (x i) (y i);
+    forced (y i) (c i);
+    (* Central switch: wants both tops equally, plus the other central. *)
+    weight.(c i).(lt i) <- zeta;
+    weight.(c i).(rt i) <- zeta;
+    weight.(c i).(c j) <- xi;
+    (* Bottom switch: paper's w(RB,S) = w(RB,C) = a, plus an enumerated
+       crossover preference. *)
+    weight.(rb i).(s i) <- a;
+    weight.(rb i).(c i) <- a;
+    (match cross with
+    | `None -> ()
+    | `OtherC w -> weight.(rb i).(c j) <- w
+    | `OwnLT w -> weight.(rb i).(lt i) <- w)
+  done;
+  B.Instance.of_weights ~k:1 weight
+
+let free_nodes = [ c 0; c 1; rb 0; rb 1 ]
+
+let target_name = function
+  | `OwnS -> "ownS"
+  | `OtherS -> "otherS"
+  | `OtherC -> "otherC"
+  | `OtherLT -> "otherLT"
+  | `OwnRB -> "ownRB"
+  | `Spare -> "spare"
+  | `OtherSpare -> "otherSpare"
+
+let cross_name = function
+  | `None -> "none"
+  | `OtherC w -> Printf.sprintf "otherC:%d" w
+  | `OwnLT w -> Printf.sprintf "ownLT:%d" w
+
+let () =
+  let count = ref 0 and hits = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let lt_choices = [ `OwnS; `OtherS; `OtherC; `OtherLT; `Spare; `OtherSpare ] in
+  let rt_choices = [ `OwnS; `OtherS; `OtherC; `OtherLT; `OwnRB; `Spare; `OtherSpare ] in
+  let spare_choices = [ `OtherC; `OtherS; `OwnS ] in
+  let weight_choices = [ (2, 1); (3, 1); (3, 2); (1, 1); (1, 2); (2, 3); (1, 3) ] in
+  let a_choices = [ 1; 2 ] in
+  let cross_choices = [ `None; `OtherC 1; `OtherC 2; `OwnLT 1; `OwnLT 2 ] in
+  List.iter
+    (fun lt_target ->
+      List.iter
+        (fun rt_target ->
+          List.iter
+            (fun spare_target ->
+              List.iter
+                (fun (zeta, xi) ->
+                  List.iter
+                    (fun a ->
+                      List.iter
+                        (fun cross ->
+                          incr count;
+                          let instance =
+                            build ~lt_target ~rt_target ~spare_target ~zeta ~xi ~a ~cross
+                          in
+                          (* forced nodes pinned to their unique positive
+                             target; free nodes full singleton space. *)
+                          let cands =
+                            Array.init n (fun u ->
+                                if List.mem u free_nodes then
+                                  [] :: List.filter_map
+                                          (fun v -> if v = u then None else Some [ v ])
+                                          (List.init n Fun.id)
+                                else begin
+                                  let ts =
+                                    List.filter
+                                      (fun v -> B.Instance.weight instance u v > 0)
+                                      (List.init n Fun.id)
+                                  in
+                                  match ts with [ t ] -> [ [ t ] ] | _ -> [ [] ]
+                                end)
+                          in
+                          match
+                            B.Exhaustive.has_equilibrium ~objective:B.Objective.Max
+                              ~candidates:cands instance
+                          with
+                          | Some false ->
+                              incr hits;
+                              if !hits <= 5 then begin
+                                Printf.printf
+                                  "HIT #%d: lt=%s rt=%s spare=%s zeta=%d xi=%d a=%d cross=%s\n%!"
+                                  !hits (target_name lt_target)
+                                  (target_name rt_target)
+                                  (target_name spare_target) zeta xi a
+                                  (cross_name cross);
+                                let w = Array.init n (fun u -> Array.init n (fun v -> B.Instance.weight instance u v)) in
+                                Array.iter
+                                  (fun row ->
+                                    Printf.printf "  [| %s |];\n"
+                                      (String.concat "; "
+                                         (Array.to_list (Array.map string_of_int row))))
+                                  w
+                              end
+                          | _ -> ())
+                        cross_choices)
+                    a_choices)
+                weight_choices)
+            spare_choices)
+        rt_choices)
+    lt_choices;
+  Printf.printf "fig5 sweep: %d variants, %d hits (%.0fs)\n" !count !hits
+    (Unix.gettimeofday () -. t0)

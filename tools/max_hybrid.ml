@@ -1,0 +1,59 @@
+(* Hybrid Max no-NE search: random sparse instances; any node with exactly
+   one positive preference is provably forced (direct link = unique strict
+   BR in every profile), so the exhaustive certificate only needs the
+   multi-preference nodes' full strategy sets.  Require <= 4 free nodes to
+   keep each certificate fast, and sweep n in {7..10}. *)
+
+module B = Bbc
+module SM = Bbc_prng.Splitmix
+
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let rng = SM.create seed in
+  let tries = ref 0 in
+  let found = ref false in
+  let t0 = Unix.gettimeofday () in
+  while (not !found) && Unix.gettimeofday () -. t0 < 3000. do
+    incr tries;
+    let n = 7 + SM.int rng 4 in
+    let weight = Array.init n (fun _ -> Array.make n 0) in
+    for u = 0 to n - 1 do
+      (* 1..3 positive targets per node, biased toward 1 (forced). *)
+      let count = if SM.float rng 1.0 < 0.6 then 1 else 2 + SM.int rng 2 in
+      let targets = SM.sample_without_replacement rng count (n - 1) in
+      List.iter
+        (fun t0 ->
+          let t = if t0 >= u then t0 + 1 else t0 in
+          weight.(u).(t) <- 1 + SM.int rng 3)
+        targets
+    done;
+    let positives u =
+      List.filter (fun v -> weight.(u).(v) > 0) (List.init n Fun.id)
+    in
+    let free = List.filter (fun u -> List.length (positives u) > 1) (List.init n Fun.id) in
+    if List.length free <= 4 && List.length free >= 2 then begin
+      let instance = B.Instance.of_weights ~k:1 weight in
+      let candidates =
+        Array.init n (fun u ->
+            match positives u with
+            | [ t ] -> [ [ t ] ]
+            | _ ->
+                [] :: List.filter_map (fun v -> if v = u then None else Some [ v ])
+                        (List.init n Fun.id))
+      in
+      match
+        B.Exhaustive.has_equilibrium ~objective:B.Objective.Max ~candidates instance
+      with
+      | Some false ->
+          found := true;
+          Printf.printf "MAX no-NE hybrid found: n=%d seed=%d try=%d (%.0fs)\n" n seed
+            !tries (Unix.gettimeofday () -. t0);
+          Array.iter
+            (fun row ->
+              Printf.printf "  [| %s |];\n"
+                (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+            weight
+      | _ -> ()
+    end
+  done;
+  if not !found then Printf.printf "hybrid seed=%d: none after %d tries\n" seed !tries

@@ -1,0 +1,66 @@
+(* Max no-NE search biased toward strong connectivity: forced nodes
+   mostly point at their ring successor (keeping a backbone cycle), so
+   player deviations flip finite distances rather than reachability —
+   the regime where max-objective preference cycles can live. *)
+
+module B = Bbc
+module SM = Bbc_prng.Splitmix
+
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let rng = SM.create seed in
+  let tries = ref 0 in
+  let found = ref false in
+  let t0 = Unix.gettimeofday () in
+  while (not !found) && Unix.gettimeofday () -. t0 < 3000. do
+    incr tries;
+    let n = 8 + SM.int rng 4 in
+    let free_count = 2 + SM.int rng 2 in
+    let weight = Array.init n (fun _ -> Array.make n 0) in
+    let forced_target = Array.make n (-1) in
+    (* Free players occupy ids 0..free_count-1; forced nodes point at
+       their ring successor with prob 0.7, else a random node. *)
+    for u = free_count to n - 1 do
+      let t =
+        if SM.float rng 1.0 < 0.7 then (u + 1) mod n
+        else begin
+          let t = SM.int rng (n - 1) in
+          if t >= u then t + 1 else t
+        end
+      in
+      forced_target.(u) <- t;
+      weight.(u).(t) <- 1
+    done;
+    let randomize_player u =
+      let count = 2 + SM.int rng 2 in
+      let targets = SM.sample_without_replacement rng count (n - 1) in
+      List.iter
+        (fun t0 ->
+          let t = if t0 >= u then t0 + 1 else t0 in
+          weight.(u).(t) <- 1 + SM.int rng 3)
+        targets
+    in
+    for u = 0 to free_count - 1 do
+      randomize_player u
+    done;
+    let instance = B.Instance.of_weights ~k:1 weight in
+    let candidates =
+      Array.init n (fun u ->
+          if u < free_count then
+            [] :: List.filter_map (fun v -> if v = u then None else Some [ v ])
+                    (List.init n Fun.id)
+          else [ [ forced_target.(u) ] ])
+    in
+    match B.Exhaustive.has_equilibrium ~objective:B.Objective.Max ~candidates instance with
+    | Some false ->
+        found := true;
+        Printf.printf "MAX no-NE ring-biased found: n=%d free=%d seed=%d try=%d (%.0fs)\n"
+          n free_count seed !tries (Unix.gettimeofday () -. t0);
+        Array.iter
+          (fun row ->
+            Printf.printf "  [| %s |];\n"
+              (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+          weight
+    | _ -> ()
+  done;
+  if not !found then Printf.printf "ring-biased seed=%d: none after %d tries\n" seed !tries

@@ -1,0 +1,31 @@
+module B = Bbc
+module SM = Bbc_prng.Splitmix
+
+let () =
+  let n = 6 in
+  let rng = SM.create 20260707 in
+  let t = ref 0 in
+  let found = ref false in
+  let t0 = Unix.gettimeofday () in
+  while not !found && !t < 120000 && Unix.gettimeofday () -. t0 < 2400. do
+    incr t;
+    let weight =
+      Array.init n (fun u ->
+          Array.init n (fun v ->
+              if u = v then 0
+              else if SM.float rng 1.0 < 0.55 then 0
+              else 1 + SM.int rng 3))
+    in
+    let instance = B.Instance.of_weights ~k:1 weight in
+    match B.Exhaustive.has_equilibrium ~objective:B.Objective.Max instance with
+    | Some false ->
+        found := true;
+        Printf.printf "MAX no-NE n=6 found after %d tries (%.0fs)\n" !t (Unix.gettimeofday () -. t0);
+        Array.iter
+          (fun row ->
+            Printf.printf "  [| %s |];\n"
+              (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+          weight
+    | _ -> ()
+  done;
+  if not !found then Printf.printf "MAX n=6: none after %d tries (%.0fs)\n" !t (Unix.gettimeofday () -. t0)

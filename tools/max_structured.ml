@@ -1,0 +1,70 @@
+(* Structured search for a BBC-max no-NE instance (Theorem 7 class):
+   uniform costs/lengths, budget 1, nonuniform preferences.
+
+   Architecture: two "free" players A=0, B=1 whose preferences we search
+   over, plus F forced nodes.  Each forced node gets exactly one positive
+   preference toward a random target, which makes a direct link its
+   unique strict best response in every profile (distance 1 is otherwise
+   unattainable).  Hence any pure NE fixes the forced nodes' links, and
+   NE existence reduces to the 2-player game where A and B range over all
+   n strategies each (n-1 links + empty): a complete certificate checked
+   by exhaustive search over that reduced space. *)
+
+module B = Bbc
+module SM = Bbc_prng.Splitmix
+
+let () =
+  let n = 10 in
+  let free = 2 in
+  let rng = SM.create 424242 in
+  let tries = ref 0 in
+  let found = ref false in
+  let t0 = Unix.gettimeofday () in
+  while (not !found) && Unix.gettimeofday () -. t0 < 1200. do
+    incr tries;
+    let weight = Array.init n (fun _ -> Array.make n 0) in
+    (* Forced chain targets. *)
+    let forced_target = Array.make n (-1) in
+    for u = free to n - 1 do
+      let t = SM.int rng (n - 1) in
+      let t = if t >= u then t + 1 else t in
+      forced_target.(u) <- t;
+      weight.(u).(t) <- 1
+    done;
+    (* Free players: 2-4 positive preferences each with weights 1..3,
+       never toward each other's... anywhere is fine. *)
+    let randomize_player u =
+      let count = 2 + SM.int rng 3 in
+      let targets = SM.sample_without_replacement rng count (n - 1) in
+      List.iter
+        (fun t0 ->
+          let t = if t0 >= u then t0 + 1 else t0 in
+          weight.(u).(t) <- 1 + SM.int rng 3)
+        targets
+    in
+    randomize_player 0;
+    randomize_player 1;
+    let instance = B.Instance.of_weights ~k:1 weight in
+    (* Candidate space: forced nodes pinned, A and B free. *)
+    let candidates =
+      Array.init n (fun u ->
+          if u < free then
+            [] :: List.filter_map (fun v -> if v = u then None else Some [ v ])
+                    (List.init n Fun.id)
+          else [ [ forced_target.(u) ] ])
+    in
+    match B.Exhaustive.has_equilibrium ~objective:B.Objective.Max ~candidates instance with
+    | Some false ->
+        found := true;
+        Printf.printf "MAX no-NE structured instance found after %d tries (%.0fs)\n"
+          !tries (Unix.gettimeofday () -. t0);
+        Printf.printf "let max_weights () = [|\n";
+        Array.iter
+          (fun row ->
+            Printf.printf "  [| %s |];\n"
+              (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+          weight;
+        Printf.printf "|]\n%!"
+    | _ -> ()
+  done;
+  if not !found then Printf.printf "structured: none after %d tries\n" !tries

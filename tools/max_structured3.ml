@@ -1,0 +1,59 @@
+(* Structured Max no-NE search with THREE free players (rock-paper-
+   scissors couplings are richer than 2-player ones).  Same complete-
+   certificate structure as max_structured.ml: forced nodes provably pin
+   to their unique strict best response, free players range over all
+   strategies. *)
+
+module B = Bbc
+module SM = Bbc_prng.Splitmix
+
+let () =
+  let n = 9 in
+  let free = 3 in
+  let rng = SM.create 987654321 in
+  let tries = ref 0 in
+  let found = ref false in
+  let t0 = Unix.gettimeofday () in
+  while (not !found) && Unix.gettimeofday () -. t0 < 2400. do
+    incr tries;
+    let weight = Array.init n (fun _ -> Array.make n 0) in
+    let forced_target = Array.make n (-1) in
+    for u = free to n - 1 do
+      let t = SM.int rng (n - 1) in
+      let t = if t >= u then t + 1 else t in
+      forced_target.(u) <- t;
+      weight.(u).(t) <- 1
+    done;
+    let randomize_player u =
+      let count = 2 + SM.int rng 2 in
+      let targets = SM.sample_without_replacement rng count (n - 1) in
+      List.iter
+        (fun t0 ->
+          let t = if t0 >= u then t0 + 1 else t0 in
+          weight.(u).(t) <- 1 + SM.int rng 2)
+        targets
+    in
+    for u = 0 to free - 1 do
+      randomize_player u
+    done;
+    let instance = B.Instance.of_weights ~k:1 weight in
+    let candidates =
+      Array.init n (fun u ->
+          if u < free then
+            [] :: List.filter_map (fun v -> if v = u then None else Some [ v ])
+                    (List.init n Fun.id)
+          else [ [ forced_target.(u) ] ])
+    in
+    match B.Exhaustive.has_equilibrium ~objective:B.Objective.Max ~candidates instance with
+    | Some false ->
+        found := true;
+        Printf.printf "MAX no-NE (3 free players) found after %d tries (%.0fs)\n"
+          !tries (Unix.gettimeofday () -. t0);
+        Array.iter
+          (fun row ->
+            Printf.printf "  [| %s |];\n"
+              (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+          weight
+    | _ -> ()
+  done;
+  if not !found then Printf.printf "structured3: none after %d tries\n" !tries

@@ -1,0 +1,48 @@
+(* Companion to max_complete4: the same complete enumeration under the
+   SUM objective.  If clean, the 5-node Sum core is size-minimal within
+   this weight range. *)
+module B = Bbc
+
+let () =
+  let n = 4 in
+  let cells = n * (n - 1) in
+  let total = ref 0 and without = ref 0 in
+  let weight = Array.init n (fun _ -> Array.make n 0) in
+  let positions =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u = v then None else Some (u, v)) (List.init n Fun.id))
+      (List.init n Fun.id)
+    |> Array.of_list
+  in
+  let t0 = Unix.gettimeofday () in
+  let rec go i =
+    if i = cells then begin
+      incr total;
+      let instance = B.Instance.of_weights ~k:1 (Array.map Array.copy weight) in
+      match B.Exhaustive.has_equilibrium instance with
+      | Some true -> ()
+      | Some false ->
+          incr without;
+          if !without <= 3 then begin
+            Printf.printf "SUM COUNTEREXAMPLE at n=4:\n";
+            Array.iter
+              (fun row ->
+                Printf.printf "  [| %s |];\n"
+                  (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+              weight
+          end
+      | None -> assert false
+    end
+    else begin
+      let u, v = positions.(i) in
+      for w = 0 to 2 do
+        weight.(u).(v) <- w;
+        go (i + 1)
+      done;
+      weight.(u).(v) <- 0
+    end
+  in
+  go 0;
+  Printf.printf "complete (4,1) Sum sweep: %d games, %d without pure NE (%.0fs)\n"
+    !total !without
+    (Unix.gettimeofday () -. t0)
