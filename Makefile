@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full experiments examples clean doc
+.PHONY: all build test bench bench-full bench-json experiments examples clean doc
 
 all: build
 
@@ -21,6 +21,11 @@ bench-capture:
 
 bench-full:
 	dune exec bench/main.exe -- --full --ablations
+
+# Quick Bechamel pass + sequential-vs-parallel speedups, machine-readable
+# (BENCH_1.json; format in DESIGN.md).  Honours BBC_JOBS / --jobs.
+bench-json:
+	dune exec bench/main.exe -- --timing-only --json
 
 experiments:
 	dune exec bin/bbc_cli.exe -- experiment

@@ -10,6 +10,10 @@
      --no-timing    skip the Bechamel section
      --timing-only  only the Bechamel section
      --ablations    include the ablation benchmarks (implied by --full)
+     --jobs N       size the Bbc_parallel domain pool (default: BBC_JOBS
+                    or the machine's recommended domain count)
+     --json [FILE]  run the sequential-vs-parallel speedup section and
+                    write machine-readable results (default BENCH_1.json)
      e1 .. e11      run only the listed experiments *)
 
 open Bechamel
@@ -124,6 +128,7 @@ let ablation_benchmarks () =
            ignore (Bbc.Stability.is_stable_parallel ~domains:4 inst config)));
   ]
 
+(* Returns [(name, ns_per_run)] so the JSON writer can replay them. *)
 let run_benchmarks ~name tests =
   Format.fprintf fmt "@.%s@.%s@." (String.make 72 '=') name;
   let ols =
@@ -133,6 +138,7 @@ let run_benchmarks ~name tests =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -140,16 +146,142 @@ let run_benchmarks ~name tests =
       Hashtbl.iter
         (fun key ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Format.fprintf fmt "  %-48s %14.1f ns/run@." key est
+          | Some [ est ] ->
+              Format.fprintf fmt "  %-48s %14.1f ns/run@." key est;
+              collected := (key, est) :: !collected
           | _ -> Format.fprintf fmt "  %-48s (no estimate)@." key)
         analyzed)
     tests;
+  Format.pp_print_flush fmt ();
+  List.rev !collected
+
+(* ------------------------------------------------------------------ *)
+(* Sequential vs parallel speedup on the domain pool.                   *)
+
+type speedup = {
+  sp_name : string;
+  seq_s : float;
+  par_s : float;
+  par_jobs : int;
+  matches : bool;  (** parallel result identical to sequential *)
+}
+
+let time_best ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Each entry runs the same computation with [jobs = 1] and with the
+   pool engaged, times both, and checks the results are identical (the
+   engine's determinism contract, asserted here and in the test suite;
+   the speedup itself is reported, not gating). *)
+let speedup_benchmarks ~par_jobs =
+  let inst2000 = Bbc.Instance.uniform ~n:2000 ~k:3 in
+  let cfg2000 = Bbc.Config.of_graph (Lazy.force big_graph_fixture) in
+  let apsp_graph =
+    Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create 7) ~n:512 ~k:3
+  in
+  let willows_inst, willows_cfg = Lazy.force big_willows_fixture in
+  let exh_inst = Bbc.Instance.uniform ~n:6 ~k:1 in
+  let run (name, reps, compute, equal) =
+    let seq = compute 1 in
+    let par = compute par_jobs in
+    let seq_s = time_best ~reps (fun () -> compute 1) in
+    let par_s = time_best ~reps (fun () -> compute par_jobs) in
+    { sp_name = name; seq_s; par_s; par_jobs; matches = equal seq par }
+  in
+  let entry name reps f = (name, reps, f, Stdlib.( = )) in
+  [
+    entry "eval/all_costs (n=2000,k=3)" 3 (fun jobs ->
+        `Costs (Bbc.Eval.all_costs ~jobs inst2000 cfg2000));
+    entry "eval/social_cost (n=2000,k=3)" 3 (fun jobs ->
+        `Cost (Bbc.Eval.social_cost ~jobs inst2000 cfg2000));
+    entry "graph/apsp (n=512,k=3)" 2 (fun jobs ->
+        `Diameter (Bbc_graph.Apsp.diameter (Bbc_graph.Apsp.compute ~jobs apsp_graph)));
+    entry "stability/is_stable willows(n=126)" 2 (fun jobs ->
+        `Stable (Bbc.Stability.is_stable ~jobs willows_inst willows_cfg));
+    entry "exhaustive/count_equilibria (n=6,k=1)" 2 (fun jobs ->
+        `Count (Bbc.Exhaustive.count_equilibria ~jobs exh_inst));
+  ]
+  |> List.map run
+
+let print_speedups speedups =
+  Format.fprintf fmt "@.%s@.Sequential vs parallel (domain pool, jobs=%d)@."
+    (String.make 72 '=')
+    (match speedups with s :: _ -> s.par_jobs | [] -> 0);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-44s seq %8.4fs  par %8.4fs  speedup %5.2fx%s@."
+        s.sp_name s.seq_s s.par_s (s.seq_s /. s.par_s)
+        (if s.matches then "" else "  [MISMATCH]"))
+    speedups;
   Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output (BENCH_*.json); format documented in
+   DESIGN.md and README.md.                                            *)
+
+let write_json ~path ~micro ~speedups =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"version\": 1,\n";
+  out "  \"default_jobs\": %d,\n" (Bbc_parallel.default_jobs ());
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": %S, \"ns_per_run\": %.1f}%s\n" name ns
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ],\n";
+  out "  \"speedup\": [\n";
+  List.iteri
+    (fun i s ->
+      out
+        "    {\"name\": %S, \"jobs\": %d, \"sequential_s\": %.6f, \
+         \"parallel_s\": %.6f, \"speedup\": %.3f, \"results_match\": %b}%s\n"
+        s.sp_name s.par_jobs s.seq_s s.par_s (s.seq_s /. s.par_s) s.matches
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Pull "--jobs N" and "--json [FILE]" out of the argument list before
+     experiment-id filtering sees it. *)
+  let jobs_arg = ref None and json_arg = ref None in
+  let rec strip = function
+    | [] -> []
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            jobs_arg := Some j;
+            strip rest
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+    | "--json" :: v :: rest when String.length v > 0 && v.[0] <> '-'
+                                 && Bbc_experiments.Registry.find v = None ->
+        json_arg := Some v;
+        strip rest
+    | "--json" :: rest ->
+        json_arg := Some "BENCH_1.json";
+        strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let args = strip args in
+  Option.iter Bbc_parallel.set_default_jobs !jobs_arg;
   let has flag = List.mem flag args in
   let full = has "--full" in
   let quick = not full in
@@ -161,14 +293,26 @@ let () =
   if not timing_only then begin
     Format.fprintf fmt
       "BBC games reproduction harness — Laoutaris et al., PODC 2008@.";
-    Format.fprintf fmt "mode: %s@." (if full then "full" else "quick");
+    Format.fprintf fmt "mode: %s (jobs=%d)@."
+      (if full then "full" else "quick")
+      (Bbc_parallel.default_jobs ());
     match selected with
     | [] -> Bbc_experiments.Registry.run_all ~quick fmt
     | entries -> List.iter (fun (e : Bbc_experiments.Registry.entry) -> e.run ~quick fmt) entries
   end;
+  let micro = ref [] in
   if (not no_timing) && selected = [] then begin
-    run_benchmarks ~name:"Micro-benchmarks (Bechamel)" (core_benchmarks ());
+    micro := run_benchmarks ~name:"Micro-benchmarks (Bechamel)" (core_benchmarks ());
     if full || has "--ablations" || timing_only then
-      run_benchmarks ~name:"Ablations (DESIGN.md section 5)" (ablation_benchmarks ())
+      micro :=
+        !micro
+        @ run_benchmarks ~name:"Ablations (DESIGN.md section 5)" (ablation_benchmarks ())
   end;
+  (match !json_arg with
+  | None -> ()
+  | Some path ->
+      let par_jobs = max 2 (Bbc_parallel.default_jobs ()) in
+      let speedups = speedup_benchmarks ~par_jobs in
+      print_speedups speedups;
+      write_json ~path ~micro:!micro ~speedups);
   Format.pp_print_flush fmt ()

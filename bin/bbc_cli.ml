@@ -74,6 +74,29 @@ let objective_opt =
   in
   Arg.(value & opt objective_conv Bbc.Objective.Sum & info [ "objective" ] ~doc:"Cost objective: sum or max.")
 
+(* Applied for its side effect on the Bbc_parallel pool before the
+   command body runs; every parallel call site then picks it up as the
+   default job count. *)
+let jobs_opt =
+  let doc =
+    "Domain-pool size for parallel evaluation (cost sweeps, stability \
+     checks, exhaustive search).  Defaults to $(b,BBC_JOBS) or the \
+     machine's recommended domain count; 1 forces sequential execution."
+  in
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | _ -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let apply = function
+    | Some j -> Bbc_parallel.set_default_jobs j
+    | None -> ()
+  in
+  Term.(const apply $ Arg.(value & opt (some jobs_conv) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
+
 (* ---------------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -81,7 +104,7 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e11); all when omitted.")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Larger sweeps.") in
-  let run ids full =
+  let run () ids full =
     let quick = not full in
     match ids with
     | [] ->
@@ -99,10 +122,10 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments (paper figures/claims).")
-    Term.(ret (const run $ ids $ full))
+    Term.(ret (const run $ jobs_opt $ ids $ full))
 
 let verify_cmd =
-  let run name n k h l seed objective =
+  let run () name n k h l seed objective =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, config) ->
@@ -120,7 +143,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check whether a named construction is a pure Nash equilibrium.")
-    Term.(ret (const run $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ objective_opt))
+    Term.(ret (const run $ jobs_opt $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ objective_opt))
 
 let dynamics_cmd =
   let scheduler_opt =
@@ -135,7 +158,7 @@ let dynamics_cmd =
   in
   let rounds_opt = Arg.(value & opt int 200 & info [ "rounds" ] ~doc:"Round budget.") in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print every deviation.") in
-  let run name n k h l seed objective scheduler rounds trace =
+  let run () name n k h l seed objective scheduler rounds trace =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, config) ->
@@ -161,8 +184,8 @@ let dynamics_cmd =
     (Cmd.info "dynamics" ~doc:"Run a best-response walk on a named construction.")
     Term.(
       ret
-        (const run $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ objective_opt
-       $ scheduler_opt $ rounds_opt $ trace))
+        (const run $ jobs_opt $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt
+       $ objective_opt $ scheduler_opt $ rounds_opt $ trace))
 
 let dot_cmd =
   let run name n k h l seed =
@@ -238,7 +261,7 @@ let load_cmd =
   let config_file =
     Arg.(value & pos 1 (some file) None & info [] ~docv:"CONFIG" ~doc:"Optional configuration file to verify.")
   in
-  let run instance_file config_file objective =
+  let run () instance_file config_file objective =
     match Bbc.Codec.load_instance instance_file with
     | Error e -> `Error (false, e)
     | Ok instance -> (
@@ -262,7 +285,7 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load an instance (and optionally verify a configuration).")
-    Term.(ret (const run $ instance_file $ config_file $ objective_opt))
+    Term.(ret (const run $ jobs_opt $ instance_file $ config_file $ objective_opt))
 
 let () =
   let doc = "Bounded Budget Connection (BBC) games laboratory" in

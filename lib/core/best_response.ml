@@ -112,6 +112,9 @@ let greedy ?(objective = Objective.Sum) instance config u =
   let base = Array.make n Paths.unreachable in
   base.(u) <- 0;
   let eval cur = Eval.cost_of_distances ~objective instance u cur in
+  (* The candidate list only depends on the instance — computed once,
+     not rebuilt on every growth step. *)
+  let candidates = candidate_targets instance u in
   let rec grow chosen budget cur cost =
     let best = ref None in
     List.iter
@@ -123,7 +126,7 @@ let greedy ?(objective = Objective.Sum) instance config u =
           | Some (_, _, c') when c' <= c -> ()
           | _ -> best := Some (v, cur', c)
         end)
-      (candidate_targets instance u);
+      candidates;
     match !best with
     | Some (v, cur', c) when c < cost ->
         grow (v :: chosen) (budget - Instance.cost instance u v) cur' c

@@ -67,16 +67,39 @@ end
 
 (* One best-response activation of [node]; returns the new configuration
    and whether it moved.  A node moves only on a strict improvement, per
-   the paper's best-response step. *)
-let activate ?objective ~policy instance config node =
-  match Best_response.improving ?objective instance config node with
-  | None -> (config, false)
-  | Some first -> (
-      match policy with
-      | First_improvement -> (Config.with_strategy config node first.strategy, true)
-      | Exact_best_response ->
+   the paper's best-response step.
+
+   [known_improving] lets a scheduler that already ran the improving
+   check (Max_cost_first scans every node per step) pass its result in,
+   so the subset enumeration is not repeated here: [Some None] = known
+   stable, [Some (Some r)] = known unstable with witness [r].
+
+   Under [Exact_best_response] the optimum is computed with a single DFS
+   and adopted iff it strictly beats the current cost — the
+   improving-then-exact double enumeration is gone. *)
+let activate ?objective ?known_improving ~policy instance config node =
+  match policy with
+  | First_improvement -> (
+      let improving =
+        match known_improving with
+        | Some r -> r
+        | None -> Best_response.improving ?objective instance config node
+      in
+      match improving with
+      | None -> (config, false)
+      | Some first -> (Config.with_strategy config node first.strategy, true))
+  | Exact_best_response -> (
+      match known_improving with
+      | Some None -> (config, false)
+      | Some (Some _) ->
+          (* Known unstable, so the optimum strictly improves. *)
           let best = Best_response.exact ?objective instance config node in
-          (Config.with_strategy config node best.strategy, true))
+          (Config.with_strategy config node best.strategy, true)
+      | None ->
+          let best = Best_response.exact ?objective instance config node in
+          let current = Eval.node_cost ?objective instance config node in
+          if best.cost < current then (Config.with_strategy config node best.strategy, true)
+          else (config, false))
 
 let round_order scheduler rng n =
   match scheduler with
@@ -130,10 +153,16 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
           | None -> (
               Seen.add seen config step;
               let costs = Eval.all_costs ?objective instance config in
+              (* One improving check per node, fanned over the domain
+                 pool; the winner's result is handed to [activate] so
+                 the enumeration never runs twice for the same step. *)
+              let improving =
+                Bbc_parallel.parallel_init
+                  ~jobs:(Bbc_parallel.jobs_for ~threshold:64 n) n
+                  (fun u -> Best_response.improving ?objective instance config u)
+              in
               let unstable =
-                List.filter
-                  (fun u -> Option.is_some (Best_response.improving ?objective instance config u))
-                  (List.init n Fun.id)
+                List.filter (fun u -> Option.is_some improving.(u)) (List.init n Fun.id)
               in
               match unstable with
               | [] -> Converged (config, { rounds = step; steps = step; deviations })
@@ -147,7 +176,10 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
                       None us
                     |> Option.get
                   in
-                  let config', moved = activate ?objective ~policy instance config node in
+                  let config', moved =
+                    activate ?objective ~known_improving:improving.(node) ~policy instance
+                      config node
+                  in
                   emit step step node moved config';
                   go config' (step + 1) (deviations + if moved then 1 else 0))
       in

@@ -20,9 +20,22 @@ let node_cost ?objective ?graph instance config u =
   let g = match graph with Some g -> g | None -> Config.to_graph instance config in
   cost_of_distances ?objective instance u (Paths.shortest g u)
 
-let all_costs ?objective instance config =
-  let g = Config.to_graph instance config in
-  Array.init (Instance.n instance) (fun u -> node_cost ?objective ~graph:g instance config u)
+(* One SSSP per source: below this node count the pool fan-out costs
+   more than the row of BFS/Dijkstra runs it saves. *)
+let parallel_threshold = 64
 
-let social_cost ?objective instance config =
-  Array.fold_left ( + ) 0 (all_costs ?objective instance config)
+let all_costs ?objective ?jobs instance config =
+  let g = Config.to_graph instance config in
+  let n = Instance.n instance in
+  let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
+  (* Workers share the realized graph read-only; each SSSP allocates its
+     own distance array, so per-node evaluations are independent. *)
+  Bbc_parallel.parallel_init ~jobs n (fun u ->
+      node_cost ?objective ~graph:g instance config u)
+
+let social_cost ?objective ?jobs instance config =
+  let g = Config.to_graph instance config in
+  let n = Instance.n instance in
+  let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
+  Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:( + ) 0 n (fun u ->
+      node_cost ?objective ~graph:g instance config u)

@@ -18,11 +18,18 @@ val node_cost :
     trusted to equal [Config.to_graph instance config]. *)
 
 val all_costs :
-  ?objective:Objective.t -> Instance.t -> Config.t -> int array
-(** Cost of every node (one shortest-path computation per node). *)
+  ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int array
+(** Cost of every node (one shortest-path computation per node).  The
+    per-source computations are independent — workers share the realized
+    graph {e read-only} and own their scratch distance arrays — so they
+    are fanned out over the {!Bbc_parallel} domain pool.  [jobs]
+    defaults to {!Bbc_parallel.default_jobs} for n >= 64 and to 1 below
+    that; the result is identical for every job count. *)
 
-val social_cost : ?objective:Objective.t -> Instance.t -> Config.t -> int
-(** Sum over nodes of {!node_cost} — the paper's total social cost. *)
+val social_cost : ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int
+(** Sum over nodes of {!node_cost} — the paper's total social cost.
+    Parallelized like {!all_costs} (integer addition is associative, so
+    the chunked reduction is exact). *)
 
 val cost_of_distances :
   ?objective:Objective.t -> Instance.t -> int -> int array -> int

@@ -32,34 +32,53 @@ let space_size candidates =
 let default_candidates instance =
   Array.init (Instance.n instance) (all_strategies instance)
 
-let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) instance =
-  let n = Instance.n instance in
-  let candidates = match candidates with Some c -> c | None -> default_candidates instance in
-  if Array.length candidates <> n then invalid_arg "Exhaustive.search: candidates length mismatch";
-  let candidate_arrays =
-    Array.map (fun l -> Array.of_list (List.map Array.of_list l)) candidates
+(* The profile space is partitioned by the strategies of the first
+   [depth] nodes (the "prefix"): every prefix subtree is enumerated
+   independently on the domain pool, and prefixes are indexed so that
+   ascending index = the sequential DFS order.  Early abort propagates
+   two ways: a global profile budget ([max_profiles]) and a per-prefix
+   rule — a subtree may stop as soon as the prefixes strictly before it
+   have already found [limit] equilibria, because all of those precede
+   anything it could still find in enumeration order.  Together this
+   keeps the reported equilibria identical to the sequential search for
+   every job count. *)
+
+let prefix_partition candidate_arrays ~n ~jobs =
+  if jobs = 1 then (0, 1)
+  else begin
+    let target = jobs * 8 and cap = 8192 in
+    let depth = ref 0 and count = ref 1 in
+    while
+      !depth < n && !count < target
+      && !count * max 1 (Array.length candidate_arrays.(!depth)) <= cap
+    do
+      count := !count * Array.length candidate_arrays.(!depth);
+      incr depth
+    done;
+    (!depth, !count)
+  end
+
+(* Mixed-radix decode of prefix index [p] (level 0 most significant, so
+   lexicographic prefix order matches ascending [p]). *)
+let decode_prefix candidate_arrays ~depth p profile =
+  let rec go level p =
+    if level >= 0 then begin
+      let arr = candidate_arrays.(level) in
+      let len = Array.length arr in
+      profile.(level) <- arr.(p mod len);
+      go (level - 1) (p / len)
+    end
   in
-  let examined = ref 0 in
-  let equilibria = ref [] and found = ref 0 in
-  let complete = ref true in
-  let profile = Array.make n [||] in
+  go (depth - 1) p
+
+(* DFS over the suffix levels [level .. n-1]; [on_profile] sees every
+   complete assignment and returns [true] to abort this subtree. *)
+let enumerate_suffix candidate_arrays profile level ~on_profile =
+  let n = Array.length candidate_arrays in
   let exception Stop in
   let rec assign u =
     if u = n then begin
-      if !examined >= max_profiles then begin
-        complete := false;
-        raise Stop
-      end;
-      incr examined;
-      let config = Config.of_lists n (Array.map Array.to_list profile) in
-      if Stability.is_stable ?objective instance config then begin
-        equilibria := config :: !equilibria;
-        incr found;
-        if !found >= limit then begin
-          complete := false;
-          raise Stop
-        end
-      end
+      if on_profile () then raise Stop
     end
     else
       Array.iter
@@ -68,13 +87,78 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ins
           assign (u + 1))
         candidate_arrays.(u)
   in
-  (try assign 0 with Stop -> ());
-  { equilibria = List.rev !equilibria; examined = !examined; complete = !complete }
+  try assign level with Stop -> ()
 
-let has_equilibrium ?objective ?candidates ?max_profiles instance =
-  let r = search ?objective ?candidates ~limit:1 ?max_profiles instance in
+let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jobs instance =
+  let n = Instance.n instance in
+  let candidates = match candidates with Some c -> c | None -> default_candidates instance in
+  if Array.length candidates <> n then invalid_arg "Exhaustive.search: candidates length mismatch";
+  let candidate_arrays =
+    Array.map (fun l -> Array.of_list (List.map Array.of_list l)) candidates
+  in
+  let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:0 n in
+  let depth, nprefixes = prefix_partition candidate_arrays ~n ~jobs in
+  let found = Array.init nprefixes (fun _ -> Atomic.make 0) in
+  let total_found = Atomic.make 0 in
+  let examined_total = Atomic.make 0 in
+  let over_budget = Atomic.make false in
+  let per_equilibria = Array.make nprefixes [] in
+  let per_examined = Array.make nprefixes 0 in
+  (* Have the prefixes strictly before [p] already found [limit]
+     equilibria?  Cheap pre-check on the global count first. *)
+  let limit_reached_before p =
+    Atomic.get total_found >= limit
+    &&
+    let acc = ref 0 and q = ref 0 in
+    while !acc < limit && !q < p do
+      acc := !acc + Atomic.get found.(!q);
+      incr q
+    done;
+    !acc >= limit
+  in
+  let run_prefix p =
+    if not (Atomic.get over_budget || limit_reached_before p) then begin
+      let profile = Array.make n [||] in
+      decode_prefix candidate_arrays ~depth p profile;
+      let equilibria = ref [] and mine = ref 0 and examined = ref 0 in
+      let on_profile () =
+        if Atomic.fetch_and_add examined_total 1 >= max_profiles then begin
+          Atomic.set over_budget true;
+          true
+        end
+        else begin
+          incr examined;
+          let config = Config.of_lists n (Array.map Array.to_list profile) in
+          if Stability.is_stable ?objective instance config then begin
+            equilibria := config :: !equilibria;
+            incr mine;
+            Atomic.incr found.(p);
+            Atomic.incr total_found
+          end;
+          !mine >= limit
+          || Atomic.get over_budget
+          || (!examined land 63 = 0 && limit_reached_before p)
+        end
+      in
+      enumerate_suffix candidate_arrays profile depth ~on_profile;
+      per_equilibria.(p) <- List.rev !equilibria;
+      per_examined.(p) <- !examined
+    end
+  in
+  Bbc_parallel.parallel_for ~jobs ~chunk:1 0 nprefixes run_prefix;
+  let all = List.concat (Array.to_list per_equilibria) in
+  let total = List.length all in
+  let equilibria = List.filteri (fun i _ -> i < limit) all in
+  {
+    equilibria;
+    examined = Array.fold_left ( + ) 0 per_examined;
+    complete = (not (Atomic.get over_budget)) && total < limit;
+  }
+
+let has_equilibrium ?objective ?candidates ?max_profiles ?jobs instance =
+  let r = search ?objective ?candidates ~limit:1 ?max_profiles ?jobs instance in
   if r.equilibria <> [] then Some true else if r.complete then Some false else None
 
-let count_equilibria ?objective ?candidates ?max_profiles instance =
-  let r = search ?objective ?candidates ~limit:max_int ?max_profiles instance in
+let count_equilibria ?objective ?candidates ?max_profiles ?jobs instance =
+  let r = search ?objective ?candidates ~limit:max_int ?max_profiles ?jobs instance in
   if r.complete then Some (List.length r.equilibria) else None

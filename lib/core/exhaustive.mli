@@ -36,16 +36,28 @@ val search :
   ?candidates:int list list array ->
   ?limit:int ->
   ?max_profiles:int ->
+  ?jobs:int ->
   Instance.t ->
   result
 (** Enumerate and stability-check the profile space.  [limit] (default 1)
     bounds the number of equilibria collected; [max_profiles] (default
-    [10^8]) aborts oversized searches with [complete = false]. *)
+    [10^8]) aborts oversized searches with [complete = false].
+
+    [jobs] (default {!Bbc_parallel.default_jobs}) partitions the space
+    by a prefix of the first node levels and enumerates the subtrees on
+    the domain pool.  Early abort propagates across domains: a subtree
+    stops once the prefixes preceding it have found [limit] equilibria
+    (everything they found precedes anything it could find) or the
+    global [max_profiles] budget is exhausted.  The [equilibria] list
+    and [complete] flag are therefore identical for every job count;
+    [examined] can differ between job counts only when the search aborts
+    early ([limit] hit or budget exhausted). *)
 
 val has_equilibrium :
   ?objective:Objective.t ->
   ?candidates:int list list array ->
   ?max_profiles:int ->
+  ?jobs:int ->
   Instance.t ->
   bool option
 (** [Some b] if the search completed, [None] if it hit [max_profiles]. *)
@@ -54,5 +66,6 @@ val count_equilibria :
   ?objective:Objective.t ->
   ?candidates:int list list array ->
   ?max_profiles:int ->
+  ?jobs:int ->
   Instance.t ->
   int option

@@ -4,11 +4,19 @@ type deviation = {
   better : Best_response.result;
 }
 
-let find_deviation ?objective instance config =
+(* Per-node best-response checks only read the shared instance and
+   profile (and build their own G_{-u} copies), so they fan out over the
+   domain pool.  Below this node count the checks run sequentially. *)
+let parallel_threshold = 64
+
+let resolve_jobs ?jobs n = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n
+
+let find_deviation ?objective ?jobs instance config =
   let n = Instance.n instance in
-  let rec go u =
-    if u >= n then None
-    else
+  let jobs = resolve_jobs ?jobs n in
+  (* [parallel_find_first] returns the lowest-index hit, so the reported
+     deviation is the same node the sequential scan would find. *)
+  Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
       match Best_response.improving ?objective instance config u with
       | Some better ->
           Some
@@ -17,13 +25,15 @@ let find_deviation ?objective instance config =
               current_cost = Eval.node_cost ?objective instance config u;
               better;
             }
-      | None -> go (u + 1)
-  in
-  go 0
+      | None -> None)
 
-let is_stable ?objective instance config =
+let is_stable ?objective ?jobs instance config =
+  let n = Instance.n instance in
+  let jobs = resolve_jobs ?jobs n in
   Config.feasible instance config
-  && Option.is_none (find_deviation ?objective instance config)
+  && not
+       (Bbc_parallel.parallel_exists ~jobs 0 n (fun u ->
+            Option.is_some (Best_response.improving ?objective instance config u)))
 
 let nodes_stable ?objective instance config nodes =
   Config.feasible instance config
@@ -32,47 +42,26 @@ let nodes_stable ?objective instance config nodes =
        nodes
 
 let is_stable_parallel ?objective ?domains instance config =
-  let n = Instance.n instance in
-  let domains =
-    match domains with
-    | Some d -> max 1 d
-    | None -> max 1 (min 4 (Domain.recommended_domain_count () - 1))
+  let jobs =
+    match domains with Some d -> max 1 d | None -> Bbc_parallel.default_jobs ()
   in
-  if not (Config.feasible instance config) then false
-  else if domains = 1 || n < 2 * domains then
-    Option.is_none (find_deviation ?objective instance config)
-  else begin
-    (* Round-robin node assignment; a shared flag lets every domain stop
-       as soon as any of them finds an improving deviation. *)
-    let unstable = Atomic.make false in
-    let worker d () =
-      let u = ref d in
-      while (not (Atomic.get unstable)) && !u < n do
-        if Option.is_some (Best_response.improving ?objective instance config !u)
-        then Atomic.set unstable true;
-        u := !u + domains
-      done
-    in
-    let handles = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
-    worker 0 ();
-    List.iter Domain.join handles;
-    not (Atomic.get unstable)
-  end
+  is_stable ?objective ~jobs instance config
 
-let unstable_nodes ?objective instance config =
+let unstable_nodes ?objective ?jobs instance config =
   let n = Instance.n instance in
-  List.filter
-    (fun u -> Option.is_some (Best_response.improving ?objective instance config u))
-    (List.init n Fun.id)
+  let jobs = resolve_jobs ?jobs n in
+  let unstable =
+    Bbc_parallel.parallel_init ~jobs n (fun u ->
+        Option.is_some (Best_response.improving ?objective instance config u))
+  in
+  List.filter (fun u -> unstable.(u)) (List.init n Fun.id)
 
-let stability_gap ?objective instance config =
-  let costs = Eval.all_costs ?objective instance config in
-  let gap = ref 0 in
-  for u = 0 to Instance.n instance - 1 do
-    let best = Best_response.best_cost ?objective instance config u in
-    if costs.(u) - best > !gap then gap := costs.(u) - best
-  done;
-  !gap
+let stability_gap ?objective ?jobs instance config =
+  let n = Instance.n instance in
+  let jobs = resolve_jobs ?jobs n in
+  let costs = Eval.all_costs ?objective ~jobs instance config in
+  Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:max 0 n (fun u ->
+      costs.(u) - Best_response.best_cost ?objective instance config u)
 
 let pp_deviation fmt d =
   Format.fprintf fmt "node %d: cost %d -> %d via [%a]" d.node d.current_cost

@@ -3,7 +3,16 @@
     A profile is stable (a pure Nash equilibrium) when no node has a
     feasible strategy with strictly smaller cost, all other strategies
     fixed.  Verification runs one exact best-response computation per
-    node; [is_stable] short-circuits on the first unstable node. *)
+    node; [is_stable] short-circuits on the first unstable node.
+
+    {b Parallelism.}  Per-node checks are independent: they read the
+    shared instance and profile (both immutable) and build their own
+    [G_{-u}] scratch graphs, honouring the read-only-graph contract of
+    {!Bbc_graph.Digraph}.  The [?jobs] parameter (default:
+    {!Bbc_parallel.default_jobs} for n >= 64, sequential below) fans
+    them over the {!Bbc_parallel} domain pool with early abort: as soon
+    as any domain finds an improving deviation the others stop.  Every
+    function returns the same result for every job count. *)
 
 type deviation = {
   node : int;
@@ -11,7 +20,7 @@ type deviation = {
   better : Best_response.result;  (** A strictly improving strategy. *)
 }
 
-val is_stable : ?objective:Objective.t -> Instance.t -> Config.t -> bool
+val is_stable : ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> bool
 
 val nodes_stable :
   ?objective:Objective.t -> Instance.t -> Config.t -> int list -> bool
@@ -22,24 +31,21 @@ val nodes_stable :
 
 val is_stable_parallel :
   ?objective:Objective.t -> ?domains:int -> Instance.t -> Config.t -> bool
-(** {!is_stable} with the per-node best-response checks fanned out over
-    OCaml 5 domains ([domains] defaults to
-    [min 4 (Domain.recommended_domain_count () - 1)], floored at 1 — so
-    on a single-core machine this transparently degrades to the
-    sequential path).  Exact same verdict as {!is_stable}; each node's
-    check is independent (it only reads the shared instance and
-    profile), so on real multicore hardware the speedup is near-linear
-    up to GC contention; with fewer cores than domains it is pure
-    overhead. *)
+(** [is_stable ~jobs:domains] — kept for compatibility; [domains]
+    defaults to {!Bbc_parallel.default_jobs} (no size threshold, so this
+    always engages the pool).  Exact same verdict as {!is_stable}. *)
 
 val find_deviation :
-  ?objective:Objective.t -> Instance.t -> Config.t -> deviation option
-(** First improving deviation in node order, if any. *)
+  ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> deviation option
+(** First improving deviation in node order, if any.  The parallel scan
+    still reports the {e lowest} unstable node, exactly like the
+    sequential one. *)
 
-val unstable_nodes : ?objective:Objective.t -> Instance.t -> Config.t -> int list
+val unstable_nodes :
+  ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int list
 (** All nodes that currently have an improving deviation. *)
 
-val stability_gap : ?objective:Objective.t -> Instance.t -> Config.t -> int
+val stability_gap : ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int
 (** Max over nodes of [current_cost - best_response_cost]; 0 iff stable.
     (The additive analogue of epsilon-equilibrium.) *)
 

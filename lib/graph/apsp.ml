@@ -1,23 +1,41 @@
 type t = { dist : int array array }
 
-let compute g =
+(* Below this size the per-pivot fan-out costs more than the row work. *)
+let parallel_threshold = 128
+
+let relax_row dist k i =
+  let dik = dist.(i).(k) in
+  if dik <> Paths.unreachable then begin
+    let row_i = dist.(i) and row_k = dist.(k) in
+    let n = Array.length row_i in
+    for j = 0 to n - 1 do
+      let dkj = row_k.(j) in
+      if dkj <> Paths.unreachable && dik + dkj < row_i.(j) then
+        row_i.(j) <- dik + dkj
+    done
+  end
+
+let compute ?jobs g =
   let n = Digraph.n g in
   let dist = Array.init n (fun _ -> Array.make n Paths.unreachable) in
   for v = 0 to n - 1 do
     dist.(v).(v) <- 0
   done;
   Digraph.iter_edges g (fun u v len -> if len < dist.(u).(v) then dist.(u).(v) <- len);
-  for k = 0 to n - 1 do
-    for i = 0 to n - 1 do
-      let dik = dist.(i).(k) in
-      if dik <> Paths.unreachable then
-        for j = 0 to n - 1 do
-          let dkj = dist.(k).(j) in
-          if dkj <> Paths.unreachable && dik + dkj < dist.(i).(j) then
-            dist.(i).(j) <- dik + dkj
-        done
+  let jobs = match jobs with Some j -> max 1 j | None -> Bbc_parallel.default_jobs () in
+  if jobs = 1 || n < parallel_threshold then
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        relax_row dist k i
+      done
     done
-  done;
+  else
+    (* Parallel Floyd–Warshall: for a fixed pivot [k] the row updates are
+       independent, and pivot row [k] itself is a fixed point of pass [k]
+       (d(k,k) = 0), so workers only read it — no write conflicts. *)
+    for k = 0 to n - 1 do
+      Bbc_parallel.parallel_for ~jobs 0 n (fun i -> relax_row dist k i)
+    done;
   { dist }
 
 let distance t u v = t.dist.(u).(v)

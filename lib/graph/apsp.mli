@@ -8,7 +8,11 @@
 
 type t
 
-val compute : Digraph.t -> t
+val compute : ?jobs:int -> Digraph.t -> t
+(** [jobs] (default {!Bbc_parallel.default_jobs}) fans the row updates of
+    each Floyd–Warshall pass over the domain pool; for a fixed pivot the
+    rows are independent, so the result is identical for every job
+    count.  Small matrices (n < 128) always run sequentially. *)
 
 val distance : t -> int -> int -> int
 (** [Paths.unreachable] when no path exists; 0 on the diagonal. *)

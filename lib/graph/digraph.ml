@@ -2,19 +2,24 @@ type t = {
   size : int;
   adj : (int * int) list array; (* adj.(u) = [(v, length); ...] *)
   mutable edges : int;
+  mutable non_unit : int; (* edges with length <> 1; see all_unit_lengths *)
 }
 
 let create n =
   if n < 0 then invalid_arg "Digraph.create: negative size";
-  { size = n; adj = Array.make n []; edges = 0 }
+  { size = n; adj = Array.make n []; edges = 0; non_unit = 0 }
 
 let n g = g.size
 
 let edge_count g = g.edges
 
+let all_unit_lengths g = g.non_unit = 0
+
 let check_vertex g u name =
   if u < 0 || u >= g.size then
     invalid_arg (Printf.sprintf "Digraph.%s: vertex %d out of range [0,%d)" name u g.size)
+
+let count_non_unit l = if l <> 1 then 1 else 0
 
 let add_edge g u v len =
   check_vertex g u "add_edge";
@@ -23,26 +28,35 @@ let add_edge g u v len =
   if len < 0 then invalid_arg "Digraph.add_edge: negative length";
   let rec replace = function
     | [] -> None
-    | (v', _) :: rest when v' = v -> Some ((v, len) :: rest)
+    | (v', old_len) :: rest when v' = v -> Some (old_len, (v, len) :: rest)
     | e :: rest -> (
-        match replace rest with None -> None | Some rest' -> Some (e :: rest'))
+        match replace rest with
+        | None -> None
+        | Some (old_len, rest') -> Some (old_len, e :: rest'))
   in
   match replace g.adj.(u) with
-  | Some adj' -> g.adj.(u) <- adj'
+  | Some (old_len, adj') ->
+      g.adj.(u) <- adj';
+      g.non_unit <- g.non_unit - count_non_unit old_len + count_non_unit len
   | None ->
       g.adj.(u) <- (v, len) :: g.adj.(u);
-      g.edges <- g.edges + 1
+      g.edges <- g.edges + 1;
+      g.non_unit <- g.non_unit + count_non_unit len
 
 let remove_edge g u v =
   check_vertex g u "remove_edge";
   check_vertex g v "remove_edge";
-  let before = List.length g.adj.(u) in
-  g.adj.(u) <- List.filter (fun (v', _) -> v' <> v) g.adj.(u);
-  if List.length g.adj.(u) < before then g.edges <- g.edges - 1
+  match List.assoc_opt v g.adj.(u) with
+  | None -> ()
+  | Some len ->
+      g.adj.(u) <- List.filter (fun (v', _) -> v' <> v) g.adj.(u);
+      g.edges <- g.edges - 1;
+      g.non_unit <- g.non_unit - count_non_unit len
 
 let remove_out_edges g u =
   check_vertex g u "remove_out_edges";
   g.edges <- g.edges - List.length g.adj.(u);
+  List.iter (fun (_, len) -> g.non_unit <- g.non_unit - count_non_unit len) g.adj.(u);
   g.adj.(u) <- []
 
 let mem_edge g u v =
@@ -78,7 +92,7 @@ let fold_edges g f init =
 let edges g =
   fold_edges g (fun acc u v len -> (u, v, len) :: acc) [] |> List.sort compare
 
-let copy g = { size = g.size; adj = Array.copy g.adj; edges = g.edges }
+let copy g = { size = g.size; adj = Array.copy g.adj; edges = g.edges; non_unit = g.non_unit }
 
 let transpose g =
   let t = create g.size in

@@ -4,7 +4,17 @@
     [l(u,v)] of the BBC model).  At most one edge exists per ordered pair;
     re-adding an edge replaces its length.  The representation is an
     adjacency list per vertex, which matches the access pattern of the
-    shortest-path and best-response code (iterate out-edges of a vertex). *)
+    shortest-path and best-response code (iterate out-edges of a vertex).
+
+    {b Read-only-graph contract (multicore).}  A graph that is not
+    mutated is safe to read from any number of domains concurrently: all
+    queries ([n], [edge_count], [all_unit_lengths], [mem_edge],
+    [edge_length], [out_edges], [iter_out], [iter_edges], ...) only read.
+    The parallel engine ({!Bbc_parallel}) relies on this — workers share
+    one realized graph and keep their own scratch (distance arrays,
+    graph copies for [G_{-u}]).  Interleaving a mutation ([add_edge],
+    [remove_edge], [remove_out_edges]) with concurrent readers is a data
+    race and is forbidden. *)
 
 type t
 
@@ -16,6 +26,12 @@ val n : t -> int
 
 val edge_count : t -> int
 (** Number of edges currently present. *)
+
+val all_unit_lengths : t -> bool
+(** Whether every edge has length 1, in O(1): the graph maintains a
+    count of non-unit edges, updated on every insertion, replacement and
+    removal.  {!Paths.shortest} uses this to dispatch BFS vs Dijkstra
+    without rescanning the edge set. *)
 
 val add_edge : t -> int -> int -> int -> unit
 (** [add_edge g u v len] adds (or replaces) the edge [u -> v] with length

@@ -40,10 +40,7 @@ let dijkstra g src =
   drain ();
   dist
 
-let all_unit_lengths g =
-  let ok = ref true in
-  Digraph.iter_edges g (fun _ _ len -> if len <> 1 then ok := false);
-  !ok
+let all_unit_lengths = Digraph.all_unit_lengths
 
 let shortest g src = if all_unit_lengths g then bfs g src else dijkstra g src
 

@@ -21,7 +21,10 @@ val shortest : Digraph.t -> int -> int array
     1, to {!dijkstra} otherwise. *)
 
 val all_unit_lengths : Digraph.t -> bool
-(** Whether every edge of the graph has length 1. *)
+(** Whether every edge of the graph has length 1.  O(1): the graph keeps
+    a non-unit edge count up to date (see {!Digraph.all_unit_lengths}),
+    so the BFS/Dijkstra dispatch in {!shortest} no longer rescans the
+    whole edge set on every call. *)
 
 val distance : Digraph.t -> int -> int -> int
 (** [distance g u v] is the shortest-path distance from [u] to [v]

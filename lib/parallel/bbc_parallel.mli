@@ -1,0 +1,97 @@
+(** Multicore execution engine: a fixed-size OCaml 5 domain pool with
+    chunked, deterministic data-parallel operations.
+
+    {1 Pool model}
+
+    A single process-wide pool of worker domains is created lazily on the
+    first parallel call and grows (never shrinks) up to the largest job
+    count requested, bounded by an internal hard cap.  Each operation runs
+    on [jobs] participants: the calling domain plus [jobs - 1] pool
+    workers.  [jobs] defaults to {!default_jobs}.  Workers park on a
+    condition variable between operations, so an idle pool costs nothing
+    but memory.
+
+    {1 Determinism}
+
+    Every operation returns a result that is independent of the number of
+    jobs and of scheduling:
+    - {!parallel_for} / {!parallel_init} / {!parallel_map} write disjoint
+      output slots;
+    - {!parallel_reduce} folds per-chunk partial results in chunk order
+      (equal to the sequential fold when [combine] is associative with
+      [neutral] as identity);
+    - {!parallel_find_first} returns the hit with the {e lowest index},
+      exactly as a sequential left-to-right scan would, while still
+      aborting work at higher indices early.
+
+    {1 Thread-safety contract}
+
+    The function passed to an operation is executed concurrently on
+    several domains.  It must confine its mutable state to the call (own
+    scratch arrays, own graph copies) and treat everything captured from
+    the environment as {b read-only}.  The BBC hot paths satisfy this:
+    {!Bbc.Instance.t} and {!Bbc.Config.t} are immutable, and the
+    realized graph handed to per-node cost evaluations is only read (see
+    the read-only-graph contract in [eval.mli], [stability.mli] and
+    [digraph.mli]).
+
+    Nested parallel calls (from inside a function already running on the
+    pool) transparently degrade to the sequential path instead of
+    deadlocking, so library code may call these operations without
+    knowing whether it is itself inside one. *)
+
+val default_jobs : unit -> int
+(** Effective default job count, resolved in priority order:
+    {!set_default_jobs} if called, else the [BBC_JOBS] environment
+    variable (ignored unless a positive integer), else
+    [Domain.recommended_domain_count ()].  Always at least 1. *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count (the [--jobs] CLI flag).  Raises
+    [Invalid_argument] if the argument is < 1.  Values are clamped to an
+    internal hard cap. *)
+
+val jobs_for : ?jobs:int -> threshold:int -> int -> int
+(** [jobs_for ?jobs ~threshold n] resolves an optional per-call job
+    count for a problem of size [n]: an explicit [jobs] always wins
+    (floored at 1, so callers can force the parallel path in tests);
+    otherwise problems below [threshold] run sequentially and larger
+    ones use {!default_jobs}.  Shared by the hot-path call sites so
+    "small inputs stay sequential" is one policy, not many. *)
+
+val parallel_for : ?jobs:int -> ?chunk:int -> int -> int -> (int -> unit) -> unit
+(** [parallel_for lo hi f] runs [f i] for every [lo <= i < hi], fanned
+    out in index chunks of size [chunk] (default: range split into ~8
+    chunks per job).  [f] must be safe to call concurrently on distinct
+    indices. *)
+
+val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init].  [f 0] is evaluated first on the caller (to
+    seed the array), the rest in parallel. *)
+
+val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)
+
+val parallel_reduce :
+  ?jobs:int ->
+  ?chunk:int ->
+  neutral:'a ->
+  combine:('a -> 'a -> 'a) ->
+  int ->
+  int ->
+  (int -> 'a) ->
+  'a
+(** [parallel_reduce ~neutral ~combine lo hi f] folds [f i] over the
+    range.  Chunk-local folds run in parallel; partial results are then
+    combined in chunk order, so the result equals the sequential
+    left-to-right fold whenever [combine] is associative and [neutral]
+    its identity. *)
+
+val parallel_find_first : ?jobs:int -> ?chunk:int -> int -> int -> (int -> 'a option) -> 'a option
+(** [parallel_find_first lo hi f] is [f i] for the smallest [i] with
+    [f i <> None], or [None].  Identical to the sequential scan, with
+    early abort: once a hit is known at index [i], no work is started at
+    indices [>= i]. *)
+
+val parallel_exists : ?jobs:int -> ?chunk:int -> int -> int -> (int -> bool) -> bool
+(** [parallel_exists lo hi p] — early-aborting parallel disjunction. *)

@@ -39,4 +39,5 @@ let () =
       ("fabrikant", Test_fabrikant.suite);
       ("experiments-table", Test_table.suite);
       ("properties", Test_props.suite);
+      ("parallel", Test_parallel.suite);
     ]

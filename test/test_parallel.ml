@@ -1,0 +1,271 @@
+(* The multicore execution engine: primitive operations against their
+   sequential counterparts on randomized inputs, and the determinism
+   contract of the parallelized hot paths — byte-identical results for
+   every job count. *)
+
+module P = Bbc_parallel
+module Splitmix = Bbc_prng.Splitmix
+module I = Bbc.Instance
+module C = Bbc.Config
+
+let random_instance_config seed ~n ~k =
+  let rng = Splitmix.create seed in
+  let inst = I.uniform ~n ~k in
+  let g = Bbc_graph.Generators.random_k_out (Splitmix.split rng) ~n ~k in
+  (inst, C.of_graph g)
+
+(* ------------------------------------------------------------------ *)
+(* Primitives on randomized inputs.                                    *)
+
+let test_parallel_map_matches_sequential () =
+  let rng = Splitmix.create 11 in
+  for round = 1 to 20 do
+    let len = Splitmix.int rng 200 in
+    let arr = Array.init len (fun _ -> Splitmix.int_in_range rng ~lo:(-1000) ~hi:1000) in
+    let f x = (x * 31) + (x * x mod 7) in
+    let jobs = 1 + Splitmix.int rng 6 in
+    Alcotest.(check (array int))
+      (Printf.sprintf "map round %d (len=%d jobs=%d)" round len jobs)
+      (Array.map f arr)
+      (P.parallel_map ~jobs f arr)
+  done
+
+let test_parallel_reduce_matches_sequential () =
+  let rng = Splitmix.create 12 in
+  for round = 1 to 20 do
+    let len = Splitmix.int rng 500 in
+    let data = Array.init len (fun _ -> Splitmix.int_in_range rng ~lo:(-50) ~hi:50) in
+    let jobs = 1 + Splitmix.int rng 6 in
+    let expect = Array.fold_left ( + ) 0 data in
+    Alcotest.(check int)
+      (Printf.sprintf "sum round %d" round)
+      expect
+      (P.parallel_reduce ~jobs ~neutral:0 ~combine:( + ) 0 len (fun i -> data.(i)));
+    let expect_max = Array.fold_left max min_int data in
+    if len > 0 then
+      Alcotest.(check int)
+        (Printf.sprintf "max round %d" round)
+        expect_max
+        (P.parallel_reduce ~jobs ~neutral:min_int ~combine:max 0 len (fun i -> data.(i)))
+  done
+
+let test_parallel_for_covers_range () =
+  let rng = Splitmix.create 13 in
+  for _ = 1 to 10 do
+    let len = 1 + Splitmix.int rng 300 in
+    let jobs = 1 + Splitmix.int rng 6 in
+    let chunk = 1 + Splitmix.int rng 17 in
+    let hits = Array.make len 0 in
+    P.parallel_for ~jobs ~chunk 0 len (fun i -> hits.(i) <- hits.(i) + 1);
+    Alcotest.(check bool) "each index exactly once" true (Array.for_all (( = ) 1) hits)
+  done
+
+let test_find_first_is_sequential_winner () =
+  let rng = Splitmix.create 14 in
+  for _ = 1 to 20 do
+    let len = 1 + Splitmix.int rng 400 in
+    (* Several hits; the parallel scan must report the lowest index. *)
+    let hit = Array.init len (fun _ -> Splitmix.int rng 10 = 0) in
+    let jobs = 1 + Splitmix.int rng 6 in
+    let expect =
+      let rec go i = if i >= len then None else if hit.(i) then Some i else go (i + 1) in
+      go 0
+    in
+    Alcotest.(check (option int))
+      "lowest hit"
+      expect
+      (P.parallel_find_first ~jobs ~chunk:7 0 len (fun i -> if hit.(i) then Some i else None))
+  done
+
+let test_exceptions_propagate () =
+  (match P.parallel_for ~jobs:4 0 1000 (fun i -> if i = 500 then failwith "boom") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  (* The pool survives a failed task. *)
+  Alcotest.(check bool) "pool usable after exception" true
+    (P.parallel_exists ~jobs:4 0 100 (fun i -> i = 99))
+
+let test_nested_calls_degrade () =
+  let outer =
+    P.parallel_init ~jobs:4 8 (fun i ->
+        P.parallel_reduce ~jobs:4 ~neutral:0 ~combine:( + ) 0 50 (fun j -> i + j))
+  in
+  Alcotest.(check (array int))
+    "nested = sequential"
+    (Array.init 8 (fun i -> (50 * i) + 1225))
+    outer
+
+let test_jobs_for () =
+  Alcotest.(check int) "explicit wins" 4 (P.jobs_for ~jobs:4 ~threshold:1000 10);
+  Alcotest.(check int) "explicit floored" 1 (P.jobs_for ~jobs:0 ~threshold:0 10);
+  Alcotest.(check int) "below threshold sequential" 1 (P.jobs_for ~threshold:64 63)
+
+(* ------------------------------------------------------------------ *)
+(* Hot paths: jobs=1 vs jobs=4 identical.                              *)
+
+let test_all_costs_jobs_invariant () =
+  List.iter
+    (fun (seed, n, k) ->
+      let inst, config = random_instance_config seed ~n ~k in
+      Alcotest.(check (array int))
+        (Printf.sprintf "all_costs n=%d" n)
+        (Bbc.Eval.all_costs ~jobs:1 inst config)
+        (Bbc.Eval.all_costs ~jobs:4 inst config);
+      Alcotest.(check int)
+        (Printf.sprintf "social_cost n=%d" n)
+        (Bbc.Eval.social_cost ~jobs:1 inst config)
+        (Bbc.Eval.social_cost ~jobs:4 inst config))
+    [ (21, 30, 2); (22, 77, 3); (23, 150, 2) ]
+
+let test_all_costs_max_objective_jobs_invariant () =
+  let inst, config = random_instance_config 31 ~n:90 ~k:2 in
+  Alcotest.(check (array int))
+    "all_costs max objective"
+    (Bbc.Eval.all_costs ~objective:Max ~jobs:1 inst config)
+    (Bbc.Eval.all_costs ~objective:Max ~jobs:4 inst config)
+
+let test_apsp_jobs_invariant () =
+  (* n >= 128 so the parallel Floyd–Warshall path actually engages. *)
+  let rng = Splitmix.create 41 in
+  let g = Bbc_graph.Generators.random_k_out rng ~n:140 ~k:3 in
+  (* Mix in some non-unit lengths. *)
+  for _ = 1 to 100 do
+    let u = Splitmix.int rng 140 and v = Splitmix.int rng 140 in
+    if u <> v then Bbc_graph.Digraph.add_edge g u v (1 + Splitmix.int rng 5)
+  done;
+  let m1 = Bbc_graph.Apsp.matrix (Bbc_graph.Apsp.compute ~jobs:1 g) in
+  let m4 = Bbc_graph.Apsp.matrix (Bbc_graph.Apsp.compute ~jobs:4 g) in
+  Alcotest.(check bool) "matrices equal" true (m1 = m4)
+
+let test_stability_jobs_invariant () =
+  (* A stable construction and an unstable random profile. *)
+  let willows_inst, willows_cfg = Bbc.Willows.build { k = 2; h = 3; l = 1 } in
+  Alcotest.(check bool) "willows stable under 4 domains" true
+    (Bbc.Stability.is_stable ~jobs:4 willows_inst willows_cfg);
+  Alcotest.(check bool) "is_stable_parallel wrapper agrees" true
+    (Bbc.Stability.is_stable_parallel ~domains:3 willows_inst willows_cfg);
+  let inst, config = random_instance_config 51 ~n:40 ~k:2 in
+  Alcotest.(check bool)
+    "same verdict"
+    (Bbc.Stability.is_stable ~jobs:1 inst config)
+    (Bbc.Stability.is_stable ~jobs:4 inst config);
+  (* find_deviation reports the lowest unstable node either way. *)
+  let dev_node ?jobs () =
+    Option.map
+      (fun (d : Bbc.Stability.deviation) -> (d.node, d.current_cost, d.better))
+      (Bbc.Stability.find_deviation ?jobs inst config)
+  in
+  Alcotest.(check bool) "same first deviation" true (dev_node ~jobs:1 () = dev_node ~jobs:4 ());
+  Alcotest.(check (list int))
+    "same unstable nodes"
+    (Bbc.Stability.unstable_nodes ~jobs:1 inst config)
+    (Bbc.Stability.unstable_nodes ~jobs:4 inst config);
+  Alcotest.(check int)
+    "same stability gap"
+    (Bbc.Stability.stability_gap ~jobs:1 inst config)
+    (Bbc.Stability.stability_gap ~jobs:4 inst config)
+
+let check_configs_equal msg l1 l2 =
+  Alcotest.(check bool) msg true (List.length l1 = List.length l2 && List.for_all2 C.equal l1 l2)
+
+let test_exhaustive_complete_jobs_invariant () =
+  (* Complete enumeration: everything (including [examined]) must agree. *)
+  let inst = I.uniform ~n:5 ~k:1 in
+  let r1 = Bbc.Exhaustive.search ~limit:max_int ~jobs:1 inst in
+  let r4 = Bbc.Exhaustive.search ~limit:max_int ~jobs:4 inst in
+  check_configs_equal "equilibria lists" r1.equilibria r4.equilibria;
+  Alcotest.(check int) "examined" r1.examined r4.examined;
+  Alcotest.(check bool) "complete" r1.complete r4.complete;
+  Alcotest.(check (option int))
+    "count_equilibria"
+    (Bbc.Exhaustive.count_equilibria ~jobs:1 inst)
+    (Bbc.Exhaustive.count_equilibria ~jobs:4 inst)
+
+let test_exhaustive_limited_jobs_invariant () =
+  (* Early abort: the reported equilibria must still be the first ones in
+     enumeration order, for several limits and a non-uniform instance. *)
+  let insts =
+    [
+      ("uniform n=5 k=2", I.uniform ~n:5 ~k:2);
+      ("sparse weights", Bbc.Gen_instance.sparse_weights (Splitmix.create 7) ~n:5 ~k:2 ());
+    ]
+  in
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun limit ->
+          let r1 = Bbc.Exhaustive.search ~limit ~jobs:1 inst in
+          let r4 = Bbc.Exhaustive.search ~limit ~jobs:4 inst in
+          check_configs_equal
+            (Printf.sprintf "%s limit=%d equilibria" name limit)
+            r1.equilibria r4.equilibria;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s limit=%d complete" name limit)
+            r1.complete r4.complete)
+        [ 1; 2; 5 ])
+    insts
+
+let test_exhaustive_early_abort_finds_equilibrium () =
+  (* The (n,1)-uniform game has pure equilibria (directed rings); the
+     parallel limit=1 search must surface one and mark the search
+     incomplete (it stopped early). *)
+  let inst = I.uniform ~n:5 ~k:1 in
+  let r = Bbc.Exhaustive.search ~limit:1 ~jobs:4 inst in
+  (match r.equilibria with
+  | [ config ] ->
+      Alcotest.(check bool) "found profile is stable" true (Bbc.Stability.is_stable inst config)
+  | other -> Alcotest.failf "expected exactly one equilibrium, got %d" (List.length other));
+  Alcotest.(check bool) "aborted early" false r.complete;
+  Alcotest.(check (option bool))
+    "has_equilibrium under 4 domains"
+    (Some true)
+    (Bbc.Exhaustive.has_equilibrium ~jobs:4 inst)
+
+let test_exhaustive_no_equilibrium_jobs_invariant () =
+  (* A candidate restriction of the (4,1)-uniform game that provably
+     contains no pure NE (checked by full enumeration): both job counts
+     must certify the same absence after examining the whole space. *)
+  let inst = I.uniform ~n:4 ~k:1 in
+  let candidates = [| [ [ 1 ]; [ 2 ] ]; [ [ 2 ]; [ 3 ] ]; [ [ 3 ]; [ 1 ] ]; [ [ 1 ]; [ 2 ] ] |] in
+  let r1 = Bbc.Exhaustive.search ~candidates ~limit:1 ~jobs:1 inst in
+  let r4 = Bbc.Exhaustive.search ~candidates ~limit:1 ~jobs:4 inst in
+  Alcotest.(check bool) "no equilibrium (seq)" true (r1.equilibria = []);
+  Alcotest.(check bool) "no equilibrium (par)" true (r4.equilibria = []);
+  Alcotest.(check bool) "both complete" true (r1.complete && r4.complete);
+  Alcotest.(check int) "same examined" r1.examined r4.examined
+
+let test_dynamics_jobs_independent () =
+  (* The walk itself is sequential, but Max_cost_first fans its per-node
+     improving scan over the pool; outcomes must not depend on it. *)
+  let inst, config = random_instance_config 61 ~n:12 ~k:2 in
+  let run jobs =
+    P.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> P.set_default_jobs 1)
+      (fun () ->
+        Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Max_cost_first ~max_rounds:200 inst config)
+  in
+  let o1 = run 1 and o4 = run 4 in
+  Alcotest.(check bool) "same final config" true
+    (C.equal (Bbc.Dynamics.final_config o1) (Bbc.Dynamics.final_config o4));
+  Alcotest.(check bool) "same stats" true (Bbc.Dynamics.stats o1 = Bbc.Dynamics.stats o4)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_map matches sequential" `Quick test_parallel_map_matches_sequential;
+    Alcotest.test_case "parallel_reduce matches sequential" `Quick test_parallel_reduce_matches_sequential;
+    Alcotest.test_case "parallel_for covers range once" `Quick test_parallel_for_covers_range;
+    Alcotest.test_case "find_first returns lowest index" `Quick test_find_first_is_sequential_winner;
+    Alcotest.test_case "exceptions propagate, pool survives" `Quick test_exceptions_propagate;
+    Alcotest.test_case "nested calls degrade to sequential" `Quick test_nested_calls_degrade;
+    Alcotest.test_case "jobs_for policy" `Quick test_jobs_for;
+    Alcotest.test_case "all_costs jobs-invariant" `Quick test_all_costs_jobs_invariant;
+    Alcotest.test_case "all_costs max objective jobs-invariant" `Quick test_all_costs_max_objective_jobs_invariant;
+    Alcotest.test_case "apsp jobs-invariant" `Quick test_apsp_jobs_invariant;
+    Alcotest.test_case "stability jobs-invariant" `Quick test_stability_jobs_invariant;
+    Alcotest.test_case "exhaustive complete jobs-invariant" `Quick test_exhaustive_complete_jobs_invariant;
+    Alcotest.test_case "exhaustive limited jobs-invariant" `Quick test_exhaustive_limited_jobs_invariant;
+    Alcotest.test_case "exhaustive early abort finds NE" `Quick test_exhaustive_early_abort_finds_equilibrium;
+    Alcotest.test_case "exhaustive absence certified in parallel" `Quick test_exhaustive_no_equilibrium_jobs_invariant;
+    Alcotest.test_case "dynamics independent of pool size" `Quick test_dynamics_jobs_independent;
+  ]
