@@ -1,8 +1,19 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json experiments examples clean doc
+.PHONY: all build test check bench bench-full bench-json experiments examples clean doc
 
 all: build
+
+# Pre-commit gate (documented in README): full build, test suite, and a
+# smoke bench --json into a temp dir (exercises the speedup +
+# observability-overhead sections and the JSON writer).
+check:
+	dune build @all
+	dune runtest
+	@tmp=$$(mktemp -d) && \
+	dune exec bench/main.exe -- --timing-only --json $$tmp/BENCH_smoke.json > $$tmp/bench.log 2>&1 && \
+	grep -q '"obs_overhead"' $$tmp/BENCH_smoke.json && \
+	echo "check: ok (smoke bench in $$tmp)" || { cat $$tmp/bench.log; exit 1; }
 
 build:
 	dune build @all

@@ -12,8 +12,11 @@
      --ablations    include the ablation benchmarks (implied by --full)
      --jobs N       size the Bbc_parallel domain pool (default: BBC_JOBS
                     or the machine's recommended domain count)
-     --json [FILE]  run the sequential-vs-parallel speedup section and
-                    write machine-readable results (default BENCH_1.json)
+     --json [FILE]  run the speedup + observability-overhead sections and
+                    write machine-readable results (default: the first
+                    free BENCH_N.json, so the perf trajectory accumulates)
+     --metrics      enable Bbc_obs and print its summary on exit
+     --trace-out F  enable Bbc_obs and write the JSONL trace to F
      e1 .. e11      run only the listed experiments *)
 
 open Bechamel
@@ -223,16 +226,160 @@ let print_speedups speedups =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the instrumented library hot paths vs local
+   uninstrumented copies, with Bbc_obs disabled.  Verifies the
+   "disabled = one branch" guarantee (acceptance: within noise, < 3%). *)
+
+type overhead = {
+  ov_name : string;
+  base_s : float;  (** uninstrumented copy *)
+  inst_s : float;  (** instrumented library version, observability off *)
+}
+
+(* Uninstrumented [Eval.all_costs]: same pool fan-out, no span, no
+   counter. *)
+let plain_all_costs inst config =
+  let g = Bbc.Config.to_graph inst config in
+  let n = Bbc.Instance.n inst in
+  let jobs = Bbc_parallel.jobs_for ~threshold:64 n in
+  Bbc_parallel.parallel_init ~jobs n (fun u ->
+      Bbc.Eval.node_cost ~graph:g inst config u)
+
+(* Uninstrumented [Apsp.compute] (same chunking and pivot loop). *)
+let plain_apsp g =
+  let module Digraph = Bbc_graph.Digraph in
+  let n = Digraph.n g in
+  let unreachable = Bbc_graph.Paths.unreachable in
+  let dist = Array.init n (fun _ -> Array.make n unreachable) in
+  for v = 0 to n - 1 do
+    dist.(v).(v) <- 0
+  done;
+  Digraph.iter_edges g (fun u v len -> if len < dist.(u).(v) then dist.(u).(v) <- len);
+  let relax_row k i =
+    let dik = dist.(i).(k) in
+    if dik <> unreachable then begin
+      let row_i = dist.(i) and row_k = dist.(k) in
+      for j = 0 to n - 1 do
+        let dkj = row_k.(j) in
+        if dkj <> unreachable && dik + dkj < row_i.(j) then row_i.(j) <- dik + dkj
+      done
+    end
+  in
+  let jobs = Bbc_parallel.default_jobs () in
+  if jobs = 1 || n < 128 then
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        relax_row k i
+      done
+    done
+  else
+    for k = 0 to n - 1 do
+      Bbc_parallel.parallel_for ~jobs 0 n (fun i -> relax_row k i)
+    done;
+  dist
+
+(* Interleave base/instrumented reps so machine-load drift hits both
+   sides of each pair equally, then take the median per-pair ratio —
+   robust against the multiplicative noise of a shared container,
+   where best-of-N on each side independently is not. *)
+let time_pair ~reps base inst =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  ignore (Sys.opaque_identity (base ()));
+  ignore (Sys.opaque_identity (inst ()));
+  let bs = Array.make reps 0.0 and ratios = Array.make reps 0.0 in
+  for r = 0 to reps - 1 do
+    (* Swap who goes first each rep: the second runner of a pair sees a
+       warmer allocator, and a fixed order turns that into bias. *)
+    let b, i =
+      if r land 1 = 0 then
+        let b = time base in
+        (b, time inst)
+      else
+        let i = time inst in
+        (time base, i)
+    in
+    bs.(r) <- b;
+    ratios.(r) <- i /. b
+  done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let b = median bs in
+  (b, b *. median ratios)
+
+let overhead_benchmarks () =
+  let was_enabled = Bbc_obs.enabled () in
+  Bbc_obs.disable ();
+  let inst2000 = Bbc.Instance.uniform ~n:2000 ~k:3 in
+  let cfg2000 = Bbc.Config.of_graph (Lazy.force big_graph_fixture) in
+  let apsp_graph =
+    Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create 7) ~n:512 ~k:3
+  in
+  let eval_b, eval_i =
+    time_pair ~reps:15
+      (fun () -> plain_all_costs inst2000 cfg2000)
+      (fun () -> Bbc.Eval.all_costs inst2000 cfg2000)
+  in
+  let apsp_b, apsp_i =
+    time_pair ~reps:15
+      (fun () -> plain_apsp apsp_graph)
+      (fun () -> Bbc_graph.Apsp.compute apsp_graph)
+  in
+  let results =
+    [
+      { ov_name = "eval/all_costs (n=2000,k=3)"; base_s = eval_b; inst_s = eval_i };
+      { ov_name = "graph/apsp (n=512,k=3)"; base_s = apsp_b; inst_s = apsp_i };
+    ]
+  in
+  if was_enabled then Bbc_obs.enable ();
+  results
+
+let print_overheads overheads =
+  Format.fprintf fmt "@.%s@.Observability overhead (disabled mode vs uninstrumented)@."
+    (String.make 72 '=');
+  List.iter
+    (fun o ->
+      Format.fprintf fmt "  %-44s base %8.4fs  instrumented %8.4fs  overhead %+5.1f%%@."
+        o.ov_name o.base_s o.inst_s (100.0 *. ((o.inst_s /. o.base_s) -. 1.0)))
+    overheads;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output (BENCH_*.json); format documented in
    DESIGN.md and README.md.                                            *)
 
-let write_json ~path ~micro ~speedups =
+(* First free BENCH_N.json, so successive runs accumulate a perf
+   trajectory instead of silently overwriting the last one. *)
+let next_bench_path () =
+  let rec go i =
+    let p = Printf.sprintf "BENCH_%d.json" i in
+    if Sys.file_exists p then go (i + 1) else p
+  in
+  go 1
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let write_json ~path ~micro ~speedups ~overheads =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"version\": 1,\n";
-  out "  \"default_jobs\": %d,\n" (Bbc_parallel.default_jobs ());
+  out "  \"version\": 2,\n";
+  out "  \"jobs\": %d,\n" (Bbc_parallel.default_jobs ());
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"git_rev\": %S,\n" (git_rev ());
   out "  \"micro\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -249,6 +396,17 @@ let write_json ~path ~micro ~speedups =
         s.sp_name s.par_jobs s.seq_s s.par_s (s.seq_s /. s.par_s) s.matches
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
+  out "  ],\n";
+  out "  \"obs_overhead\": [\n";
+  List.iteri
+    (fun i o ->
+      out
+        "    {\"name\": %S, \"baseline_s\": %.6f, \"instrumented_s\": %.6f, \
+         \"overhead_pct\": %.2f}%s\n"
+        o.ov_name o.base_s o.inst_s
+        (100.0 *. ((o.inst_s /. o.base_s) -. 1.0))
+        (if i = List.length overheads - 1 then "" else ","))
+    overheads;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -258,9 +416,12 @@ let write_json ~path ~micro ~speedups =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Pull "--jobs N" and "--json [FILE]" out of the argument list before
-     experiment-id filtering sees it. *)
-  let jobs_arg = ref None and json_arg = ref None in
+  (* Pull "--jobs N", "--json [FILE]" and the observability flags out of
+     the argument list before experiment-id filtering sees them. *)
+  let jobs_arg = ref None
+  and json_arg = ref None
+  and metrics_arg = ref false
+  and trace_arg = ref None in
   let rec strip = function
     | [] -> []
     | "--jobs" :: v :: rest -> (
@@ -276,12 +437,21 @@ let () =
         json_arg := Some v;
         strip rest
     | "--json" :: rest ->
-        json_arg := Some "BENCH_1.json";
+        json_arg := Some (next_bench_path ());
+        strip rest
+    | "--metrics" :: rest ->
+        metrics_arg := true;
+        strip rest
+    | "--trace-out" :: v :: rest ->
+        trace_arg := Some v;
         strip rest
     | a :: rest -> a :: strip rest
   in
   let args = strip args in
   Option.iter Bbc_parallel.set_default_jobs !jobs_arg;
+  let trace_oc = Option.map open_out !trace_arg in
+  if !metrics_arg || trace_oc <> None then Bbc_obs.enable ();
+  Option.iter (fun oc -> Bbc_obs.add_sink (Bbc_obs.jsonl_sink oc)) trace_oc;
   let has flag = List.mem flag args in
   let full = has "--full" in
   let quick = not full in
@@ -314,5 +484,10 @@ let () =
       let par_jobs = max 2 (Bbc_parallel.default_jobs ()) in
       let speedups = speedup_benchmarks ~par_jobs in
       print_speedups speedups;
-      write_json ~path ~micro:!micro ~speedups);
+      let overheads = overhead_benchmarks () in
+      print_overheads overheads;
+      write_json ~path ~micro:!micro ~speedups ~overheads);
+  Bbc_obs.drain ();
+  Option.iter close_out trace_oc;
+  if !metrics_arg then Bbc_obs.pp_summary fmt;
   Format.pp_print_flush fmt ()

@@ -3,13 +3,76 @@
    Subcommands:
      experiment  run reproduction experiments (e1..e11, or all)
      dynamics    run a best-response walk on a generated instance
+     search      exhaustively enumerate pure Nash equilibria
      verify      check stability of a named construction
      dot         emit Graphviz for a construction
-     reduce      build the Theorem-2 instance from a DIMACS file *)
+     reduce      build the Theorem-2 instance from a DIMACS file
+
+   Observability: --metrics prints the Bbc_obs summary on exit and
+   --trace-out FILE writes the structured JSONL event stream; both are
+   available on the analysis subcommands. *)
 
 open Cmdliner
 
 let fmt = Format.std_formatter
+
+(* ---------------------------------------------------------------- *)
+(* Observability options.                                             *)
+
+type obs = { metrics : bool; trace_out : string option }
+
+let obs_opts =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Enable the observability subsystem and print its summary (span \
+             timings, counter table, histograms) on exit.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the observability subsystem and write the structured \
+             trace (JSONL, one event per line: span open/close, activation \
+             events, metric snapshots) to $(docv).")
+  in
+  Term.(const (fun metrics trace_out -> { metrics; trace_out }) $ metrics $ trace_out)
+
+(* Human rendering of the dynamics activation stream: the same events the
+   JSONL sink sees, formatted as the historical --trace output. *)
+let render_activation (e : Bbc_obs.ev) =
+  if e.kind = Bbc_obs.Instant && e.name = "dynamics.activation" then begin
+    let geti k =
+      match List.assoc_opt k e.attrs with Some (Bbc_obs.Int i) -> i | _ -> 0
+    in
+    let gets k =
+      match List.assoc_opt k e.attrs with Some (Bbc_obs.Str s) -> s | _ -> ""
+    in
+    Format.fprintf fmt "  step %4d (round %3d): node %3d -> [%s] cost %d -> %d@."
+      (geti "step") (geti "round") (geti "node") (gets "strategy") (geti "old_cost")
+      (geti "new_cost")
+  end
+
+(* Run [k] under the requested observability setup, then drain the trace,
+   close the sink file and print the summary.  [text_trace] additionally
+   routes the event stream through [render_activation] (dynamics
+   --trace). *)
+let with_obs ?(text_trace = false) o k =
+  let oc = Option.map open_out o.trace_out in
+  if o.metrics || oc <> None || text_trace then Bbc_obs.enable ();
+  Option.iter (fun oc -> Bbc_obs.add_sink (Bbc_obs.jsonl_sink oc)) oc;
+  if text_trace then Bbc_obs.add_sink render_activation;
+  Fun.protect
+    ~finally:(fun () ->
+      Bbc_obs.drain ();
+      Option.iter close_out oc;
+      if o.metrics then Bbc_obs.pp_summary fmt;
+      Bbc_obs.clear_sinks ())
+    k
 
 (* ---------------------------------------------------------------- *)
 (* Shared constructors for named configurations.                     *)
@@ -104,31 +167,36 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e11); all when omitted.")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Larger sweeps.") in
-  let run () ids full =
+  let run () obs ids full =
     let quick = not full in
     match ids with
     | [] ->
-        Bbc_experiments.Registry.run_all ~quick fmt;
-        `Ok ()
+        with_obs obs (fun () ->
+            Bbc_experiments.Registry.run_all ~quick fmt;
+            `Ok ())
     | ids -> (
         let entries = List.map Bbc_experiments.Registry.find ids in
         match List.find_opt Option.is_none entries with
         | Some _ -> `Error (false, "unknown experiment id; use e1..e11")
         | None ->
-            List.iter
-              (fun e -> (Option.get e).Bbc_experiments.Registry.run ~quick fmt)
-              entries;
-            `Ok ())
+            with_obs obs (fun () ->
+                List.iter
+                  (fun e ->
+                    Bbc_experiments.Registry.run_entry ~quick fmt (Option.get e))
+                  entries;
+                if obs.metrics then Bbc_experiments.Registry.pp_timings fmt;
+                `Ok ()))
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments (paper figures/claims).")
-    Term.(ret (const run $ jobs_opt $ ids $ full))
+    Term.(ret (const run $ jobs_opt $ obs_opts $ ids $ full))
 
 let verify_cmd =
-  let run () name n k h l seed objective =
+  let run () obs name n k h l seed objective =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, config) ->
+        with_obs obs @@ fun () ->
         let stable = Bbc.Stability.is_stable ~objective instance config in
         Format.fprintf fmt "construction: %s (n=%d)@." name (Bbc.Instance.n instance);
         Format.fprintf fmt "objective:    %a@." Bbc.Objective.pp objective;
@@ -143,7 +211,10 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check whether a named construction is a pure Nash equilibrium.")
-    Term.(ret (const run $ jobs_opt $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt $ objective_opt))
+    Term.(
+      ret
+        (const run $ jobs_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
+       $ seed_opt $ objective_opt))
 
 let dynamics_cmd =
   let scheduler_opt =
@@ -157,21 +228,25 @@ let dynamics_cmd =
     Arg.(value & opt scheduler_conv Bbc.Dynamics.Round_robin & info [ "scheduler" ] ~doc:"round-robin or max-cost.")
   in
   let rounds_opt = Arg.(value & opt int 200 & info [ "rounds" ] ~doc:"Round budget.") in
-  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print every deviation.") in
-  let run () name n k h l seed objective scheduler rounds trace =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Print every deviation (the dynamics.activation event stream \
+             rendered as text; --trace-out writes the same stream as JSONL).")
+  in
+  let run () obs name n k h l seed objective scheduler rounds trace =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, config) ->
-        let on_step (s : Bbc.Dynamics.step) =
-          if trace && s.moved then
-            Format.fprintf fmt "  step %4d (round %3d): node %3d -> [%s] cost %d@."
-              s.index s.round s.node
-              (String.concat " " (List.map string_of_int s.strategy))
-              s.cost_after
-        in
+        with_obs ~text_trace:trace obs @@ fun () ->
         let outcome =
-          Bbc.Dynamics.run ~objective ~on_step ~scheduler ~max_rounds:rounds instance config
+          Bbc.Dynamics.run ~objective ~scheduler ~max_rounds:rounds instance config
         in
+        (* Surface the buffered activation events (text and/or JSONL)
+           before the outcome summary, as the ad-hoc printer used to. *)
+        Bbc_obs.flush_events ();
         Format.fprintf fmt "outcome: %a@." Bbc.Dynamics.pp_outcome outcome;
         let final = Bbc.Dynamics.final_config outcome in
         Format.fprintf fmt "final social cost: %d@."
@@ -184,8 +259,44 @@ let dynamics_cmd =
     (Cmd.info "dynamics" ~doc:"Run a best-response walk on a named construction.")
     Term.(
       ret
-        (const run $ jobs_opt $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt $ seed_opt
-       $ objective_opt $ scheduler_opt $ rounds_opt $ trace))
+        (const run $ jobs_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
+       $ seed_opt $ objective_opt $ scheduler_opt $ rounds_opt $ trace))
+
+let search_cmd =
+  let limit_opt =
+    Arg.(value & opt int 1 & info [ "limit" ] ~doc:"Stop after this many equilibria.")
+  in
+  let max_profiles_opt =
+    Arg.(
+      value
+      & opt int 100_000_000
+      & info [ "max-profiles" ] ~doc:"Abort after examining this many profiles.")
+  in
+  let run () obs name n k h l seed objective limit max_profiles =
+    match build_config name ~n ~k ~h ~l ~seed with
+    | Error e -> `Error (false, e)
+    | Ok (instance, _) ->
+        with_obs obs @@ fun () ->
+        let r = Bbc.Exhaustive.search ~objective ~limit ~max_profiles instance in
+        Format.fprintf fmt "construction: %s (n=%d)@." name (Bbc.Instance.n instance);
+        Format.fprintf fmt "objective:         %a@." Bbc.Objective.pp objective;
+        Format.fprintf fmt "profiles examined: %d@." r.examined;
+        Format.fprintf fmt "equilibria found:  %d@." (List.length r.equilibria);
+        Format.fprintf fmt "search complete:   %b@." r.complete;
+        (match r.equilibria with
+        | c :: _ ->
+            Format.fprintf fmt "first equilibrium social cost: %d@."
+              (Bbc.Eval.social_cost ~objective instance c)
+        | [] -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Exhaustively search a construction's instance for pure Nash equilibria.")
+    Term.(
+      ret
+        (const run $ jobs_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
+       $ seed_opt $ objective_opt $ limit_opt $ max_profiles_opt))
 
 let dot_cmd =
   let run name n k h l seed =
@@ -293,4 +404,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; verify_cmd; dynamics_cmd; dot_cmd; reduce_cmd; save_cmd; load_cmd ]))
+          [
+            experiment_cmd;
+            verify_cmd;
+            dynamics_cmd;
+            search_cmd;
+            dot_cmd;
+            reduce_cmd;
+            save_cmd;
+            load_cmd;
+          ]))

@@ -46,6 +46,11 @@ let merge_row instance u cur r v =
   done;
   out
 
+(* Subsets explored across all enumerations; accumulated locally and
+   published once per call so the DFS hot loop stays untouched. *)
+let obs_subsets = Bbc_obs.counter "best_response.subsets"
+let obs_enumerations = Bbc_obs.counter "best_response.enumerations"
+
 (* DFS over affordable subsets of candidates.  [on_subset strategy_rev cost]
    is called for every feasible subset (including the empty one); it
    returns [true] to abort the search early. *)
@@ -57,6 +62,7 @@ let enumerate ?(objective = Objective.Sum) instance config u ~on_subset =
   base.(u) <- 0;
   let eval cur = Eval.cost_of_distances ~objective instance u cur in
   let stop = ref false in
+  let subsets = ref 1 in
   if on_subset [] (eval base) then stop := true;
   let rec dfs i chosen budget cur =
     if not !stop then
@@ -67,13 +73,16 @@ let enumerate ?(objective = Objective.Sum) instance config u ~on_subset =
           if c <= budget then begin
             let cur' = merge_row instance u cur (row rows) v in
             let chosen' = v :: chosen in
+            incr subsets;
             if on_subset chosen' (eval cur') then stop := true
             else dfs (j + 1) chosen' (budget - c) cur'
           end
         end
       done
   in
-  dfs 0 [] (Instance.budget instance u) base
+  dfs 0 [] (Instance.budget instance u) base;
+  Bbc_obs.incr obs_enumerations;
+  Bbc_obs.add obs_subsets !subsets
 
 let exact ?objective instance config u =
   let best = ref { strategy = []; cost = max_int } in

@@ -101,6 +101,59 @@ let activate ?objective ?known_improving ~policy instance config node =
           if best.cost < current then (Config.with_strategy config node best.strategy, true)
           else (config, false))
 
+let obs_activations = Bbc_obs.counter "dynamics.activations"
+let obs_deviations = Bbc_obs.counter "dynamics.deviations"
+
+let scheduler_name = function
+  | Round_robin -> "round-robin"
+  | Fixed_order _ -> "fixed-order"
+  | Random_order _ -> "random-order"
+  | Max_cost_first -> "max-cost"
+
+(* One [dynamics.activation] trace event per deviation: who moved, the
+   cost improvement, and the edge swap (targets added / removed).  The
+   extra cost evaluations only run when a trace sink is attached. *)
+let trace_activation ?objective instance ~prev ~next ~index ~round ~node =
+  if Bbc_obs.tracing () then begin
+    let old_s = Config.targets prev node and new_s = Config.targets next node in
+    let added = List.filter (fun v -> not (List.mem v old_s)) new_s in
+    let removed = List.filter (fun v -> not (List.mem v new_s)) old_s in
+    let str l = String.concat " " (List.map string_of_int l) in
+    Bbc_obs.event "dynamics.activation"
+      ~attrs:
+        [
+          ("step", Int index);
+          ("round", Int round);
+          ("node", Int node);
+          ("old_cost", Int (Eval.node_cost ?objective instance prev node));
+          ("new_cost", Int (Eval.node_cost ?objective instance next node));
+          ("strategy", Str (str new_s));
+          ("added", Str (str added));
+          ("removed", Str (str removed));
+        ]
+  end
+
+let trace_outcome outcome =
+  if Bbc_obs.tracing () then begin
+    let s = stats outcome in
+    let label, extra =
+      match outcome with
+      | Converged _ -> ("converged", [])
+      | Cycled { period; _ } -> ("cycled", [ ("period", Bbc_obs.Int period) ])
+      | Exhausted _ -> ("exhausted", [])
+    in
+    Bbc_obs.event "dynamics.outcome"
+      ~attrs:
+        ([
+           ("outcome", Bbc_obs.Str label);
+           ("converged", Bbc_obs.Bool (match outcome with Converged _ -> true | _ -> false));
+           ("rounds", Bbc_obs.Int s.rounds);
+           ("steps", Bbc_obs.Int s.steps);
+           ("deviations", Bbc_obs.Int s.deviations);
+         ]
+        @ extra)
+  end
+
 let round_order scheduler rng n =
   match scheduler with
   | Round_robin -> Array.init n Fun.id
@@ -116,8 +169,21 @@ let round_order scheduler rng n =
 
 let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_rounds instance config0 =
   let n = Instance.n instance in
+  Bbc_obs.with_span "dynamics.run"
+    ~attrs:
+      [
+        ("n", Bbc_obs.Int n);
+        ("scheduler", Bbc_obs.Str (scheduler_name scheduler));
+        ("max_rounds", Bbc_obs.Int max_rounds);
+      ]
+  @@ fun () ->
   let rng = match scheduler with Random_order seed -> Some (Splitmix.create seed) | _ -> None in
-  let emit index round node moved config =
+  let emit ~prev index round node moved config =
+    Bbc_obs.incr obs_activations;
+    if moved then begin
+      Bbc_obs.incr obs_deviations;
+      trace_activation ?objective instance ~prev ~next:config ~index ~round ~node
+    end;
     match on_step with
     | None -> ()
     | Some f ->
@@ -131,6 +197,7 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
             cost_after = Eval.node_cost ?objective instance config node;
           }
   in
+  let outcome =
   match scheduler with
   | Max_cost_first ->
       (* Adaptive: each step activates the unstable node of max cost.  A
@@ -180,7 +247,7 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
                     activate ?objective ~known_improving:improving.(node) ~policy instance
                       config node
                   in
-                  emit step step node moved config';
+                  emit ~prev:config step step node moved config';
                   go config' (step + 1) (deviations + if moved then 1 else 0))
       in
       go config0 0 0
@@ -208,7 +275,7 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
               Array.iter
                 (fun node ->
                   let config', moved = activate ?objective ~policy instance !config node in
-                  emit !steps round node moved config';
+                  emit ~prev:!config !steps round node moved config';
                   incr steps;
                   if moved then incr changed;
                   config := config')
@@ -218,6 +285,9 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
               else go !config (round + 1) !steps (deviations + !changed)
       in
       go config0 0 0 0
+  in
+  trace_outcome outcome;
+  outcome
 
 let first_strong_connectivity ?objective ?policy ~scheduler ~max_rounds instance config0 =
   let hit = ref None in

@@ -24,18 +24,28 @@ let node_cost ?objective ?graph instance config u =
    more than the row of BFS/Dijkstra runs it saves. *)
 let parallel_threshold = 64
 
+(* [eval.sssp] counts single-source runs; the incr sits inside the pool
+   workers, exercising Bbc_obs's per-domain shards. *)
+let obs_sssp = Bbc_obs.counter "eval.sssp"
+
 let all_costs ?objective ?jobs instance config =
   let g = Config.to_graph instance config in
   let n = Instance.n instance in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
-  (* Workers share the realized graph read-only; each SSSP allocates its
-     own distance array, so per-node evaluations are independent. *)
-  Bbc_parallel.parallel_init ~jobs n (fun u ->
-      node_cost ?objective ~graph:g instance config u)
+  Bbc_obs.with_span "eval.all_costs"
+    ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
+      (* Workers share the realized graph read-only; each SSSP allocates its
+         own distance array, so per-node evaluations are independent. *)
+      Bbc_parallel.parallel_init ~jobs n (fun u ->
+          Bbc_obs.incr obs_sssp;
+          node_cost ?objective ~graph:g instance config u))
 
 let social_cost ?objective ?jobs instance config =
   let g = Config.to_graph instance config in
   let n = Instance.n instance in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
-  Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:( + ) 0 n (fun u ->
-      node_cost ?objective ~graph:g instance config u)
+  Bbc_obs.with_span "eval.social_cost"
+    ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
+      Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:( + ) 0 n (fun u ->
+          Bbc_obs.incr obs_sssp;
+          node_cost ?objective ~graph:g instance config u))

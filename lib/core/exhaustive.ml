@@ -89,6 +89,13 @@ let enumerate_suffix candidate_arrays profile level ~on_profile =
   in
   try assign level with Stop -> ()
 
+(* Search-shape telemetry: profiles actually evaluated, prefix subtrees
+   pruned by the cross-prefix limit rule, and aborts on the global
+   profile budget. *)
+let obs_profiles = Bbc_obs.counter "exhaustive.profiles"
+let obs_pruned = Bbc_obs.counter "exhaustive.pruned_prefixes"
+let obs_aborted = Bbc_obs.counter "exhaustive.aborted"
+
 let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jobs instance =
   let n = Instance.n instance in
   let candidates = match candidates with Some c -> c | None -> default_candidates instance in
@@ -97,6 +104,9 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jo
     Array.map (fun l -> Array.of_list (List.map Array.of_list l)) candidates
   in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:0 n in
+  Bbc_obs.with_span "exhaustive.search"
+    ~attrs:[ ("n", Bbc_obs.Int n); ("limit", Bbc_obs.Int limit); ("jobs", Bbc_obs.Int jobs) ]
+  @@ fun () ->
   let depth, nprefixes = prefix_partition candidate_arrays ~n ~jobs in
   let found = Array.init nprefixes (fun _ -> Atomic.make 0) in
   let total_found = Atomic.make 0 in
@@ -117,13 +127,14 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jo
     !acc >= limit
   in
   let run_prefix p =
-    if not (Atomic.get over_budget || limit_reached_before p) then begin
+    if Atomic.get over_budget || limit_reached_before p then Bbc_obs.incr obs_pruned
+    else begin
       let profile = Array.make n [||] in
       decode_prefix candidate_arrays ~depth p profile;
       let equilibria = ref [] and mine = ref 0 and examined = ref 0 in
       let on_profile () =
         if Atomic.fetch_and_add examined_total 1 >= max_profiles then begin
-          Atomic.set over_budget true;
+          if not (Atomic.exchange over_budget true) then Bbc_obs.incr obs_aborted;
           true
         end
         else begin
@@ -142,7 +153,8 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jo
       in
       enumerate_suffix candidate_arrays profile depth ~on_profile;
       per_equilibria.(p) <- List.rev !equilibria;
-      per_examined.(p) <- !examined
+      per_examined.(p) <- !examined;
+      Bbc_obs.add obs_profiles !examined
     end
   in
   Bbc_parallel.parallel_for ~jobs ~chunk:1 0 nprefixes run_prefix;

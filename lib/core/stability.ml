@@ -11,25 +11,30 @@ let parallel_threshold = 64
 
 let resolve_jobs ?jobs n = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n
 
+let obs_stable_checks = Bbc_obs.counter "stability.is_stable"
+
 let find_deviation ?objective ?jobs instance config =
   let n = Instance.n instance in
   let jobs = resolve_jobs ?jobs n in
-  (* [parallel_find_first] returns the lowest-index hit, so the reported
-     deviation is the same node the sequential scan would find. *)
-  Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
-      match Best_response.improving ?objective instance config u with
-      | Some better ->
-          Some
-            {
-              node = u;
-              current_cost = Eval.node_cost ?objective instance config u;
-              better;
-            }
-      | None -> None)
+  Bbc_obs.with_span "stability.find_deviation"
+    ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
+      (* [parallel_find_first] returns the lowest-index hit, so the reported
+         deviation is the same node the sequential scan would find. *)
+      Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
+          match Best_response.improving ?objective instance config u with
+          | Some better ->
+              Some
+                {
+                  node = u;
+                  current_cost = Eval.node_cost ?objective instance config u;
+                  better;
+                }
+          | None -> None))
 
 let is_stable ?objective ?jobs instance config =
   let n = Instance.n instance in
   let jobs = resolve_jobs ?jobs n in
+  Bbc_obs.incr obs_stable_checks;
   Config.feasible instance config
   && not
        (Bbc_parallel.parallel_exists ~jobs 0 n (fun u ->

@@ -27,4 +27,42 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> e.id = id) all
 
-let run_all ?quick fmt = List.iter (fun e -> e.run ?quick fmt) all
+let span_prefix = "experiment."
+
+let run_entry ?quick fmt e =
+  Bbc_obs.with_span (span_prefix ^ e.id)
+    ~attrs:[ ("title", Bbc_obs.Str e.title) ]
+    (fun () -> e.run ?quick fmt)
+
+(* One wall-clock row per experiment span recorded so far; printed after
+   [run_all] when observability is on, so the bench trajectory gets
+   per-experiment timings without parsing the prose output. *)
+let pp_timings fmt =
+  let rows =
+    List.filter_map
+      (fun (name, count, total_ns) ->
+        if String.starts_with ~prefix:span_prefix name then
+          let id = String.sub name (String.length span_prefix)
+                     (String.length name - String.length span_prefix) in
+          Option.map (fun e -> (e, count, total_ns)) (find id)
+        else None)
+      (Bbc_obs.span_stats ())
+  in
+  let num e =
+    match int_of_string_opt (String.sub e.id 1 (String.length e.id - 1)) with
+    | Some n -> n
+    | None -> max_int
+  in
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare (num a) (num b)) rows in
+  if rows <> [] then begin
+    Format.fprintf fmt "@.experiment timings@.";
+    List.iter
+      (fun (e, count, total_ns) ->
+        Format.fprintf fmt "  %-4s %-52s %2d run(s) %9.3fs@." e.id e.title count
+          (float_of_int total_ns /. 1e9))
+      rows
+  end
+
+let run_all ?quick fmt =
+  List.iter (fun e -> run_entry ?quick fmt e) all;
+  if Bbc_obs.enabled () then pp_timings fmt

@@ -12,4 +12,16 @@ val all : entry list
 val find : string -> entry option
 (** Lookup by id (case-insensitive). *)
 
+val run_entry : ?quick:bool -> Format.formatter -> entry -> unit
+(** Run one experiment inside a [Bbc_obs] span named ["experiment.<id>"]
+    so its wall-clock time lands in the observability summary and in
+    {!pp_timings}. *)
+
+val pp_timings : Format.formatter -> unit
+(** Print one timing row per experiment span recorded so far (id, title,
+    run count, cumulative seconds).  Prints nothing when no experiment
+    has run under observability. *)
+
 val run_all : ?quick:bool -> Format.formatter -> unit
+(** Run every experiment via {!run_entry}; when observability is enabled
+    the timing rows are appended. *)

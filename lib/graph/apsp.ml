@@ -15,28 +15,33 @@ let relax_row dist k i =
     done
   end
 
+let obs_pivots = Bbc_obs.counter "apsp.pivots"
+
 let compute ?jobs g =
   let n = Digraph.n g in
-  let dist = Array.init n (fun _ -> Array.make n Paths.unreachable) in
-  for v = 0 to n - 1 do
-    dist.(v).(v) <- 0
-  done;
-  Digraph.iter_edges g (fun u v len -> if len < dist.(u).(v) then dist.(u).(v) <- len);
   let jobs = match jobs with Some j -> max 1 j | None -> Bbc_parallel.default_jobs () in
-  if jobs = 1 || n < parallel_threshold then
-    for k = 0 to n - 1 do
-      for i = 0 to n - 1 do
-        relax_row dist k i
-      done
-    done
-  else
-    (* Parallel Floyd–Warshall: for a fixed pivot [k] the row updates are
-       independent, and pivot row [k] itself is a fixed point of pass [k]
-       (d(k,k) = 0), so workers only read it — no write conflicts. *)
-    for k = 0 to n - 1 do
-      Bbc_parallel.parallel_for ~jobs 0 n (fun i -> relax_row dist k i)
-    done;
-  { dist }
+  Bbc_obs.with_span "apsp.compute"
+    ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
+      let dist = Array.init n (fun _ -> Array.make n Paths.unreachable) in
+      for v = 0 to n - 1 do
+        dist.(v).(v) <- 0
+      done;
+      Digraph.iter_edges g (fun u v len -> if len < dist.(u).(v) then dist.(u).(v) <- len);
+      Bbc_obs.add obs_pivots n;
+      if jobs = 1 || n < parallel_threshold then
+        for k = 0 to n - 1 do
+          for i = 0 to n - 1 do
+            relax_row dist k i
+          done
+        done
+      else
+        (* Parallel Floyd–Warshall: for a fixed pivot [k] the row updates are
+           independent, and pivot row [k] itself is a fixed point of pass [k]
+           (d(k,k) = 0), so workers only read it — no write conflicts. *)
+        for k = 0 to n - 1 do
+          Bbc_parallel.parallel_for ~jobs 0 n (fun i -> relax_row dist k i)
+        done;
+      { dist })
 
 let distance t u v = t.dist.(u).(v)
 

@@ -1,0 +1,447 @@
+(* Observability: sharded metrics, nested spans, buffered JSONL tracing.
+   See bbc_obs.mli for the contract. *)
+
+external now_ns : unit -> int = "bbc_obs_clock_ns" [@@noalloc]
+
+(* ------------------------------------------------------------------ *)
+(* Master switch.                                                      *)
+
+let enabled_flag = Atomic.make false
+let sink_count = Atomic.make 0
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let tracing () = Atomic.get enabled_flag && Atomic.get sink_count > 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain shard slots.
+
+   Each domain gets a private slot index on first use; all metric
+   storage is a flat array indexed by [slot * stride], so a domain only
+   ever writes its own cells (no atomics, no locks on the hot path).
+   Slots wrap modulo [max_shards]; the Bbc_parallel pool is capped well
+   below that, so wrapping only matters for pathological domain churn,
+   and even then it merely shares cells between domains that are never
+   concurrent with the same slot in practice. *)
+
+let max_shards = 128 (* power of two *)
+let next_slot = Atomic.make 0
+
+let slot_key =
+  Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next_slot 1 land (max_shards - 1))
+
+let slot () = Domain.DLS.get slot_key
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type attr = string * value
+
+(* Counter cells are padded to a cache line (8 words) so concurrent
+   domains do not false-share. *)
+let counter_stride = 8
+
+type counter = { c_name : string; c_cells : int array }
+
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+(* Histogram shard layout: 63 log2 buckets, then count, then sum. *)
+let hist_buckets = 63
+let hist_stride = hist_buckets + 2
+
+type histogram = { h_name : string; h_cells : int array }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry_mutex = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let register name make cast kind_name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match cast m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Bbc_obs: %S is already registered with another kind"
+                   kind_name))
+      | None ->
+          let v = make () in
+          v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; c_cells = Array.make (max_shards * counter_stride) 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+    name
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; g_cell = Atomic.make 0.0 } in
+      Hashtbl.replace registry name (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+    name
+
+let histogram name =
+  register name
+    (fun () ->
+      let h = { h_name = name; h_cells = Array.make (max_shards * hist_stride) 0 } in
+      Hashtbl.replace registry name (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+    name
+
+(* --- hot-path updates --- *)
+
+let add c n =
+  if Atomic.get enabled_flag then begin
+    let i = slot () * counter_stride in
+    c.c_cells.(i) <- c.c_cells.(i) + n
+  end
+
+let incr c = add c 1
+
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g.g_cell v
+
+(* floor(log2 v), clamped to the bucket range; v <= 1 lands in bucket 0. *)
+let bucket_of v =
+  let b = ref 0 and v = ref v in
+  while !v > 1 && !b < hist_buckets - 1 do
+    v := !v lsr 1;
+    Stdlib.incr b
+  done;
+  !b
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let v = max 0 v in
+    let base = slot () * hist_stride in
+    let b = base + bucket_of v in
+    h.h_cells.(b) <- h.h_cells.(b) + 1;
+    h.h_cells.(base + hist_buckets) <- h.h_cells.(base + hist_buckets) + 1;
+    h.h_cells.(base + hist_buckets + 1) <- h.h_cells.(base + hist_buckets + 1) + v
+  end
+
+(* --- merged reads --- *)
+
+let counter_value c =
+  let acc = ref 0 in
+  for s = 0 to max_shards - 1 do
+    acc := !acc + c.c_cells.(s * counter_stride)
+  done;
+  !acc
+
+let gauge_value g = Atomic.get g.g_cell
+
+let hist_field h off =
+  let acc = ref 0 in
+  for s = 0 to max_shards - 1 do
+    acc := !acc + h.h_cells.((s * hist_stride) + off)
+  done;
+  !acc
+
+let histogram_count h = hist_field h hist_buckets
+let histogram_sum h = hist_field h (hist_buckets + 1)
+
+let histogram_buckets h =
+  Array.init hist_buckets (fun b -> hist_field h b)
+
+(* ------------------------------------------------------------------ *)
+(* Span aggregates (count + cumulative ns per span name).
+
+   Span open/close is orders of magnitude rarer than counter updates
+   (whole-operation granularity), so a mutex-guarded table is fine. *)
+
+type agg = { mutable a_count : int; mutable a_total_ns : int }
+
+let span_aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+let record_span name dt =
+  with_registry (fun () ->
+      match Hashtbl.find_opt span_aggs name with
+      | Some a ->
+          a.a_count <- a.a_count + 1;
+          a.a_total_ns <- a.a_total_ns + dt
+      | None -> Hashtbl.replace span_aggs name { a_count = 1; a_total_ns = dt })
+
+let span_stats () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun name a acc -> (name, a.a_count, a.a_total_ns) :: acc) span_aggs [])
+  |> List.sort (fun (n1, _, t1) (n2, _, t2) ->
+         match compare t2 t1 with 0 -> compare n1 n2 | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Trace events: per-domain buffers, global sequence order.            *)
+
+type kind = Span_open | Span_close | Instant | Snapshot
+
+type ev = {
+  seq : int;
+  ts_ns : int;
+  domain : int;
+  kind : kind;
+  name : string;
+  id : int;
+  parent : int;
+  attrs : attr list;
+}
+
+let next_seq = Atomic.make 1
+let next_span_id = Atomic.make 1
+
+(* All per-domain buffers, so [drain] can reach every domain's events. *)
+let buffers : ev list ref list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let r = ref [] in
+      with_registry (fun () -> buffers := r :: !buffers);
+      r)
+
+(* Innermost open span id per domain, for parenting. *)
+let stack_key = Domain.DLS.new_key (fun () : int list ref -> ref [])
+
+let push_event kind name ~id ~parent attrs =
+  let e =
+    {
+      seq = Atomic.fetch_and_add next_seq 1;
+      ts_ns = now_ns ();
+      domain = slot ();
+      kind;
+      name;
+      id;
+      parent;
+      attrs;
+    }
+  in
+  let buf = Domain.DLS.get buffer_key in
+  buf := e :: !buf
+
+let current_parent () =
+  match !(Domain.DLS.get stack_key) with p :: _ -> p | [] -> 0
+
+let event ?(attrs = []) name =
+  if tracing () then push_event Instant name ~id:0 ~parent:(current_parent ()) attrs
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let traced = Atomic.get sink_count > 0 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with p :: _ -> p | [] -> 0 in
+    let id = Atomic.fetch_and_add next_span_id 1 in
+    stack := id :: !stack;
+    if traced then push_event Span_open name ~id ~parent attrs;
+    let t0 = now_ns () in
+    let finish () =
+      let dt = now_ns () - t0 in
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      record_span name dt;
+      if traced then push_event Span_close name ~id ~parent [ ("dur_ns", Int dt) ]
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and draining.                                                 *)
+
+let sinks : (ev -> unit) list ref = ref []
+
+let add_sink s =
+  with_registry (fun () -> sinks := !sinks @ [ s ]);
+  Atomic.incr sink_count
+
+let clear_sinks () =
+  with_registry (fun () -> sinks := []);
+  Atomic.set sink_count 0
+
+let snapshot_events () =
+  (* Registry iteration order is unspecified; sort by name so traces are
+     reproducible. *)
+  let metrics =
+    with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  let name_of = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+  in
+  List.sort (fun a b -> compare (name_of a) (name_of b)) metrics
+  |> List.map (fun m ->
+         let name, attrs =
+           match m with
+           | Counter c -> (c.c_name, [ ("value", Int (counter_value c)) ])
+           | Gauge g -> (g.g_name, [ ("value", Float (gauge_value g)) ])
+           | Histogram h ->
+               ( h.h_name,
+                 [ ("count", Int (histogram_count h)); ("sum", Int (histogram_sum h)) ] )
+         in
+         {
+           seq = Atomic.fetch_and_add next_seq 1;
+           ts_ns = now_ns ();
+           domain = slot ();
+           kind = Snapshot;
+           name;
+           id = 0;
+           parent = 0;
+           attrs;
+         })
+
+let flush_events () =
+  let bufs, current_sinks =
+    with_registry (fun () ->
+        let collected = List.map (fun r -> let evs = !r in r := []; evs) !buffers in
+        (collected, !sinks))
+  in
+  if current_sinks <> [] then begin
+    let events =
+      List.concat bufs |> List.sort (fun a b -> compare a.seq b.seq)
+    in
+    List.iter (fun e -> List.iter (fun s -> s e) current_sinks) events
+  end
+
+let drain () =
+  flush_events ();
+  let current_sinks = with_registry (fun () -> !sinks) in
+  if current_sinks <> [] then
+    List.iter
+      (fun e -> List.iter (fun s -> s e) current_sinks)
+      (snapshot_events ())
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Array.fill c.c_cells 0 (Array.length c.c_cells) 0
+          | Gauge g -> Atomic.set g.g_cell 0.0
+          | Histogram h -> Array.fill h.h_cells 0 (Array.length h.h_cells) 0)
+        registry;
+      Hashtbl.reset span_aggs;
+      List.iter (fun r -> r := []) !buffers)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink.                                                         *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let kind_name = function
+  | Span_open -> "span_open"
+  | Span_close -> "span_close"
+  | Instant -> "event"
+  | Snapshot -> "snapshot"
+
+let append_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (Printf.sprintf "%g" f)
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Str s ->
+      Buffer.add_char b '"';
+      json_escape b s;
+      Buffer.add_char b '"'
+
+let append_event b e =
+  Buffer.add_string b
+    (Printf.sprintf "{\"seq\":%d,\"ts_ns\":%d,\"domain\":%d,\"kind\":\"%s\",\"name\":\""
+       e.seq e.ts_ns e.domain (kind_name e.kind));
+  json_escape b e.name;
+  Buffer.add_string b (Printf.sprintf "\",\"id\":%d,\"parent\":%d,\"attrs\":{" e.id e.parent);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      json_escape b k;
+      Buffer.add_string b "\":";
+      append_value b v)
+    e.attrs;
+  Buffer.add_string b "}}\n"
+
+let jsonl_sink oc e =
+  let b = Buffer.create 160 in
+  append_event b e;
+  output_string oc (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Summary.                                                            *)
+
+let pp_dur fmt ns =
+  if ns <= 0 then Format.fprintf fmt "%10s" "-"
+  else if ns < 1_000 then Format.fprintf fmt "%8dns" ns
+  else if ns < 1_000_000 then Format.fprintf fmt "%8.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Format.fprintf fmt "%8.1fms" (float_of_int ns /. 1e6)
+  else Format.fprintf fmt "%9.2fs" (float_of_int ns /. 1e9)
+
+let pp_summary fmt =
+  let metrics =
+    with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  let counters =
+    List.filter_map (function Counter c -> Some c | _ -> None) metrics
+    |> List.sort (fun a b -> compare a.c_name b.c_name)
+  in
+  let gauges =
+    List.filter_map (function Gauge g -> Some g | _ -> None) metrics
+    |> List.sort (fun a b -> compare a.g_name b.g_name)
+  in
+  let histograms =
+    List.filter_map (function Histogram h -> Some h | _ -> None) metrics
+    |> List.sort (fun a b -> compare a.h_name b.h_name)
+  in
+  Format.fprintf fmt "== observability summary ==@.";
+  (match span_stats () with
+  | [] -> ()
+  | stats ->
+      Format.fprintf fmt "spans (by cumulative time)@.";
+      Format.fprintf fmt "  %-36s %8s %10s %10s@." "name" "count" "total" "mean";
+      List.iter
+        (fun (name, count, total) ->
+          Format.fprintf fmt "  %-36s %8d %a %a@." name count pp_dur total pp_dur
+            (if count = 0 then 0 else total / count))
+        stats);
+  if counters <> [] then begin
+    Format.fprintf fmt "counters@.";
+    List.iter
+      (fun c -> Format.fprintf fmt "  %-36s %12d@." c.c_name (counter_value c))
+      counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf fmt "gauges@.";
+    List.iter
+      (fun g -> Format.fprintf fmt "  %-36s %12g@." g.g_name (gauge_value g))
+      gauges
+  end;
+  if histograms <> [] then begin
+    Format.fprintf fmt "histograms@.";
+    Format.fprintf fmt "  %-36s %8s %10s %10s@." "name" "count" "mean" "p~max";
+    List.iter
+      (fun h ->
+        let count = histogram_count h in
+        let mean = if count = 0 then 0 else histogram_sum h / count in
+        let top = ref 0 in
+        Array.iteri (fun b n -> if n > 0 then top := b) (histogram_buckets h);
+        let upper = if count = 0 then 0 else 1 lsl (!top + 1) in
+        Format.fprintf fmt "  %-36s %8d %a %a@." h.h_name count pp_dur mean pp_dur upper)
+      histograms
+  end

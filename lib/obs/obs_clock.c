@@ -1,0 +1,12 @@
+/* Monotonic clock for Bbc_obs spans.  Returns nanoseconds as a tagged
+   OCaml int (63 bits on 64-bit platforms: ~292 years of range). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value bbc_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}

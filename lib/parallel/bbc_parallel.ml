@@ -3,6 +3,14 @@
 
 let hard_cap = 128
 
+(* Observability handles (no-ops while Bbc_obs is disabled).
+   [pool.wait_ns] is per-domain sharded, so each worker's pickup latency
+   lands in its own cells and the merged histogram is contention-free. *)
+let obs_tasks = Bbc_obs.counter "pool.tasks"
+let obs_runs = Bbc_obs.counter "pool.runs"
+let obs_wait = Bbc_obs.histogram "pool.wait_ns"
+let obs_workers = Bbc_obs.gauge "pool.workers"
+
 (* ------------------------------------------------------------------ *)
 (* Job-count configuration.                                            *)
 
@@ -53,6 +61,7 @@ type pool = {
   mutable workers : unit Domain.t list;
   mutable nworkers : int;
   mutable shutdown : bool;
+  mutable published_ns : int;  (* publish time of the current task *)
 }
 
 let pool =
@@ -66,6 +75,7 @@ let pool =
     workers = [];
     nworkers = 0;
     shutdown = false;
+    published_ns = 0;
   }
 
 (* Set while a domain is executing (a slice of) a pool task: any nested
@@ -97,7 +107,13 @@ let worker_loop () =
     else begin
       last := pool.generation;
       let task = Option.get pool.task in
+      let published = pool.published_ns in
       Mutex.unlock pool.mutex;
+      if Bbc_obs.enabled () then begin
+        (* Queue wait: publish-to-pickup latency, sharded per worker. *)
+        Bbc_obs.observe obs_wait (Bbc_obs.now_ns () - published);
+        Bbc_obs.incr obs_tasks
+      end;
       (* Task closures record their own exceptions; see [run]. *)
       run_task_slice task;
       Mutex.lock pool.mutex;
@@ -133,6 +149,7 @@ let ensure_workers n =
   end;
   let available = pool.nworkers in
   Mutex.unlock pool.mutex;
+  Bbc_obs.set_gauge obs_workers (float_of_int available);
   available
 
 (* Run [body] on [jobs] participants (the caller plus [jobs - 1] pool
@@ -156,8 +173,13 @@ let run ~jobs body =
       pool.task <- Some guarded;
       pool.pending <- available;
       pool.generation <- pool.generation + 1;
+      pool.published_ns <- (if Bbc_obs.enabled () then Bbc_obs.now_ns () else 0);
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.mutex;
+      if Bbc_obs.enabled () then begin
+        Bbc_obs.incr obs_runs;
+        Bbc_obs.incr obs_tasks (* the caller participates too *)
+      end;
       run_task_slice guarded;
       Mutex.lock pool.mutex;
       while pool.pending > 0 do

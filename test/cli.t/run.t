@@ -56,6 +56,99 @@ Dynamics on a deterministic instance:
   final social cost: 50
   strongly connected: true
 
+Observability: --metrics prints a summary after the command output.
+Durations vary run to run, so they are rewritten to <T>; with --jobs 1
+every counter is deterministic (the domain pool is never engaged).
+
+  $ bbc_cli dynamics ring --nodes 5 --jobs 1 --metrics \
+  >   | sed -E 's/ +[0-9]+(\.[0-9]+)?(ns|us|ms|s)/ <T>/g'
+  outcome: converged (rounds=1 steps=5 deviations=0)
+  final social cost: 50
+  strongly connected: true
+  == observability summary ==
+  spans (by cumulative time)
+    name                                    count      total       mean
+    dynamics.run                                1 <T> <T>
+    eval.social_cost                            1 <T> <T>
+  counters
+    best_response.enumerations                      5
+    best_response.subsets                          25
+    dynamics.activations                            5
+    dynamics.deviations                             0
+    eval.sssp                                       5
+    exhaustive.aborted                              0
+    exhaustive.profiles                             0
+    exhaustive.pruned_prefixes                      0
+    pool.runs                                       0
+    pool.tasks                                      0
+    stability.is_stable                             0
+  gauges
+    pool.workers                                    0
+  histograms
+    name                                    count       mean      p~max
+    pool.wait_ns                                0          -          -
+
+The exhaustive search subcommand with metrics (111 profiles is the
+pruned count for a 4-node ring enumeration):
+
+  $ bbc_cli search ring --nodes 4 --jobs 1 --metrics \
+  >   | sed -E 's/ +[0-9]+(\.[0-9]+)?(ns|us|ms|s)/ <T>/g'
+  construction: ring (n=4)
+  objective:         sum
+  profiles examined: 111
+  equilibria found:  1
+  search complete:   false
+  first equilibrium social cost: 24
+  == observability summary ==
+  spans (by cumulative time)
+    name                                    count      total       mean
+    exhaustive.search                           1 <T> <T>
+    eval.social_cost                            1 <T> <T>
+  counters
+    best_response.enumerations                    137
+    best_response.subsets                         336
+    dynamics.activations                            0
+    dynamics.deviations                             0
+    eval.sssp                                       4
+    exhaustive.aborted                              0
+    exhaustive.profiles                           111
+    exhaustive.pruned_prefixes                      0
+    pool.runs                                       0
+    pool.tasks                                      0
+    stability.is_stable                           111
+  gauges
+    pool.workers                                    0
+  histograms
+    name                                    count       mean      p~max
+    pool.wait_ns                                0          -          -
+
+--trace-out writes a JSONL event stream.  The text --trace and the
+JSONL sink render the same activation events; the outcome event
+reconstructs the CLI summary line:
+
+  $ bbc_cli dynamics loop7 --jobs 1 --trace --trace-out t.jsonl
+    step    0 (round   0): node   0 -> [3 6] cost 11 -> 10
+    step    1 (round   0): node   1 -> [0 4] cost 11 -> 10
+    step    3 (round   0): node   3 -> [1 6] cost 11 -> 10
+    step    7 (round   1): node   0 -> [3 4] cost 11 -> 10
+    step    8 (round   1): node   1 -> [0 6] cost 11 -> 10
+    step   10 (round   1): node   3 -> [1 4] cost 11 -> 10
+  outcome: cycled (period 2 rounds, rounds=2 steps=14 deviations=6)
+  final social cost: 76
+  strongly connected: true
+  $ grep -c '"name":"dynamics.activation"' t.jsonl
+  6
+  $ grep '"name":"dynamics.outcome"' t.jsonl | sed -E 's/.*"attrs"://; s/\}$//'
+  {"outcome":"cycled","converged":false,"rounds":2,"steps":14,"deviations":6,"period":2}
+
+Search traces carry the span plus a snapshot of every counter:
+
+  $ bbc_cli search ring --nodes 4 --jobs 1 --trace-out s.jsonl > /dev/null
+  $ grep -c '"kind":"span_open"' s.jsonl
+  2
+  $ grep '"name":"exhaustive.profiles"' s.jsonl | sed -E 's/.*"attrs"://; s/\}$//'
+  {"value":111}
+
 Unknown construction:
 
   $ bbc_cli verify not-a-thing

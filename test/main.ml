@@ -40,4 +40,5 @@ let () =
       ("experiments-table", Test_table.suite);
       ("properties", Test_props.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]
