@@ -1,19 +1,31 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-full bench-json experiments examples clean doc
+.PHONY: all build test check ci bench bench-full bench-json experiments examples clean doc
 
 all: build
 
 # Pre-commit gate (documented in README): full build, test suite, and a
-# smoke bench --json into a temp dir (exercises the speedup +
-# observability-overhead sections and the JSON writer).
+# smoke bench --json into the git-ignored bench/results/ (exercises the
+# speedup + incremental-engine + observability-overhead sections and the
+# JSON writer).
 check:
 	dune build @all
 	dune runtest
-	@tmp=$$(mktemp -d) && \
-	dune exec bench/main.exe -- --timing-only --json $$tmp/BENCH_smoke.json > $$tmp/bench.log 2>&1 && \
-	grep -q '"obs_overhead"' $$tmp/BENCH_smoke.json && \
-	echo "check: ok (smoke bench in $$tmp)" || { cat $$tmp/bench.log; exit 1; }
+	@mkdir -p bench/results && \
+	dune exec bench/main.exe -- --timing-only --json bench/results/BENCH_smoke.json \
+	  > bench/results/bench_smoke.log 2>&1 && \
+	grep -q '"obs_overhead"' bench/results/BENCH_smoke.json && \
+	grep -q '"incremental"' bench/results/BENCH_smoke.json && \
+	echo "check: ok (smoke bench in bench/results/)" || \
+	{ cat bench/results/bench_smoke.log; exit 1; }
+
+# Everything CI runs, in the same order (see .github/workflows/ci.yml):
+# build, tests, smoke bench, then the regression gates on its JSON —
+# observability overhead within budget, incremental engine faster than
+# the oracle and bit-identical to it.
+ci: check
+	scripts/check_obs_overhead.sh bench/results/BENCH_smoke.json
+	scripts/check_incremental.sh bench/results/BENCH_smoke.json
 
 build:
 	dune build @all
@@ -22,19 +34,22 @@ test:
 	dune runtest
 
 test-capture:
-	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	@mkdir -p bench/results
+	dune runtest --force --no-buffer 2>&1 | tee bench/results/test_output.txt
 
 bench:
 	dune exec bench/main.exe
 
 bench-capture:
-	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+	@mkdir -p bench/results
+	dune exec bench/main.exe 2>&1 | tee bench/results/bench_output.txt
 
 bench-full:
 	dune exec bench/main.exe -- --full --ablations
 
-# Quick Bechamel pass + sequential-vs-parallel speedups, machine-readable
-# (BENCH_1.json; format in DESIGN.md).  Honours BBC_JOBS / --jobs.
+# Quick Bechamel pass + sequential-vs-parallel + incremental-engine
+# speedups, machine-readable (first free bench/results/BENCH_N.json;
+# format in DESIGN.md).  Honours BBC_JOBS / --jobs.
 bench-json:
 	dune exec bench/main.exe -- --timing-only --json
 

@@ -12,9 +12,11 @@
      --ablations    include the ablation benchmarks (implied by --full)
      --jobs N       size the Bbc_parallel domain pool (default: BBC_JOBS
                     or the machine's recommended domain count)
-     --json [FILE]  run the speedup + observability-overhead sections and
-                    write machine-readable results (default: the first
-                    free BENCH_N.json, so the perf trajectory accumulates)
+     --json [FILE]  run the speedup + incremental-engine +
+                    observability-overhead sections and write
+                    machine-readable results (default: the first free
+                    bench/results/BENCH_N.json, so the perf trajectory
+                    accumulates in a git-ignored directory)
      --metrics      enable Bbc_obs and print its summary on exit
      --trace-out F  enable Bbc_obs and write the JSONL trace to F
      e1 .. e11      run only the listed experiments *)
@@ -226,6 +228,85 @@ let print_speedups speedups =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Incremental engine (delta SSSP + cost caching) vs the from-scratch
+   oracle, on the dynamics workloads where the engine matters: long
+   best-response walks that mutate one strategy per step.  Each side
+   runs the complete walk once; [is_matches] asserts the two engines
+   produced bit-identical step streams, final profiles, and outcome
+   statistics — the contract the differential tests check exhaustively
+   on small instances, re-asserted here at bench scale. *)
+
+type incr_speedup = {
+  is_name : string;
+  scratch_s : float;
+  incr_s : float;
+  is_matches : bool;
+}
+
+(* One timed dynamics walk under the given engine, digesting the entire
+   trace (not just the final state) for the identity check. *)
+let timed_walk ~incremental ~scheduler ~max_rounds instance config =
+  let trace = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Bbc.Dynamics.run ~scheduler ~max_rounds ~incremental
+      ~on_step:(fun (s : Bbc.Dynamics.step) ->
+        if s.moved then
+          trace := (s.index, s.round, s.node, s.strategy, s.cost_after) :: !trace)
+      instance config
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let kind =
+    match outcome with
+    | Bbc.Dynamics.Converged _ -> `Converged
+    | Bbc.Dynamics.Cycled { period; _ } -> `Cycled period
+    | Bbc.Dynamics.Exhausted _ -> `Exhausted
+  in
+  (dt, (List.rev !trace, kind, Bbc.Dynamics.stats outcome,
+        Bbc.Dynamics.final_config outcome))
+
+let incremental_benchmarks ~full =
+  let ring, path = if full then (200, 40) else (140, 28) in
+  let ring_path =
+    let instance, config = Bbc.Constructions.ring_with_path ~ring ~path in
+    let n = Bbc.Instance.n instance in
+    ( Printf.sprintf "dynamics/ring+path (n=%d)" n,
+      instance, config, Bbc.Dynamics.Round_robin, 4 * n )
+  in
+  let cayley =
+    let c = Bbc_group.Cayley.circulant ~n:(if full then 96 else 64) ~offsets:[ 1; 5 ] in
+    let instance, config = Bbc.Cayley_game.to_game c in
+    let n = Bbc.Instance.n instance in
+    ( Printf.sprintf "dynamics/cayley circulant (n=%d,k=2)" n,
+      instance, config, Bbc.Dynamics.Round_robin, if full then 50 else 8 )
+  in
+  List.map
+    (fun (name, instance, config, scheduler, max_rounds) ->
+      let scratch_s, scratch_digest =
+        timed_walk ~incremental:false ~scheduler ~max_rounds instance config
+      in
+      let incr_s, incr_digest =
+        timed_walk ~incremental:true ~scheduler ~max_rounds instance config
+      in
+      let (st, sk, ss, sc) = scratch_digest and (it, ik, is_, ic) = incr_digest in
+      let is_matches = st = it && sk = ik && ss = is_ && Bbc.Config.equal sc ic in
+      { is_name = name; scratch_s; incr_s; is_matches })
+    [ ring_path; cayley ]
+
+let print_incr_speedups entries =
+  Format.fprintf fmt "@.%s@.Incremental engine vs from-scratch oracle (dynamics)@."
+    (String.make 72 '=');
+  List.iter
+    (fun e ->
+      Format.fprintf fmt
+        "  %-44s scratch %8.4fs  incr %8.4fs  speedup %7.2fx%s@."
+        e.is_name e.scratch_s e.incr_s
+        (e.scratch_s /. e.incr_s)
+        (if e.is_matches then "" else "  [MISMATCH]"))
+    entries;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead: the instrumented library hot paths vs local
    uninstrumented copies, with Bbc_obs disabled.  Verifies the
    "disabled = one branch" guarantee (acceptance: within noise, < 3%). *)
@@ -354,11 +435,21 @@ let print_overheads overheads =
 (* Machine-readable output (BENCH_*.json); format documented in
    DESIGN.md and README.md.                                            *)
 
-(* First free BENCH_N.json, so successive runs accumulate a perf
-   trajectory instead of silently overwriting the last one. *)
+(* First free bench/results/BENCH_N.json, so successive runs accumulate
+   a perf trajectory instead of silently overwriting the last one.  The
+   directory is git-ignored; falls back to the cwd when it cannot be
+   created (e.g. the binary runs outside a checkout). *)
 let next_bench_path () =
+  let dir = Filename.concat "bench" "results" in
+  let dir =
+    try
+      if not (Sys.file_exists "bench") then Unix.mkdir "bench" 0o755;
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      dir
+    with Unix.Unix_error _ -> Filename.current_dir_name
+  in
   let rec go i =
-    let p = Printf.sprintf "BENCH_%d.json" i in
+    let p = Filename.concat dir (Printf.sprintf "BENCH_%d.json" i) in
     if Sys.file_exists p then go (i + 1) else p
   in
   go 1
@@ -372,7 +463,7 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json ~path ~micro ~speedups ~overheads =
+let write_json ~path ~micro ~speedups ~incr ~overheads =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -396,6 +487,18 @@ let write_json ~path ~micro ~speedups ~overheads =
         s.sp_name s.par_jobs s.seq_s s.par_s (s.seq_s /. s.par_s) s.matches
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
+  out "  ],\n";
+  out "  \"incremental\": [\n";
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"name\": %S, \"scratch_s\": %.6f, \"incremental_s\": %.6f, \
+         \"speedup\": %.3f, \"results_match\": %b}%s\n"
+        e.is_name e.scratch_s e.incr_s
+        (e.scratch_s /. e.incr_s)
+        e.is_matches
+        (if i = List.length incr - 1 then "" else ","))
+    incr;
   out "  ],\n";
   out "  \"obs_overhead\": [\n";
   List.iteri
@@ -482,11 +585,22 @@ let () =
   | None -> ()
   | Some path ->
       let par_jobs = max 2 (Bbc_parallel.default_jobs ()) in
-      let speedups = speedup_benchmarks ~par_jobs in
+      (* The seq-vs-par section measures the domain pool, so the
+         incremental engine (sequential by construction) must stay out
+         of the from-scratch code paths it times. *)
+      let speedups =
+        let was = Bbc.Incr.enabled () in
+        Bbc.Incr.set_enabled false;
+        Fun.protect
+          ~finally:(fun () -> Bbc.Incr.set_enabled was)
+          (fun () -> speedup_benchmarks ~par_jobs)
+      in
       print_speedups speedups;
+      let incr = incremental_benchmarks ~full in
+      print_incr_speedups incr;
       let overheads = overhead_benchmarks () in
       print_overheads overheads;
-      write_json ~path ~micro:!micro ~speedups ~overheads);
+      write_json ~path ~micro:!micro ~speedups ~incr ~overheads);
   Bbc_obs.drain ();
   Option.iter close_out trace_oc;
   if !metrics_arg then Bbc_obs.pp_summary fmt;

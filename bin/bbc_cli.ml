@@ -160,6 +160,19 @@ let jobs_opt =
   in
   Term.(const apply $ Arg.(value & opt (some jobs_conv) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
 
+(* Like [jobs_opt]: applied for its side effect on the global engine
+   switch before the command body runs. *)
+let no_incremental_opt =
+  let doc =
+    "Disable the incremental evaluation engine (delta-repaired shortest \
+     paths + cost caching) and use the from-scratch reference oracle for \
+     dynamics and stability checks.  Also honours \
+     $(b,BBC_NO_INCREMENTAL=1).  Results are identical either way; this \
+     exists for cross-checking and timing."
+  in
+  let apply disable = if disable then Bbc.Incr.set_enabled false in
+  Term.(const apply $ Arg.(value & flag & info [ "no-incremental" ] ~doc))
+
 (* ---------------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -167,7 +180,7 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e11); all when omitted.")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Larger sweeps.") in
-  let run () obs ids full =
+  let run () () obs ids full =
     let quick = not full in
     match ids with
     | [] ->
@@ -189,10 +202,10 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments (paper figures/claims).")
-    Term.(ret (const run $ jobs_opt $ obs_opts $ ids $ full))
+    Term.(ret (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ ids $ full))
 
 let verify_cmd =
-  let run () obs name n k h l seed objective =
+  let run () () obs name n k h l seed objective =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, config) ->
@@ -213,7 +226,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Check whether a named construction is a pure Nash equilibrium.")
     Term.(
       ret
-        (const run $ jobs_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
        $ seed_opt $ objective_opt))
 
 let dynamics_cmd =
@@ -236,7 +249,7 @@ let dynamics_cmd =
             "Print every deviation (the dynamics.activation event stream \
              rendered as text; --trace-out writes the same stream as JSONL).")
   in
-  let run () obs name n k h l seed objective scheduler rounds trace =
+  let run () () obs name n k h l seed objective scheduler rounds trace =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, config) ->
@@ -259,7 +272,7 @@ let dynamics_cmd =
     (Cmd.info "dynamics" ~doc:"Run a best-response walk on a named construction.")
     Term.(
       ret
-        (const run $ jobs_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
        $ seed_opt $ objective_opt $ scheduler_opt $ rounds_opt $ trace))
 
 let search_cmd =
@@ -272,7 +285,7 @@ let search_cmd =
       & opt int 100_000_000
       & info [ "max-profiles" ] ~doc:"Abort after examining this many profiles.")
   in
-  let run () obs name n k h l seed objective limit max_profiles =
+  let run () () obs name n k h l seed objective limit max_profiles =
     match build_config name ~n ~k ~h ~l ~seed with
     | Error e -> `Error (false, e)
     | Ok (instance, _) ->
@@ -295,7 +308,7 @@ let search_cmd =
        ~doc:"Exhaustively search a construction's instance for pure Nash equilibria.")
     Term.(
       ret
-        (const run $ jobs_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ name_arg $ n_opt $ k_opt $ h_opt $ l_opt
        $ seed_opt $ objective_opt $ limit_opt $ max_profiles_opt))
 
 let dot_cmd =
@@ -372,7 +385,7 @@ let load_cmd =
   let config_file =
     Arg.(value & pos 1 (some file) None & info [] ~docv:"CONFIG" ~doc:"Optional configuration file to verify.")
   in
-  let run () instance_file config_file objective =
+  let run () () instance_file config_file objective =
     match Bbc.Codec.load_instance instance_file with
     | Error e -> `Error (false, e)
     | Ok instance -> (
@@ -396,7 +409,7 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load an instance (and optionally verify a configuration).")
-    Term.(ret (const run $ jobs_opt $ instance_file $ config_file $ objective_opt))
+    Term.(ret (const run $ jobs_opt $ no_incremental_opt $ instance_file $ config_file $ objective_opt))
 
 let () =
   let doc = "Bounded Budget Connection (BBC) games laboratory" in

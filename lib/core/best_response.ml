@@ -12,22 +12,34 @@ let candidate_targets instance u =
   done;
   !acc
 
-(* Distance rows in G_{-u}, computed lazily per candidate target. *)
+(* Distance rows in G_{-u}, fetched lazily per candidate target and
+   cached for the duration of one enumeration.  [fetch] is the engine:
+   a from-scratch SSSP on a G_{-u} copy, or one of the two incremental
+   providers in {!Incr}. *)
 type rows = {
-  graph_minus_u : Digraph.t;
+  fetch : int -> int array;
   cache : int array option array;
 }
 
-let make_rows instance config u =
+let scratch_rows instance config u =
   let g = Config.to_graph instance config in
   Digraph.remove_out_edges g u;
-  { graph_minus_u = g; cache = Array.make (Instance.n instance) None }
+  { fetch = (fun v -> Paths.shortest g v); cache = Array.make (Instance.n instance) None }
+
+let threshold_rows ctx instance u =
+  {
+    fetch = (fun v -> Incr.threshold_row ctx ~u ~v);
+    cache = Array.make (Instance.n instance) None;
+  }
+
+let masked_rows ctx instance =
+  { fetch = (fun v -> Incr.masked_row ctx v); cache = Array.make (Instance.n instance) None }
 
 let row rows v =
   match rows.cache.(v) with
   | Some d -> d
   | None ->
-      let d = Paths.shortest rows.graph_minus_u v in
+      let d = rows.fetch v in
       rows.cache.(v) <- Some d;
       d
 
@@ -54,8 +66,7 @@ let obs_enumerations = Bbc_obs.counter "best_response.enumerations"
 (* DFS over affordable subsets of candidates.  [on_subset strategy_rev cost]
    is called for every feasible subset (including the empty one); it
    returns [true] to abort the search early. *)
-let enumerate ?(objective = Objective.Sum) instance config u ~on_subset =
-  let rows = make_rows instance config u in
+let dfs_enumerate ~objective instance u ~rows ~on_subset =
   let candidates = Array.of_list (candidate_targets instance u) in
   let n = Instance.n instance in
   let base = Array.make n Paths.unreachable in
@@ -84,18 +95,49 @@ let enumerate ?(objective = Objective.Sum) instance config u ~on_subset =
   Bbc_obs.incr obs_enumerations;
   Bbc_obs.add obs_subsets !subsets
 
-let exact ?objective instance config u =
+(* Uniform k = 1: the affordable subsets are exactly the empty set and
+   the singletons, visited in the same order the DFS would use — but
+   with O(1) closed-form costs instead of per-candidate rows. *)
+let analytic_enumerate ~objective ctx instance u ~on_subset =
+  let stop = ref false in
+  let subsets = ref 1 in
+  if on_subset [] (Incr.empty_cost ~objective ctx u) then stop := true;
+  List.iter
+    (fun v ->
+      if not !stop then begin
+        incr subsets;
+        if on_subset [ v ] (Incr.singleton_cost ~objective ctx u v) then stop := true
+      end)
+    (candidate_targets instance u);
+  Bbc_obs.incr obs_enumerations;
+  Bbc_obs.add obs_subsets !subsets
+
+let enumerate ?(objective = Objective.Sum) ?ctx instance config u ~on_subset =
+  match ctx with
+  | Some c ->
+      Incr.ensure c config;
+      if Incr.analytic c then analytic_enumerate ~objective c instance u ~on_subset
+      else if Incr.functional c then
+        dfs_enumerate ~objective instance u ~rows:(threshold_rows c instance u) ~on_subset
+      else
+        Incr.with_masked c u (fun () ->
+            dfs_enumerate ~objective instance u ~rows:(masked_rows c instance) ~on_subset)
+  | None ->
+      dfs_enumerate ~objective instance u ~rows:(scratch_rows instance config u) ~on_subset
+
+let exact ?objective ?ctx instance config u =
   let best = ref { strategy = []; cost = max_int } in
-  enumerate ?objective instance config u ~on_subset:(fun chosen cost ->
+  enumerate ?objective ?ctx instance config u ~on_subset:(fun chosen cost ->
       if cost < !best.cost then best := { strategy = List.rev chosen; cost };
       false);
   { !best with strategy = List.sort compare !best.strategy }
 
-let best_cost ?objective instance config u = (exact ?objective instance config u).cost
+let best_cost ?objective ?ctx instance config u =
+  (exact ?objective ?ctx instance config u).cost
 
-let all_best ?objective instance config u =
+let all_best ?objective ?ctx instance config u =
   let best = ref max_int and acc = ref [] in
-  enumerate ?objective instance config u ~on_subset:(fun chosen cost ->
+  enumerate ?objective ?ctx instance config u ~on_subset:(fun chosen cost ->
       if cost < !best then begin
         best := cost;
         acc := [ List.sort compare chosen ]
@@ -104,10 +146,16 @@ let all_best ?objective instance config u =
       false);
   List.rev_map (fun strategy -> { strategy; cost = !best }) !acc
 
-let improving ?objective instance config u =
-  let current = Eval.node_cost ?objective instance config u in
+let improving ?objective ?ctx instance config u =
+  let current =
+    match ctx with
+    | Some c ->
+        Incr.ensure c config;
+        Incr.node_cost ?objective c u
+    | None -> Eval.node_cost ?objective instance config u
+  in
   let found = ref None in
-  enumerate ?objective instance config u ~on_subset:(fun chosen cost ->
+  enumerate ?objective ?ctx instance config u ~on_subset:(fun chosen cost ->
       if cost < current then begin
         found := Some { strategy = List.sort compare chosen; cost };
         true
@@ -115,8 +163,7 @@ let improving ?objective instance config u =
       else false);
   !found
 
-let greedy ?(objective = Objective.Sum) instance config u =
-  let rows = make_rows instance config u in
+let greedy_rows ~objective instance u ~rows =
   let n = Instance.n instance in
   let base = Array.make n Paths.unreachable in
   base.(u) <- 0;
@@ -142,3 +189,14 @@ let greedy ?(objective = Objective.Sum) instance config u =
     | _ -> { strategy = List.sort compare chosen; cost }
   in
   grow [] (Instance.budget instance u) base (eval base)
+
+let greedy ?(objective = Objective.Sum) ?ctx instance config u =
+  match ctx with
+  | Some c ->
+      Incr.ensure c config;
+      if Incr.functional c then
+        greedy_rows ~objective instance u ~rows:(threshold_rows c instance u)
+      else
+        Incr.with_masked c u (fun () ->
+            greedy_rows ~objective instance u ~rows:(masked_rows c instance))
+  | None -> greedy_rows ~objective instance u ~rows:(scratch_rows instance config u)

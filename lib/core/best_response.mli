@@ -10,7 +10,14 @@
     Distances [d_{G_{-u}}(v, .)] do not depend on [u]'s strategy, so they
     are computed once per candidate target ("rows") and every candidate
     strategy is then scored in O(n).  Strategies are enumerated by DFS
-    over affordable target subsets. *)
+    over affordable target subsets.
+
+    Every function takes an optional incremental context ([?ctx]).  With
+    a context, rows come from delta-repaired SSSPs ({!Incr}) instead of
+    per-candidate from-scratch searches; results are bit-identical (same
+    costs, same DFS visiting order, same tie-breaking), only faster.
+    Contexts are mutable single-domain state — do not share one across
+    {!Bbc_parallel} workers. *)
 
 type result = {
   strategy : int list;  (** An optimal link set (sorted). *)
@@ -20,27 +27,30 @@ type result = {
 val candidate_targets : Instance.t -> int -> int list
 (** Targets [v <> u] with [cost(u,v) <= budget(u)], increasing. *)
 
-val exact : ?objective:Objective.t -> Instance.t -> Config.t -> int -> result
+val exact :
+  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result
 (** Optimal strategy for [u], all other strategies fixed.  Deterministic:
     among optima, the first in the DFS order over increasing targets
     (subset-minimal first). *)
 
-val best_cost : ?objective:Objective.t -> Instance.t -> Config.t -> int -> int
+val best_cost :
+  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> int
 (** Cost of {!exact} without materializing the strategy. *)
 
 val all_best :
-  ?objective:Objective.t -> Instance.t -> Config.t -> int -> result list
+  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result list
 (** Every optimal strategy (all achieve the same [cost]), in DFS order.
     Used when enumerating equilibrium multiplicity; can be exponentially
     many for large budgets. *)
 
 val improving :
-  ?objective:Objective.t -> Instance.t -> Config.t -> int -> result option
+  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result option
 (** [Some r] with [r.cost] strictly below [u]'s current cost if a strictly
     improving deviation exists, else [None].  Unlike {!exact}, exits as
     soon as any improvement is found (the returned deviation is improving
     but not necessarily optimal). *)
 
-val greedy : ?objective:Objective.t -> Instance.t -> Config.t -> int -> result
+val greedy :
+  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result
 (** Heuristic for large instances: repeatedly add the affordable link with
     the largest cost reduction.  Not guaranteed optimal. *)

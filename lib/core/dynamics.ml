@@ -76,14 +76,18 @@ end
 
    Under [Exact_best_response] the optimum is computed with a single DFS
    and adopted iff it strictly beats the current cost — the
-   improving-then-exact double enumeration is gone. *)
-let activate ?objective ?known_improving ~policy instance config node =
+   improving-then-exact double enumeration is gone.
+
+   With an incremental context ([?ctx]) the enumerations reuse
+   delta-repaired SSSPs and the current cost comes from the version-keyed
+   cache; the decisions are identical. *)
+let activate ?objective ?ctx ?known_improving ~policy instance config node =
   match policy with
   | First_improvement -> (
       let improving =
         match known_improving with
         | Some r -> r
-        | None -> Best_response.improving ?objective instance config node
+        | None -> Best_response.improving ?objective ?ctx instance config node
       in
       match improving with
       | None -> (config, false)
@@ -93,11 +97,15 @@ let activate ?objective ?known_improving ~policy instance config node =
       | Some None -> (config, false)
       | Some (Some _) ->
           (* Known unstable, so the optimum strictly improves. *)
-          let best = Best_response.exact ?objective instance config node in
+          let best = Best_response.exact ?objective ?ctx instance config node in
           (Config.with_strategy config node best.strategy, true)
       | None ->
-          let best = Best_response.exact ?objective instance config node in
-          let current = Eval.node_cost ?objective instance config node in
+          let best = Best_response.exact ?objective ?ctx instance config node in
+          let current =
+            match ctx with
+            | Some c -> Incr.node_cost ?objective c node
+            | None -> Eval.node_cost ?objective instance config node
+          in
           if best.cost < current then (Config.with_strategy config node best.strategy, true)
           else (config, false))
 
@@ -167,7 +175,8 @@ let round_order scheduler rng n =
       order
   | Max_cost_first -> assert false
 
-let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_rounds instance config0 =
+let run ?objective ?(policy = Exact_best_response) ?on_step ?incremental ~scheduler
+    ~max_rounds instance config0 =
   let n = Instance.n instance in
   Bbc_obs.with_span "dynamics.run"
     ~attrs:
@@ -177,6 +186,17 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
         ("max_rounds", Bbc_obs.Int max_rounds);
       ]
   @@ fun () ->
+  (* One incremental context for the whole walk: every activation's
+     enumeration shares the delta-repaired SSSPs.  The context is
+     single-domain state, so all ctx paths below are sequential. *)
+  let ctx = if Incr.resolve incremental then Some (Incr.create instance config0) else None in
+  let node_cost config node =
+    match ctx with
+    | Some c ->
+        Incr.ensure c config;
+        Incr.node_cost ?objective c node
+    | None -> Eval.node_cost ?objective instance config node
+  in
   let rng = match scheduler with Random_order seed -> Some (Splitmix.create seed) | _ -> None in
   let emit ~prev index round node moved config =
     Bbc_obs.incr obs_activations;
@@ -194,7 +214,7 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
             node;
             moved;
             strategy = Config.targets config node;
-            cost_after = Eval.node_cost ?objective instance config node;
+            cost_after = node_cost config node;
           }
   in
   let outcome =
@@ -219,14 +239,27 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
                 }
           | None -> (
               Seen.add seen config step;
-              let costs = Eval.all_costs ?objective instance config in
-              (* One improving check per node, fanned over the domain
-                 pool; the winner's result is handed to [activate] so
-                 the enumeration never runs twice for the same step. *)
+              let costs =
+                match ctx with
+                | Some c ->
+                    Incr.ensure c config;
+                    Incr.all_costs ?objective c
+                | None -> Eval.all_costs ?objective instance config
+              in
+              (* One improving check per node: with a context the scan
+                 runs sequentially against the shared SSSPs; otherwise
+                 it fans over the domain pool.  Either way the winner's
+                 result is handed to [activate] so the enumeration never
+                 runs twice for the same step. *)
               let improving =
-                Bbc_parallel.parallel_init
-                  ~jobs:(Bbc_parallel.jobs_for ~threshold:64 n) n
-                  (fun u -> Best_response.improving ?objective instance config u)
+                match ctx with
+                | Some _ ->
+                    Array.init n (fun u ->
+                        Best_response.improving ?objective ?ctx instance config u)
+                | None ->
+                    Bbc_parallel.parallel_init
+                      ~jobs:(Bbc_parallel.jobs_for ~threshold:64 n) n
+                      (fun u -> Best_response.improving ?objective instance config u)
               in
               let unstable =
                 List.filter (fun u -> Option.is_some improving.(u)) (List.init n Fun.id)
@@ -244,8 +277,8 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
                     |> Option.get
                   in
                   let config', moved =
-                    activate ?objective ~known_improving:improving.(node) ~policy instance
-                      config node
+                    activate ?objective ?ctx ~known_improving:improving.(node) ~policy
+                      instance config node
                   in
                   emit ~prev:config step step node moved config';
                   go config' (step + 1) (deviations + if moved then 1 else 0))
@@ -274,7 +307,7 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
               let config = ref config and changed = ref 0 and steps = ref steps in
               Array.iter
                 (fun node ->
-                  let config', moved = activate ?objective ~policy instance !config node in
+                  let config', moved = activate ?objective ?ctx ~policy instance !config node in
                   emit ~prev:!config !steps round node moved config';
                   incr steps;
                   if moved then incr changed;
@@ -289,7 +322,8 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ~scheduler ~max_roun
   trace_outcome outcome;
   outcome
 
-let first_strong_connectivity ?objective ?policy ~scheduler ~max_rounds instance config0 =
+let first_strong_connectivity ?objective ?policy ?incremental ~scheduler ~max_rounds
+    instance config0 =
   let hit = ref None in
   let check stats config =
     if
@@ -311,5 +345,7 @@ let first_strong_connectivity ?objective ?policy ~scheduler ~max_rounds instance
         !current
     end
   in
-  let outcome = run ?objective ?policy ~on_step ~scheduler ~max_rounds instance config0 in
+  let outcome =
+    run ?objective ?policy ?incremental ~on_step ~scheduler ~max_rounds instance config0
+  in
   Option.map (fun stats -> (stats, outcome)) !hit

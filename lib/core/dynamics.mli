@@ -58,16 +58,21 @@ val run :
   ?objective:Objective.t ->
   ?policy:move_policy ->
   ?on_step:(step -> unit) ->
+  ?incremental:bool ->
   scheduler:scheduler ->
   max_rounds:int ->
   Instance.t ->
   Config.t ->
   outcome
-(** [policy] defaults to [Exact_best_response]. *)
+(** [policy] defaults to [Exact_best_response].  [incremental] (default:
+    {!Incr.enabled}) selects the evaluation engine: one {!Incr} context
+    shared by every activation of the walk, or the from-scratch oracle.
+    Both engines produce the same walk, step stream, and outcome. *)
 
 val first_strong_connectivity :
   ?objective:Objective.t ->
   ?policy:move_policy ->
+  ?incremental:bool ->
   scheduler:scheduler ->
   max_rounds:int ->
   Instance.t ->

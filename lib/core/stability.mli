@@ -5,14 +5,20 @@
     fixed.  Verification runs one exact best-response computation per
     node; [is_stable] short-circuits on the first unstable node.
 
-    {b Parallelism.}  Per-node checks are independent: they read the
-    shared instance and profile (both immutable) and build their own
-    [G_{-u}] scratch graphs, honouring the read-only-graph contract of
+    {b Engines.}  With [incremental] (default: {!Incr.enabled}) each call
+    builds one {!Incr} context and scans nodes sequentially against its
+    delta-repaired SSSPs.  With [~incremental:false] the per-node checks
+    are independent from-scratch computations fanned over the
+    {!Bbc_parallel} domain pool ([?jobs], early abort).  Both engines
+    return identical results — verdicts, nodes, and costs.
+
+    {b Parallelism.}  From-scratch per-node checks only read the shared
+    instance and profile (both immutable) and build their own [G_{-u}]
+    scratch graphs, honouring the read-only-graph contract of
     {!Bbc_graph.Digraph}.  The [?jobs] parameter (default:
-    {!Bbc_parallel.default_jobs} for n >= 64, sequential below) fans
-    them over the {!Bbc_parallel} domain pool with early abort: as soon
-    as any domain finds an improving deviation the others stop.  Every
-    function returns the same result for every job count. *)
+    {!Bbc_parallel.default_jobs} for n >= 64, sequential below) applies
+    to the from-scratch engine; the incremental engine is sequential by
+    construction (contexts are single-domain state). *)
 
 type deviation = {
   node : int;
@@ -20,10 +26,11 @@ type deviation = {
   better : Best_response.result;  (** A strictly improving strategy. *)
 }
 
-val is_stable : ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> bool
+val is_stable :
+  ?objective:Objective.t -> ?jobs:int -> ?incremental:bool -> Instance.t -> Config.t -> bool
 
 val nodes_stable :
-  ?objective:Objective.t -> Instance.t -> Config.t -> int list -> bool
+  ?objective:Objective.t -> ?incremental:bool -> Instance.t -> Config.t -> int list -> bool
 (** Stability restricted to the given nodes (no improving deviation for
     any of them).  Used with symmetry arguments: verifying one
     representative per orbit of a vertex-symmetric configuration is
@@ -31,21 +38,28 @@ val nodes_stable :
 
 val is_stable_parallel :
   ?objective:Objective.t -> ?domains:int -> Instance.t -> Config.t -> bool
-(** [is_stable ~jobs:domains] — kept for compatibility; [domains]
-    defaults to {!Bbc_parallel.default_jobs} (no size threshold, so this
-    always engages the pool).  Exact same verdict as {!is_stable}. *)
+(** [is_stable ~jobs:domains ~incremental:false] — kept for
+    compatibility; [domains] defaults to {!Bbc_parallel.default_jobs}
+    (no size threshold, so this always engages the pool).  Exact same
+    verdict as {!is_stable}. *)
 
 val find_deviation :
-  ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> deviation option
+  ?objective:Objective.t ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  Instance.t ->
+  Config.t ->
+  deviation option
 (** First improving deviation in node order, if any.  The parallel scan
     still reports the {e lowest} unstable node, exactly like the
     sequential one. *)
 
 val unstable_nodes :
-  ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int list
+  ?objective:Objective.t -> ?jobs:int -> ?incremental:bool -> Instance.t -> Config.t -> int list
 (** All nodes that currently have an improving deviation. *)
 
-val stability_gap : ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int
+val stability_gap :
+  ?objective:Objective.t -> ?jobs:int -> ?incremental:bool -> Instance.t -> Config.t -> int
 (** Max over nodes of [current_cost - best_response_cost]; 0 iff stable.
     (The additive analogue of epsilon-equilibrium.) *)
 

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Regression gate on the incremental evaluation engine (DESIGN.md
+# section 9): every entry of a BENCH_*.json "incremental" section must
+# report results_match = true (bit-identical walk vs the from-scratch
+# oracle), and the ring+path dynamics workload — the engine's headline
+# case — must hold its speedup floor (default 3x, override with
+# INCR_SPEEDUP_FLOOR).
+#
+# Usage: scripts/check_incremental.sh bench/results/BENCH_smoke.json
+set -eu
+
+json=${1:?usage: check_incremental.sh BENCH.json}
+floor=${INCR_SPEEDUP_FLOOR:-3}
+
+[ -f "$json" ] || { echo "check_incremental: $json not found" >&2; exit 1; }
+
+awk -v floor="$floor" '
+  /"incremental"/ && /\[/ { section = 1; next }
+  section && /\]/ { section = 0 }
+  section && /"speedup"/ {
+    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    sp = $0; sub(/.*"speedup": /, "", sp); sub(/[,}].*/, "", sp)
+    match_ok = ($0 ~ /"results_match": true/)
+    printf "  %-44s %8.2fx  %s\n", name, sp, match_ok ? "match" : "MISMATCH"
+    checked++
+    if (!match_ok) { bad++ }
+    if (name ~ /ring\+path/) {
+      gated++
+      if (sp + 0 < floor + 0) {
+        printf "check_incremental: %s below %sx floor\n", name, floor > "/dev/stderr"
+        bad++
+      }
+    }
+  }
+  END {
+    if (checked == 0) { print "check_incremental: no incremental entries found" > "/dev/stderr"; exit 1 }
+    if (gated == 0) { print "check_incremental: no ring+path entry found" > "/dev/stderr"; exit 1 }
+    if (bad > 0) { exit 1 }
+    print "check_incremental: ok"
+  }
+' "$json"

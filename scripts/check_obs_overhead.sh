@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regression gate on the observability "disabled = one branch" guarantee:
+# every obs_overhead entry of a BENCH_*.json must stay within the budget
+# (percent; default 3, override with OBS_OVERHEAD_BUDGET_PCT).
+#
+# Usage: scripts/check_obs_overhead.sh bench/results/BENCH_smoke.json
+set -eu
+
+json=${1:?usage: check_obs_overhead.sh BENCH.json}
+budget=${OBS_OVERHEAD_BUDGET_PCT:-3}
+
+[ -f "$json" ] || { echo "check_obs_overhead: $json not found" >&2; exit 1; }
+
+# The writer emits one object per line (bench/main.ml write_json), so a
+# line-oriented scan is reliable without a JSON parser.
+awk -v budget="$budget" '
+  /"obs_overhead"/ { section = 1; next }
+  section && /\]/ { section = 0 }
+  section && /"overhead_pct"/ {
+    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    pct = $0; sub(/.*"overhead_pct": /, "", pct); sub(/[,}].*/, "", pct)
+    printf "  %-44s %+6.2f%% (budget %s%%)\n", name, pct, budget
+    checked++
+    if (pct + 0 > budget + 0) { bad++ }
+  }
+  END {
+    if (checked == 0) { print "check_obs_overhead: no obs_overhead entries found" > "/dev/stderr"; exit 1 }
+    if (bad > 0) { printf "check_obs_overhead: %d entr%s over budget\n", bad, bad == 1 ? "y" : "ies" > "/dev/stderr"; exit 1 }
+    print "check_obs_overhead: ok"
+  }
+' "$json"

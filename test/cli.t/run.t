@@ -79,6 +79,16 @@ every counter is deterministic (the domain pool is never engaged).
     exhaustive.aborted                              0
     exhaustive.profiles                             0
     exhaustive.pruned_prefixes                      0
+    incr.analytic_costs                            20
+    incr.contexts                                   1
+    incr.cost_cache_hits                            0
+    incr.cost_cache_misses                          5
+    incr.masks                                      0
+    incr.moves                                      0
+    incr.threshold_rows                             0
+    incremental.full_sssp                           5
+    incremental.repairs                             0
+    incremental.repairs_noop                        0
     pool.runs                                       0
     pool.tasks                                      0
     stability.is_stable                             0
@@ -86,6 +96,7 @@ every counter is deterministic (the domain pool is never engaged).
     pool.workers                                    0
   histograms
     name                                    count       mean      p~max
+    incremental.repair_touched                  0          -          -
     pool.wait_ns                                0          -          -
 
 The exhaustive search subcommand with metrics (111 profiles is the
@@ -113,6 +124,16 @@ pruned count for a 4-node ring enumeration):
     exhaustive.aborted                              0
     exhaustive.profiles                           111
     exhaustive.pruned_prefixes                      0
+    incr.analytic_costs                           199
+    incr.contexts                                 111
+    incr.cost_cache_hits                            0
+    incr.cost_cache_misses                        137
+    incr.masks                                      0
+    incr.moves                                      0
+    incr.threshold_rows                             0
+    incremental.full_sssp                         271
+    incremental.repairs                             0
+    incremental.repairs_noop                        0
     pool.runs                                       0
     pool.tasks                                      0
     stability.is_stable                           111
@@ -120,6 +141,7 @@ pruned count for a 4-node ring enumeration):
     pool.workers                                    0
   histograms
     name                                    count       mean      p~max
+    incremental.repair_touched                  0          -          -
     pool.wait_ns                                0          -          -
 
 --trace-out writes a JSONL event stream.  The text --trace and the

@@ -41,4 +41,5 @@ let () =
       ("properties", Test_props.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("incremental", Test_incremental.suite);
     ]
