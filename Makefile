@@ -6,8 +6,8 @@ all: build
 
 # Pre-commit gate (documented in README): full build, test suite, and a
 # smoke bench --json into the git-ignored bench/results/ (exercises the
-# speedup + incremental-engine + observability-overhead sections and the
-# JSON writer).
+# speedup + incremental-engine + observability-overhead + serving-layer
+# sections and the JSON writer).
 check:
 	dune build @all
 	dune runtest
@@ -16,16 +16,19 @@ check:
 	  > bench/results/bench_smoke.log 2>&1 && \
 	grep -q '"obs_overhead"' bench/results/BENCH_smoke.json && \
 	grep -q '"incremental"' bench/results/BENCH_smoke.json && \
+	grep -q '"server"' bench/results/BENCH_smoke.json && \
 	echo "check: ok (smoke bench in bench/results/)" || \
 	{ cat bench/results/bench_smoke.log; exit 1; }
 
 # Everything CI runs, in the same order (see .github/workflows/ci.yml):
 # build, tests, smoke bench, then the regression gates on its JSON —
 # observability overhead within budget, incremental engine faster than
-# the oracle and bit-identical to it.
+# the oracle and bit-identical to it — and the serving-layer soak
+# (10k concurrent requests, zero protocol errors, graceful drain).
 ci: check
 	scripts/check_obs_overhead.sh bench/results/BENCH_smoke.json
 	scripts/check_incremental.sh bench/results/BENCH_smoke.json
+	scripts/check_server.sh
 
 build:
 	dune build @all

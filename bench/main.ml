@@ -13,10 +13,10 @@
      --jobs N       size the Bbc_parallel domain pool (default: BBC_JOBS
                     or the machine's recommended domain count)
      --json [FILE]  run the speedup + incremental-engine +
-                    observability-overhead sections and write
-                    machine-readable results (default: the first free
-                    bench/results/BENCH_N.json, so the perf trajectory
-                    accumulates in a git-ignored directory)
+                    observability-overhead + serving-layer sections and
+                    write machine-readable results (default: the first
+                    free bench/results/BENCH_N.json, so the perf
+                    trajectory accumulates in a git-ignored directory)
      --metrics      enable Bbc_obs and print its summary on exit
      --trace-out F  enable Bbc_obs and write the JSONL trace to F
      e1 .. e11      run only the listed experiments *)
@@ -432,6 +432,63 @@ let print_overheads overheads =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Serving layer: an in-process daemon on a private socket, hammered by
+   the closed-loop load generator (the same code as tools/bbc_loadgen),
+   single- and multi-client.  Each scenario reports throughput and
+   latency quantiles; the generator's consistency cross-check (identical
+   read-only queries must get byte-identical answers under concurrency)
+   rides along as the correctness bit. *)
+
+let server_benchmarks ~full =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bbc-bench-%d.sock" (Unix.getpid ()))
+  in
+  let ready = Atomic.make false in
+  let srv =
+    Thread.create
+      (fun () ->
+        Bbc_server.Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~engine:(Bbc_server.Engine.default_config ())
+          (Bbc_server.Server.Socket socket))
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.yield ()
+  done;
+  let requests = if full then 5000 else 1500 in
+  let results =
+    List.filter_map
+      (fun clients ->
+        match
+          Bbc_server.Loadgen.run ~socket ~clients ~requests ~name:"ring" ~n:24 ()
+        with
+        | Ok s -> Some (Printf.sprintf "serve/ring(n=24) %d client%s" clients
+                          (if clients = 1 then "" else "s"), s)
+        | Error e ->
+            Format.fprintf fmt "  serve bench (%d clients) failed: %s@." clients e;
+            None)
+      [ 1; 4 ]
+  in
+  (match Bbc_server.Loadgen.request_shutdown ~socket with Ok () | Error _ -> ());
+  Thread.join srv;
+  results
+
+let print_servers entries =
+  Format.fprintf fmt "@.%s@.Serving layer (bbc serve + load generator, in-process)@."
+    (String.make 72 '=');
+  List.iter
+    (fun (name, (s : Bbc_server.Loadgen.summary)) ->
+      Format.fprintf fmt
+        "  %-34s %8.0f req/s  p50 %6.3f ms  p99 %6.3f ms  errors %d%s@." name
+        s.req_per_s s.p50_ms s.p99_ms
+        (s.errors + s.protocol_errors)
+        (if s.consistent then "" else "  [INCONSISTENT]"))
+    entries;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output (BENCH_*.json); format documented in
    DESIGN.md and README.md.                                            *)
 
@@ -463,7 +520,7 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json ~path ~micro ~speedups ~incr ~overheads =
+let write_json ~path ~micro ~speedups ~incr ~overheads ~servers =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -510,6 +567,18 @@ let write_json ~path ~micro ~speedups ~incr ~overheads =
         (100.0 *. ((o.inst_s /. o.base_s) -. 1.0))
         (if i = List.length overheads - 1 then "" else ","))
     overheads;
+  out "  ],\n";
+  out "  \"server\": [\n";
+  List.iteri
+    (fun i (name, (s : Bbc_server.Loadgen.summary)) ->
+      out
+        "    {\"name\": %S, \"clients\": %d, \"requests\": %d, \
+         \"req_per_s\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \
+         \"errors\": %d, \"protocol_errors\": %d, \"consistent\": %b}%s\n"
+        name s.clients s.requests s.req_per_s s.p50_ms s.p99_ms s.errors
+        s.protocol_errors s.consistent
+        (if i = List.length servers - 1 then "" else ","))
+    servers;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -600,7 +669,9 @@ let () =
       print_incr_speedups incr;
       let overheads = overhead_benchmarks () in
       print_overheads overheads;
-      write_json ~path ~micro:!micro ~speedups ~incr ~overheads);
+      let servers = server_benchmarks ~full in
+      print_servers servers;
+      write_json ~path ~micro:!micro ~speedups ~incr ~overheads ~servers);
   Bbc_obs.drain ();
   Option.iter close_out trace_oc;
   if !metrics_arg then Bbc_obs.pp_summary fmt;

@@ -7,6 +7,9 @@
      verify      check stability of a named construction
      dot         emit Graphviz for a construction
      reduce      build the Theorem-2 instance from a DIMACS file
+     save/load   serialize constructions to the bbc text/JSON formats
+     convert     validate + re-emit an instance/config file (text <-> JSON)
+     serve       long-running game-analysis daemon (line-delimited JSON)
 
    Observability: --metrics prints the Bbc_obs summary on exit and
    --trace-out FILE writes the structured JSONL event stream; both are
@@ -75,46 +78,14 @@ let with_obs ?(text_trace = false) o k =
     k
 
 (* ---------------------------------------------------------------- *)
-(* Shared constructors for named configurations.                     *)
+(* Named constructions now live in Bbc.Catalog, shared with the
+   server's [gen] endpoint; this shim keeps the historical call-site
+   shape. *)
 
-let named_configs =
-  [
-    "willows";
-    "ring";
-    "ring-path";
-    "loop7";
-    "max-anarchy";
-    "circulant";
-    "hypercube";
-    "random";
-    "empty";
-  ]
+let named_configs = Bbc.Catalog.names
 
 let build_config name ~n ~k ~h ~l ~seed =
-  match name with
-  | "willows" ->
-      let p = Bbc.Willows.{ k; h; l } in
-      Ok (Bbc.Willows.build p)
-  | "ring" ->
-      let inst = Bbc.Instance.uniform ~n ~k:1 in
-      Ok (inst, Bbc.Config.of_graph (Bbc_graph.Generators.directed_ring n))
-  | "ring-path" -> Ok (Bbc.Constructions.ring_with_path ~ring:(n / 2 * 2 / 3 * 2) ~path:(max 1 (n / 3)))
-  | "loop7" -> Ok (Bbc.Constructions.best_response_loop ())
-  | "max-anarchy" ->
-      if k = 2 then Ok (Bbc.Constructions.max_anarchy_seed_k2 ~l)
-      else Ok (Bbc.Constructions.max_anarchy ~k ~l)
-  | "circulant" ->
-      let c = Bbc_group.Cayley.random_circulant (Bbc_prng.Splitmix.create seed) ~n ~k in
-      Ok (Bbc.Cayley_game.to_game c)
-  | "hypercube" ->
-      let c = Bbc_group.Cayley.hypercube k in
-      Ok (Bbc.Cayley_game.to_game c)
-  | "random" ->
-      let inst = Bbc.Instance.uniform ~n ~k in
-      let g = Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create seed) ~n ~k in
-      Ok (inst, Bbc.Config.of_graph g)
-  | "empty" -> Ok (Bbc.Instance.uniform ~n ~k, Bbc.Config.empty n)
-  | other -> Error (Printf.sprintf "unknown construction %S" other)
+  Bbc.Catalog.build name { Bbc.Catalog.n; k; h; l; seed }
 
 (* ---------------------------------------------------------------- *)
 (* Common options.                                                    *)
@@ -411,6 +382,125 @@ let load_cmd =
     (Cmd.info "load" ~doc:"Load an instance (and optionally verify a configuration).")
     Term.(ret (const run $ jobs_opt $ no_incremental_opt $ instance_file $ config_file $ objective_opt))
 
+let convert_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance or configuration file (text or JSON; auto-detected).")
+  in
+  let to_fmt =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Json & info [ "to" ] ~docv:"FORMAT" ~doc:"Output format: text or json.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file (stdout when omitted).")
+  in
+  (* Read, validate, normalize, re-emit: the payload kind and input
+     format are both self-describing (bbc-instance/bbc-config headers in
+     text, "type" fields in JSON), so conversion needs no flags beyond
+     the target format. *)
+  let run file to_fmt out =
+    match
+      let text =
+        let ic = open_in_bin file in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        really_input_string ic (in_channel_length ic)
+      in
+      match Bbc.Codec.instance_of_any_string text with
+      | Ok instance -> (
+          match to_fmt with
+          | `Text -> Ok (Bbc.Codec.instance_to_string instance)
+          | `Json -> Ok (Bbc.Json.to_string (Bbc.Codec.instance_to_json instance) ^ "\n"))
+      | Error inst_err -> (
+          match Bbc.Codec.config_of_any_string text with
+          | Ok config -> (
+              match to_fmt with
+              | `Text -> Ok (Bbc.Codec.config_to_string config)
+              | `Json -> Ok (Bbc.Json.to_string (Bbc.Codec.config_to_json config) ^ "\n"))
+          | Error cfg_err ->
+              Error
+                (Printf.sprintf "%s: not an instance (%s) nor a configuration (%s)"
+                   file inst_err cfg_err))
+    with
+    | Error e -> `Error (false, e)
+    | Ok payload -> (
+        match out with
+        | None ->
+            print_string payload;
+            `Ok ()
+        | Some path ->
+            let oc = open_out_bin path in
+            Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+                output_string oc payload);
+            Format.fprintf fmt "wrote %s@." path;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Read, validate and re-emit an instance or configuration (text <-> JSON).")
+    Term.(ret (const run $ file $ to_fmt $ out))
+
+let serve_cmd =
+  let socket_opt =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on this Unix-domain socket.")
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ] ~doc:"Serve one implicit connection on stdin/stdout instead of a socket (testing).")
+  in
+  let queue_opt =
+    Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N" ~doc:"Admission-queue bound; requests beyond it are rejected with an overloaded error (backpressure).")
+  in
+  let batch_opt =
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc:"Max requests executed per scheduler batch.")
+  in
+  let sessions_opt =
+    Arg.(value & opt int 1024 & info [ "max-sessions" ] ~docv:"N" ~doc:"Live-session bound.")
+  in
+  let run () () obs socket stdio queue batch sessions =
+    match (socket, stdio) with
+    | None, false -> `Error (true, "either --socket PATH or --stdio is required")
+    | Some _, true -> `Error (true, "--socket and --stdio are mutually exclusive")
+    | _ ->
+        if queue < 1 || batch < 1 || sessions < 1 then
+          `Error (true, "--queue, --batch and --max-sessions must be positive")
+        else begin
+          (* The daemon always runs with observability on: the stats
+             endpoint and latency histograms are part of the service.
+             --metrics/--trace-out only control where the data goes on
+             exit. *)
+          Bbc_obs.enable ();
+          let oc = Option.map open_out obs.trace_out in
+          Option.iter (fun oc -> Bbc_obs.add_sink (Bbc_obs.jsonl_sink oc)) oc;
+          let engine =
+            {
+              (Bbc_server.Engine.default_config ()) with
+              Bbc_server.Engine.queue_cap = queue;
+              max_batch = batch;
+              session_cap = sessions;
+            }
+          in
+          let mode =
+            if stdio then Bbc_server.Server.Stdio
+            else Bbc_server.Server.Socket (Option.get socket)
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Bbc_obs.drain ();
+              Option.iter close_out oc;
+              if obs.metrics then Bbc_obs.pp_summary fmt;
+              Bbc_obs.clear_sinks ())
+            (fun () -> Bbc_server.Server.run ~engine mode);
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the game-analysis service: line-delimited JSON requests (sessions, \
+          incremental evaluation, batching, deadlines, backpressure) over a \
+          Unix-domain socket, with graceful drain on SIGINT/SIGTERM.")
+    Term.(
+      ret
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ socket_opt $ stdio
+       $ queue_opt $ batch_opt $ sessions_opt))
+
 let () =
   let doc = "Bounded Budget Connection (BBC) games laboratory" in
   let info = Cmd.info "bbc" ~version:"1.0.0" ~doc in
@@ -426,4 +516,6 @@ let () =
             reduce_cmd;
             save_cmd;
             load_cmd;
+            convert_cmd;
+            serve_cmd;
           ]))

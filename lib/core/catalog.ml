@@ -1,0 +1,45 @@
+type params = { n : int; k : int; h : int; l : int; seed : int }
+
+let default_params = { n = 12; k = 2; h = 2; l = 3; seed = 1 }
+
+let names =
+  [
+    "willows";
+    "ring";
+    "ring-path";
+    "loop7";
+    "max-anarchy";
+    "circulant";
+    "hypercube";
+    "random";
+    "empty";
+  ]
+
+let build name { n; k; h; l; seed } =
+  try
+    match name with
+    | "willows" ->
+        let p = Willows.{ k; h; l } in
+        Ok (Willows.build p)
+    | "ring" ->
+        let inst = Instance.uniform ~n ~k:1 in
+        Ok (inst, Config.of_graph (Bbc_graph.Generators.directed_ring n))
+    | "ring-path" ->
+        Ok (Constructions.ring_with_path ~ring:(n / 2 * 2 / 3 * 2) ~path:(max 1 (n / 3)))
+    | "loop7" -> Ok (Constructions.best_response_loop ())
+    | "max-anarchy" ->
+        if k = 2 then Ok (Constructions.max_anarchy_seed_k2 ~l)
+        else Ok (Constructions.max_anarchy ~k ~l)
+    | "circulant" ->
+        let c = Bbc_group.Cayley.random_circulant (Bbc_prng.Splitmix.create seed) ~n ~k in
+        Ok (Cayley_game.to_game c)
+    | "hypercube" ->
+        let c = Bbc_group.Cayley.hypercube k in
+        Ok (Cayley_game.to_game c)
+    | "random" ->
+        let inst = Instance.uniform ~n ~k in
+        let g = Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create seed) ~n ~k in
+        Ok (inst, Config.of_graph g)
+    | "empty" -> Ok (Instance.uniform ~n ~k, Config.empty n)
+    | other -> Error (Printf.sprintf "unknown construction %S" other)
+  with Invalid_argument m -> Error m

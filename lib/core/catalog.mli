@@ -1,0 +1,22 @@
+(** Named constructions, shared by the CLI subcommands ([verify],
+    [dynamics], [search], [dot], [save]) and the server's [gen]
+    endpoint, so "build me instance X" has exactly one implementation
+    and one parameter vocabulary. *)
+
+type params = {
+  n : int;  (** node count (where the construction is size-driven) *)
+  k : int;  (** budget / out-degree *)
+  h : int;  (** Willows tree height *)
+  l : int;  (** Willows / max-anarchy tail length *)
+  seed : int;  (** PRNG seed for the randomized constructions *)
+}
+
+val default_params : params
+(** [n = 12, k = 2, h = 2, l = 3, seed = 1] — the CLI defaults. *)
+
+val names : string list
+(** Every recognized construction name. *)
+
+val build : string -> params -> (Instance.t * Config.t, string) result
+(** Build a named construction; [Error] names the unknown construction
+    or reports an invalid parameter combination. *)

@@ -201,6 +201,179 @@ let config_of_string text =
   | Some other -> Error (Printf.sprintf "bad header %S" other)
   | None -> Error "empty input"
 
+(* ------------------------------------------------------------------ *)
+(* JSON encoding (shared with the bbc serve wire protocol).            *)
+
+let table_to_json n f =
+  Json.List
+    (List.init n (fun u ->
+         Json.List (List.init n (fun v -> Json.Int (if u = v then 0 else f u v)))))
+
+let instance_to_json instance =
+  let n = Instance.n instance in
+  let header =
+    [
+      ("type", Json.Str "bbc-instance");
+      ("version", Json.Int 1);
+      ("n", Json.Int n);
+      ("penalty", Json.Int (Instance.penalty instance));
+    ]
+  in
+  match Instance.uniform_k instance with
+  | Some k -> Json.Obj (header @ [ ("uniform_k", Json.Int k) ])
+  | None ->
+      Json.Obj
+        (header
+        @ [
+            ( "budgets",
+              Json.List (List.init n (fun u -> Json.Int (Instance.budget instance u))) );
+            ("weights", table_to_json n (Instance.weight instance));
+            ("costs", table_to_json n (Instance.cost instance));
+            (* Diagonal length entries are never read; emit 1 to satisfy
+               the constructor's validation, as the text encoder does. *)
+            ( "lengths",
+              Json.List
+                (List.init n (fun u ->
+                     Json.List
+                       (List.init n (fun v ->
+                            Json.Int (if u = v then 1 else Instance.length instance u v)))))
+            );
+          ])
+
+let json_field name v =
+  match Json.member name v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let json_int name v =
+  Result.bind (json_field name v) (fun f ->
+      match Json.to_int f with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let json_table name n v =
+  Result.bind (json_field name v) (fun f ->
+      match Json.to_list f with
+      | Some rows when List.length rows = n -> (
+          let parsed = List.map Json.int_list rows in
+          if List.exists Option.is_none parsed then
+            Error (Printf.sprintf "field %S must hold integer rows" name)
+          else
+            let rows = List.map (fun r -> Array.of_list (Option.get r)) parsed in
+            if List.exists (fun r -> Array.length r <> n) rows then
+              Error (Printf.sprintf "field %S has a wrong-width row" name)
+            else Ok (Array.of_list rows))
+      | _ -> Error (Printf.sprintf "field %S must be an %dx%d table" name n n))
+
+let check_type expected v =
+  match Json.member "type" v with
+  | Some (Json.Str t) when t = expected -> Ok ()
+  | Some (Json.Str t) -> Error (Printf.sprintf "expected type %S, got %S" expected t)
+  | _ -> Error (Printf.sprintf "missing type field (expected %S)" expected)
+
+let instance_of_json v =
+  let ( let* ) = Result.bind in
+  let* () = check_type "bbc-instance" v in
+  let* n = json_int "n" v in
+  let* penalty = json_int "penalty" v in
+  match Json.member "uniform_k" v with
+  | Some k -> (
+      match Json.to_int k with
+      | Some k -> (
+          try Ok (Instance.with_penalty (Instance.uniform ~n ~k) penalty)
+          with Invalid_argument m -> Error m)
+      | None -> Error "field \"uniform_k\" must be an integer")
+  | None -> (
+      let* budgets = json_field "budgets" v in
+      let* budget =
+        match Json.int_list budgets with
+        | Some l when List.length l = n -> Ok (Array.of_list l)
+        | _ -> Error (Printf.sprintf "field \"budgets\" must hold %d integers" n)
+      in
+      let* weight = json_table "weights" n v in
+      let* cost = json_table "costs" n v in
+      let* length = json_table "lengths" n v in
+      try Ok (Instance.general ~penalty ~weight ~cost ~length ~budget ())
+      with Invalid_argument m -> Error m)
+
+let config_to_json config =
+  let n = Config.n config in
+  Json.Obj
+    [
+      ("type", Json.Str "bbc-config");
+      ("version", Json.Int 1);
+      ("n", Json.Int n);
+      ( "strategies",
+        Json.List
+          (List.init n (fun u ->
+               Json.List (List.map (fun v -> Json.Int v) (Config.targets config u)))) );
+    ]
+
+let config_of_json v =
+  let ( let* ) = Result.bind in
+  let* () = check_type "bbc-config" v in
+  let* n = json_int "n" v in
+  let* strategies = json_field "strategies" v in
+  match Json.to_list strategies with
+  | Some rows when List.length rows = n -> (
+      let parsed = List.map Json.int_list rows in
+      if List.exists Option.is_none parsed then
+        Error "field \"strategies\" must hold integer lists"
+      else
+        try Ok (Config.of_lists n (Array.of_list (List.map Option.get parsed)))
+        with Invalid_argument m -> Error m)
+  | _ -> Error (Printf.sprintf "field \"strategies\" must hold %d lists" n)
+
+let costs_to_json ~objective ~social costs =
+  Json.Obj
+    [
+      ("type", Json.Str "bbc-costs");
+      ("objective", Json.Str (Objective.to_string objective));
+      ("costs", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) costs)));
+      ("social", Json.Int social);
+    ]
+
+let costs_of_json v =
+  let ( let* ) = Result.bind in
+  let* () = check_type "bbc-costs" v in
+  let* objective =
+    match Json.member "objective" v with
+    | Some (Json.Str "sum") -> Ok Objective.Sum
+    | Some (Json.Str "max") -> Ok Objective.Max
+    | _ -> Error "field \"objective\" must be \"sum\" or \"max\""
+  in
+  let* costs = json_field "costs" v in
+  let* costs =
+    match Json.int_list costs with
+    | Some l -> Ok (Array.of_list l)
+    | None -> Error "field \"costs\" must hold integers"
+  in
+  let* social = json_int "social" v in
+  Ok (objective, costs, social)
+
+(* ------------------------------------------------------------------ *)
+(* Format auto-detection: JSON payloads start with '{'.                *)
+
+let looks_like_json text =
+  let rec first i =
+    if i >= String.length text then None
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first (i + 1)
+      | c -> Some c
+  in
+  first 0 = Some '{'
+
+let of_any_string ~of_json ~of_text text =
+  if looks_like_json text then Result.bind (Json.of_string text) of_json
+  else of_text text
+
+let instance_of_any_string text =
+  of_any_string ~of_json:instance_of_json ~of_text:instance_of_string text
+
+let config_of_any_string text =
+  of_any_string ~of_json:config_of_json ~of_text:config_of_string text
+
 let write_file path contents =
   try
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
@@ -213,8 +386,8 @@ let read_file path =
 
 let save_instance path instance = write_file path (instance_to_string instance)
 
-let load_instance path = Result.bind (read_file path) instance_of_string
+let load_instance path = Result.bind (read_file path) instance_of_any_string
 
 let save_config path config = write_file path (config_to_string config)
 
-let load_config path = Result.bind (read_file path) config_of_string
+let load_config path = Result.bind (read_file path) config_of_any_string

@@ -18,62 +18,70 @@ let obs_stable_checks = Bbc_obs.counter "stability.is_stable"
    single-domain state).  Verdicts and reported nodes are identical:
    the parallel scans already commit to the lowest-index result. *)
 
-let find_deviation ?objective ?jobs ?incremental instance config =
+(* A caller-provided context (a server session, a dynamics walk) forces
+   the incremental path and reuses its caches; [ensure] re-syncs it in
+   case the caller's configuration drifted. *)
+let use_ctx ?ctx ?incremental instance config make =
+  match ctx with
+  | Some c ->
+      Incr.ensure c config;
+      Some c
+  | None -> if Incr.resolve incremental then Some (make instance config) else None
+
+let find_deviation ?objective ?jobs ?ctx ?incremental instance config =
   let n = Instance.n instance in
   let jobs = resolve_jobs ?jobs n in
   Bbc_obs.with_span "stability.find_deviation"
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
-      if Incr.resolve incremental then begin
-        let ctx = Incr.create instance config in
-        let rec scan u =
-          if u >= n then None
-          else
-            match Best_response.improving ?objective ~ctx instance config u with
-            | Some better ->
-                Some
-                  { node = u; current_cost = Incr.node_cost ?objective ctx u; better }
-            | None -> scan (u + 1)
-        in
-        scan 0
-      end
-      else
-        (* [parallel_find_first] returns the lowest-index hit, so the reported
-           deviation is the same node the sequential scan would find. *)
-        Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
-            match Best_response.improving ?objective instance config u with
-            | Some better ->
-                Some
-                  {
-                    node = u;
-                    current_cost = Eval.node_cost ?objective instance config u;
-                    better;
-                  }
-            | None -> None))
+      match use_ctx ?ctx ?incremental instance config Incr.create with
+      | Some ctx ->
+          let rec scan u =
+            if u >= n then None
+            else
+              match Best_response.improving ?objective ~ctx instance config u with
+              | Some better ->
+                  Some
+                    { node = u; current_cost = Incr.node_cost ?objective ctx u; better }
+              | None -> scan (u + 1)
+          in
+          scan 0
+      | None ->
+          (* [parallel_find_first] returns the lowest-index hit, so the reported
+             deviation is the same node the sequential scan would find. *)
+          Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
+              match Best_response.improving ?objective instance config u with
+              | Some better ->
+                  Some
+                    {
+                      node = u;
+                      current_cost = Eval.node_cost ?objective instance config u;
+                      better;
+                    }
+              | None -> None))
 
-let is_stable ?objective ?jobs ?incremental instance config =
+let is_stable ?objective ?jobs ?ctx ?incremental instance config =
   let n = Instance.n instance in
   let jobs = resolve_jobs ?jobs n in
   Bbc_obs.incr obs_stable_checks;
   Config.feasible instance config
   &&
-  if Incr.resolve incremental then begin
-    let ctx = Incr.create instance config in
-    let rec scan u =
-      u >= n
-      || Option.is_none (Best_response.improving ?objective ~ctx instance config u)
-         && scan (u + 1)
-    in
-    scan 0
-  end
-  else
-    not
-      (Bbc_parallel.parallel_exists ~jobs 0 n (fun u ->
-           Option.is_some (Best_response.improving ?objective instance config u)))
+  match use_ctx ?ctx ?incremental instance config Incr.create with
+  | Some ctx ->
+      let rec scan u =
+        u >= n
+        || Option.is_none (Best_response.improving ?objective ~ctx instance config u)
+           && scan (u + 1)
+      in
+      scan 0
+  | None ->
+      not
+        (Bbc_parallel.parallel_exists ~jobs 0 n (fun u ->
+             Option.is_some (Best_response.improving ?objective instance config u)))
 
-let nodes_stable ?objective ?incremental instance config nodes =
+let nodes_stable ?objective ?ctx ?incremental instance config nodes =
   Config.feasible instance config
   &&
-  let ctx = if Incr.resolve incremental then Some (Incr.create instance config) else None in
+  let ctx = use_ctx ?ctx ?incremental instance config Incr.create in
   List.for_all
     (fun u -> Option.is_none (Best_response.improving ?objective ?ctx instance config u))
     nodes
@@ -85,38 +93,35 @@ let is_stable_parallel ?objective ?domains instance config =
   (* Compatibility entry point: always the parallel from-scratch scan. *)
   is_stable ?objective ~jobs ~incremental:false instance config
 
-let unstable_nodes ?objective ?jobs ?incremental instance config =
+let unstable_nodes ?objective ?jobs ?ctx ?incremental instance config =
   let n = Instance.n instance in
   let jobs = resolve_jobs ?jobs n in
   let unstable =
-    if Incr.resolve incremental then begin
-      let ctx = Incr.create instance config in
-      Array.init n (fun u ->
-          Option.is_some (Best_response.improving ?objective ~ctx instance config u))
-    end
-    else
-      Bbc_parallel.parallel_init ~jobs n (fun u ->
-          Option.is_some (Best_response.improving ?objective instance config u))
+    match use_ctx ?ctx ?incremental instance config Incr.create with
+    | Some ctx ->
+        Array.init n (fun u ->
+            Option.is_some (Best_response.improving ?objective ~ctx instance config u))
+    | None ->
+        Bbc_parallel.parallel_init ~jobs n (fun u ->
+            Option.is_some (Best_response.improving ?objective instance config u))
   in
   List.filter (fun u -> unstable.(u)) (List.init n Fun.id)
 
-let stability_gap ?objective ?jobs ?incremental instance config =
+let stability_gap ?objective ?jobs ?ctx ?incremental instance config =
   let n = Instance.n instance in
   let jobs = resolve_jobs ?jobs n in
-  if Incr.resolve incremental then begin
-    let ctx = Incr.create instance config in
-    let gap = ref 0 in
-    for u = 0 to n - 1 do
-      let cur = Incr.node_cost ?objective ctx u in
-      gap := max !gap (cur - Best_response.best_cost ?objective ~ctx instance config u)
-    done;
-    !gap
-  end
-  else begin
-    let costs = Eval.all_costs ?objective ~jobs instance config in
-    Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:max 0 n (fun u ->
-        costs.(u) - Best_response.best_cost ?objective instance config u)
-  end
+  match use_ctx ?ctx ?incremental instance config Incr.create with
+  | Some ctx ->
+      let gap = ref 0 in
+      for u = 0 to n - 1 do
+        let cur = Incr.node_cost ?objective ctx u in
+        gap := max !gap (cur - Best_response.best_cost ?objective ~ctx instance config u)
+      done;
+      !gap
+  | None ->
+      let costs = Eval.all_costs ?objective ~jobs instance config in
+      Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:max 0 n (fun u ->
+          costs.(u) - Best_response.best_cost ?objective instance config u)
 
 let pp_deviation fmt d =
   Format.fprintf fmt "node %d: cost %d -> %d via [%a]" d.node d.current_cost

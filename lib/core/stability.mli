@@ -12,6 +12,15 @@
     {!Bbc_parallel} domain pool ([?jobs], early abort).  Both engines
     return identical results — verdicts, nodes, and costs.
 
+    {b Context reuse.}  Every entry point also accepts [?ctx], a
+    caller-owned {!Incr} context (a server session, a long dynamics
+    walk).  Passing one forces the incremental engine, re-syncs the
+    context to [config] via {!Incr.ensure} (a no-op when already in
+    sync), and reuses its version-counter caches — repeated stability
+    queries against a slowly-mutating configuration then only pay for
+    what actually changed.  The context must have been created for the
+    same instance.
+
     {b Parallelism.}  From-scratch per-node checks only read the shared
     instance and profile (both immutable) and build their own [G_{-u}]
     scratch graphs, honouring the read-only-graph contract of
@@ -27,10 +36,22 @@ type deviation = {
 }
 
 val is_stable :
-  ?objective:Objective.t -> ?jobs:int -> ?incremental:bool -> Instance.t -> Config.t -> bool
+  ?objective:Objective.t ->
+  ?jobs:int ->
+  ?ctx:Incr.ctx ->
+  ?incremental:bool ->
+  Instance.t ->
+  Config.t ->
+  bool
 
 val nodes_stable :
-  ?objective:Objective.t -> ?incremental:bool -> Instance.t -> Config.t -> int list -> bool
+  ?objective:Objective.t ->
+  ?ctx:Incr.ctx ->
+  ?incremental:bool ->
+  Instance.t ->
+  Config.t ->
+  int list ->
+  bool
 (** Stability restricted to the given nodes (no improving deviation for
     any of them).  Used with symmetry arguments: verifying one
     representative per orbit of a vertex-symmetric configuration is
@@ -46,6 +67,7 @@ val is_stable_parallel :
 val find_deviation :
   ?objective:Objective.t ->
   ?jobs:int ->
+  ?ctx:Incr.ctx ->
   ?incremental:bool ->
   Instance.t ->
   Config.t ->
@@ -55,11 +77,23 @@ val find_deviation :
     sequential one. *)
 
 val unstable_nodes :
-  ?objective:Objective.t -> ?jobs:int -> ?incremental:bool -> Instance.t -> Config.t -> int list
+  ?objective:Objective.t ->
+  ?jobs:int ->
+  ?ctx:Incr.ctx ->
+  ?incremental:bool ->
+  Instance.t ->
+  Config.t ->
+  int list
 (** All nodes that currently have an improving deviation. *)
 
 val stability_gap :
-  ?objective:Objective.t -> ?jobs:int -> ?incremental:bool -> Instance.t -> Config.t -> int
+  ?objective:Objective.t ->
+  ?jobs:int ->
+  ?ctx:Incr.ctx ->
+  ?incremental:bool ->
+  Instance.t ->
+  Config.t ->
+  int
 (** Max over nodes of [current_cost - best_response_cost]; 0 iff stable.
     (The additive analogue of epsilon-equilibrium.) *)
 

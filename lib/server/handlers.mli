@@ -1,0 +1,16 @@
+(** Endpoint implementations, shared by the batch scheduler and the
+    in-process tests.  Handlers are pure request -> result functions
+    over the session store; queueing, deadlines, and backpressure live
+    in {!Engine}. *)
+
+type env = {
+  sessions : Session.store;
+  now : unit -> int;  (** monotonic ns *)
+  stats : unit -> Bbc.Json.t;  (** scheduler counters, served live *)
+  request_shutdown : unit -> unit;  (** the [shutdown] endpoint's hook *)
+}
+
+val handle :
+  env -> Protocol.request -> (Bbc.Json.t, Protocol.error_code * string) result
+(** Execute one request.  Never raises: handler exceptions become
+    [Internal] errors. *)

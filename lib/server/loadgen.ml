@@ -1,0 +1,288 @@
+module Json = Bbc.Json
+
+type method_stats = {
+  meth : string;
+  count : int;
+  m_p50_ms : float;
+  m_p99_ms : float;
+}
+
+type summary = {
+  clients : int;
+  requests : int;
+  errors : int;
+  protocol_errors : int;
+  elapsed_s : float;
+  req_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  by_method : method_stats list;
+  consistent : bool;
+}
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("clients", Json.Int s.clients);
+      ("requests", Json.Int s.requests);
+      ("errors", Json.Int s.errors);
+      ("protocol_errors", Json.Int s.protocol_errors);
+      ("elapsed_s", Json.Float s.elapsed_s);
+      ("req_per_s", Json.Float s.req_per_s);
+      ("p50_ms", Json.Float s.p50_ms);
+      ("p99_ms", Json.Float s.p99_ms);
+      ( "by_method",
+        Json.Obj
+          (List.map
+             (fun m ->
+               ( m.meth,
+                 Json.Obj
+                   [
+                     ("count", Json.Int m.count);
+                     ("p50_ms", Json.Float m.m_p50_ms);
+                     ("p99_ms", Json.Float m.m_p99_ms);
+                   ] ))
+             s.by_method) );
+      ("consistent", Json.Bool s.consistent);
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Wire helpers                                                      *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_UNIX path) with
+  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+let disconnect c =
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+let rpc c req =
+  match
+    output_string c.oc (Json.to_string req);
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+  with
+  | line -> Ok line
+  | exception (End_of_file | Sys_error _) -> Error "connection closed by server"
+
+(* A response is sound when it parses, carries the id we sent, and has
+   exactly one of "ok"/"error".  Returns the normalized payload used by
+   the consistency cross-check. *)
+let classify ~id line =
+  match Json.of_string line with
+  | Error e -> `Protocol ("unparseable response: " ^ e)
+  | Ok json -> (
+      match Json.member "id" json with
+      | Some (Json.Str rid) when rid = id -> (
+          match (Json.member "ok" json, Json.member "error" json) with
+          | Some ok, None -> `Ok (Json.to_string ok)
+          | None, Some err -> `Err (Json.to_string err)
+          | _ -> `Protocol "response has neither ok nor error")
+      | _ -> `Protocol "response id does not match request id")
+
+(* ---------------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let mix = [| "cost"; "best_response"; "stable" |]
+
+let query ~session ~deadline_ms ~n ~id i =
+  let meth = mix.(i mod Array.length mix) in
+  let base =
+    match meth with
+    | "stable" -> [ ("session", Json.Str session) ]
+    | _ -> [ ("session", Json.Str session); ("node", Json.Int (i mod n)) ]
+  in
+  let fields =
+    [
+      ("id", Json.Str id);
+      ("method", Json.Str meth);
+      ("params", Json.Obj base);
+    ]
+    @
+    match deadline_ms with
+    | Some ms -> [ ("deadline_ms", Json.Int ms) ]
+    | None -> []
+  in
+  (meth, Json.Obj fields)
+
+(* Consistency key: read-only queries over an unmutated shared session
+   must answer identically no matter which client asked or when. *)
+let query_key ~n meth i =
+  match meth with "stable" -> meth | _ -> Printf.sprintf "%s/%d" meth (i mod n)
+
+type shared = {
+  mutex : Mutex.t;
+  latencies : (string, float list ref) Hashtbl.t;  (** method -> ms samples *)
+  answers : (string, string) Hashtbl.t;  (** query key -> normalized payload *)
+  mutable total : int;
+  mutable errs : int;
+  mutable proto_errs : int;
+  mutable inconsistent : bool;
+}
+
+let record sh ~meth ~key ~elapsed_ms outcome =
+  Mutex.lock sh.mutex;
+  sh.total <- sh.total + 1;
+  (match Hashtbl.find_opt sh.latencies meth with
+  | Some l -> l := elapsed_ms :: !l
+  | None -> Hashtbl.replace sh.latencies meth (ref [ elapsed_ms ]));
+  (match outcome with
+  | `Ok payload -> (
+      match Hashtbl.find_opt sh.answers key with
+      | None -> Hashtbl.replace sh.answers key payload
+      | Some seen -> if seen <> payload then sh.inconsistent <- true)
+  | `Err _ -> sh.errs <- sh.errs + 1
+  | `Protocol _ -> sh.proto_errs <- sh.proto_errs + 1);
+  Mutex.unlock sh.mutex
+
+let client_loop sh ~socket ~session ~requests ~n ~deadline_ms cid =
+  match connect socket with
+  | Error _ ->
+      Mutex.lock sh.mutex;
+      sh.proto_errs <- sh.proto_errs + requests;
+      Mutex.unlock sh.mutex
+  | Ok conn ->
+      for i = 0 to requests - 1 do
+        let id = Printf.sprintf "c%d-%d" cid i in
+        let meth, req = query ~session ~deadline_ms ~n ~id i in
+        let key = query_key ~n meth i in
+        let t0 = Bbc_obs.now_ns () in
+        let outcome =
+          match rpc conn req with
+          | Ok line -> classify ~id line
+          | Error e -> `Protocol e
+        in
+        let elapsed_ms = float_of_int (Bbc_obs.now_ns () - t0) /. 1e6 in
+        record sh ~meth ~key ~elapsed_ms outcome
+      done;
+      disconnect conn
+
+let setup_session ~socket ~name ~n =
+  match connect socket with
+  | Error e -> Error e
+  | Ok conn ->
+      let req =
+        Json.Obj
+          [
+            ("id", Json.Str "setup");
+            ("method", Json.Str "gen");
+            ( "params",
+              Json.Obj [ ("name", Json.Str name); ("n", Json.Int n) ] );
+          ]
+      in
+      let result =
+        match rpc conn req with
+        | Error e -> Error e
+        | Ok line -> (
+            match classify ~id:"setup" line with
+            | `Ok payload -> (
+                match Json.of_string payload with
+                | Ok p -> (
+                    match Json.member "session" p with
+                    | Some (Json.Str sid) -> Ok sid
+                    | _ -> Error "gen response lacks a session id")
+                | Error e -> Error e)
+            | `Err e -> Error ("gen failed: " ^ e)
+            | `Protocol e -> Error ("gen failed: " ^ e))
+      in
+      disconnect conn;
+      result
+
+let run ~socket ~clients ~requests ?(name = "ring") ?(n = 12) ?deadline_ms () =
+  if clients < 1 then Error "clients must be >= 1"
+  else if requests < 1 then Error "requests must be >= 1"
+  else
+    match setup_session ~socket ~name ~n with
+    | Error e -> Error e
+    | Ok session ->
+        let sh =
+          {
+            mutex = Mutex.create ();
+            latencies = Hashtbl.create 8;
+            answers = Hashtbl.create 64;
+            total = 0;
+            errs = 0;
+            proto_errs = 0;
+            inconsistent = false;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun cid ->
+              Thread.create
+                (client_loop sh ~socket ~session ~requests ~n ~deadline_ms)
+                cid)
+        in
+        List.iter Thread.join threads;
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        let all = ref [] in
+        let by_method =
+          Hashtbl.fold
+            (fun meth samples acc ->
+              all := List.rev_append !samples !all;
+              let sorted = Array.of_list !samples in
+              Array.sort compare sorted;
+              {
+                meth;
+                count = Array.length sorted;
+                m_p50_ms = percentile sorted 50.0;
+                m_p99_ms = percentile sorted 99.0;
+              }
+              :: acc)
+            sh.latencies []
+          |> List.sort (fun a b -> compare a.meth b.meth)
+        in
+        let sorted = Array.of_list !all in
+        Array.sort compare sorted;
+        Ok
+          {
+            clients;
+            requests = sh.total;
+            errors = sh.errs;
+            protocol_errors = sh.proto_errs + (if sh.inconsistent then 1 else 0);
+            elapsed_s;
+            req_per_s =
+              (if elapsed_s > 0.0 then float_of_int sh.total /. elapsed_s else 0.0);
+            p50_ms = percentile sorted 50.0;
+            p99_ms = percentile sorted 99.0;
+            by_method;
+            consistent = not sh.inconsistent;
+          }
+
+let request_shutdown ~socket =
+  match connect socket with
+  | Error e -> Error e
+  | Ok conn ->
+      let req =
+        Json.Obj
+          [
+            ("id", Json.Str "shutdown");
+            ("method", Json.Str "shutdown");
+            ("params", Json.Obj []);
+          ]
+      in
+      let result =
+        match rpc conn req with
+        | Error e -> Error e
+        | Ok line -> (
+            match classify ~id:"shutdown" line with
+            | `Ok _ -> Ok ()
+            | `Err e -> Error e
+            | `Protocol e -> Error e)
+      in
+      disconnect conn;
+      result

@@ -1,0 +1,58 @@
+(** Closed-loop multi-client load generator for [bbc serve].
+
+    Opens one setup connection to create a shared session ([gen] on a
+    {!Bbc.Catalog} construction), then runs [clients] OS threads, each
+    with its own connection, issuing [requests] back-to-back read-only
+    queries (a fixed cost / best_response / stable mix over the shared
+    session).  Being closed-loop, each thread waits for a response
+    before sending the next request, so concurrency equals the client
+    count.
+
+    Besides throughput and latency quantiles, the run cross-checks
+    {b consistency}: the shared session is never mutated, so every
+    response to the same (method, node) query — across all clients and
+    all interleavings — must be byte-identical.  Any divergence (or
+    any unparseable / misdelivered response) is a protocol error; the
+    soak gate in scripts/check_server.sh requires zero. *)
+
+type method_stats = {
+  meth : string;
+  count : int;
+  m_p50_ms : float;
+  m_p99_ms : float;
+}
+
+type summary = {
+  clients : int;
+  requests : int;  (** responses received across all clients *)
+  errors : int;  (** structured error responses *)
+  protocol_errors : int;  (** unparseable/mismatched/inconsistent responses *)
+  elapsed_s : float;
+  req_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  by_method : method_stats list;
+  consistent : bool;  (** identical answers for identical queries *)
+}
+
+val summary_to_json : summary -> Bbc.Json.t
+
+val run :
+  socket:string ->
+  clients:int ->
+  requests:int ->
+  ?name:string ->
+  ?n:int ->
+  ?deadline_ms:int ->
+  unit ->
+  (summary, string) result
+(** Run the workload: [requests] requests per client against a fresh
+    shared session built from catalog construction [name] (default
+    ["ring"]) of size [n] (default 12).  [deadline_ms], when given, is
+    attached to every request (timeout responses count as [errors],
+    not protocol errors).  [Error _] means the harness itself failed
+    (connect or session setup), not that the server misbehaved. *)
+
+val request_shutdown : socket:string -> (unit, string) result
+(** Send a [shutdown] request on a fresh connection and wait for its
+    acknowledgement. *)

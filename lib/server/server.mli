@@ -1,0 +1,30 @@
+(** Transport loop of [bbc serve]: a single-threaded [select] loop over
+    a Unix-domain listen socket (or stdin/stdout in {!Stdio} mode) that
+    reads line-delimited requests, admits them through {!Engine}, runs
+    one batch per iteration, and writes responses back in admission
+    order.
+
+    {1 Lifecycle}
+
+    SIGINT/SIGTERM (or an executed [shutdown] request) flips the loop
+    into draining: the listen socket closes, new admissions are
+    answered [shutting_down], every already-admitted request is
+    executed and its response delivered, and {!run} returns — the
+    caller then flushes metrics/trace sinks and exits 0.  In {!Stdio}
+    mode EOF on stdin triggers the same drain.
+
+    The loop never blocks on computation: batches run on the
+    {!Bbc_parallel} pool via {!Engine.run_batch} between [select]
+    wake-ups, so accepting and reading stay responsive while workers
+    evaluate. *)
+
+type mode =
+  | Socket of string  (** listen on this Unix-domain socket path *)
+  | Stdio  (** one implicit connection on stdin/stdout (cram tests) *)
+
+val run : ?on_ready:(unit -> unit) -> engine:Engine.config -> mode -> unit
+(** Serve until shutdown; blocks.  [on_ready] fires once the transport
+    is accepting (socket bound and listening) — used by the in-process
+    bench harness to sequence the load generator.  Signal handlers for
+    SIGINT/SIGTERM are installed for the duration of the call; a stale
+    socket file at the path is replaced. *)

@@ -1,0 +1,68 @@
+type t = {
+  id : string;
+  instance : Bbc.Instance.t;
+  mutable config : Bbc.Config.t;
+  ctx : Bbc.Incr.ctx option;
+  mutable walk_index : int;
+  mutable walk_deviations : int;
+  mutable walk_quiet : int;
+  mutable last_used_ns : int;
+}
+
+let set_config s config =
+  s.config <- config;
+  Option.iter (fun ctx -> Bbc.Incr.ensure ctx config) s.ctx
+
+let node_cost ?objective s u =
+  match s.ctx with
+  | Some ctx -> Bbc.Incr.node_cost ?objective ctx u
+  | None -> Bbc.Eval.node_cost ?objective s.instance s.config u
+
+let all_costs ?objective s =
+  match s.ctx with
+  | Some ctx -> Bbc.Incr.all_costs ?objective ctx
+  | None -> Bbc.Eval.all_costs ?objective s.instance s.config
+
+type store = {
+  tbl : (string, t) Hashtbl.t;
+  mutable next_id : int;
+  capacity : int;
+}
+
+let create_store ?(capacity = 1024) () =
+  { tbl = Hashtbl.create 64; next_id = 1; capacity }
+
+let add store ~now_ns instance config =
+  if Hashtbl.length store.tbl >= store.capacity then
+    Error
+      (Printf.sprintf "session store at capacity (%d live sessions)" store.capacity)
+  else begin
+    let id = Printf.sprintf "s%d" store.next_id in
+    store.next_id <- store.next_id + 1;
+    let ctx =
+      if Bbc.Incr.enabled () then Some (Bbc.Incr.create instance config) else None
+    in
+    let s =
+      {
+        id;
+        instance;
+        config;
+        ctx;
+        walk_index = 0;
+        walk_deviations = 0;
+        walk_quiet = 0;
+        last_used_ns = now_ns;
+      }
+    in
+    Hashtbl.replace store.tbl id s;
+    Ok s
+  end
+
+let find store id = Hashtbl.find_opt store.tbl id
+
+let remove store id =
+  let existed = Hashtbl.mem store.tbl id in
+  Hashtbl.remove store.tbl id;
+  existed
+
+let count store = Hashtbl.length store.tbl

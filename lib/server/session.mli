@@ -1,0 +1,49 @@
+(** Server-side session store.
+
+    A session owns one loaded/generated instance, its current
+    configuration, and — when the incremental engine is enabled — a
+    persistent {!Bbc.Incr} evaluation context, so repeated [cost] /
+    [best_response] / [stable] / [step_dynamics] requests against the
+    same session hit the version-counter caches instead of recomputing
+    shortest paths from scratch.
+
+    Contexts are single-domain mutable state; the scheduler therefore
+    serializes all requests that name the same session onto one worker
+    per batch (see {!Engine}).  Different sessions are independent and
+    run concurrently. *)
+
+type t = {
+  id : string;  (** ["s1"], ["s2"], … — deterministic creation order *)
+  instance : Bbc.Instance.t;
+  mutable config : Bbc.Config.t;
+  ctx : Bbc.Incr.ctx option;
+      (** [None] iff the incremental engine was disabled at creation. *)
+  mutable walk_index : int;  (** round-robin activations performed *)
+  mutable walk_deviations : int;
+  mutable walk_quiet : int;  (** trailing activations without a move *)
+  mutable last_used_ns : int;
+}
+
+val set_config : t -> Bbc.Config.t -> unit
+(** Update the configuration and re-sync the context (per-player diff
+    via [Incr.ensure]). *)
+
+val node_cost : ?objective:Bbc.Objective.t -> t -> int -> int
+(** Cached when a context is present, from-scratch otherwise —
+    bit-identical either way. *)
+
+val all_costs : ?objective:Bbc.Objective.t -> t -> int array
+
+type store
+
+val create_store : ?capacity:int -> unit -> store
+(** [capacity] defaults to 1024 live sessions. *)
+
+val add :
+  store -> now_ns:int -> Bbc.Instance.t -> Bbc.Config.t -> (t, string) result
+(** Mint a fresh session (owning a new context when the incremental
+    engine is enabled); [Error] when the store is at capacity. *)
+
+val find : store -> string -> t option
+val remove : store -> string -> bool
+val count : store -> int

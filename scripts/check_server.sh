@@ -1,0 +1,68 @@
+#!/bin/sh
+# Soak gate on the serving layer (DESIGN.md section 10): start the
+# daemon on a private socket, drive >= 10k requests from >= 4 concurrent
+# clients against one shared session (tools/bbc_loadgen), and require
+#   - zero protocol errors and zero error responses,
+#   - the consistency cross-check to pass (identical queries answered
+#     byte-identically under concurrency — the batching scheduler's
+#     determinism contract),
+#   - a graceful drain: SIGTERM makes the daemon stop accepting, finish
+#     in-flight work, and exit 0.
+#
+# Usage: scripts/check_server.sh   (override CLIENTS/REQUESTS/SOAK_N)
+set -eu
+
+CLIENTS=${CLIENTS:-4}
+REQUESTS=${REQUESTS:-2500}
+SOAK_N=${SOAK_N:-12}
+
+dune build bin/bbc_cli.exe tools/bbc_loadgen.exe
+
+bbc=_build/default/bin/bbc_cli.exe
+loadgen=_build/default/tools/bbc_loadgen.exe
+sock=$(mktemp -u /tmp/bbc-check-XXXXXX.sock)
+
+"$bbc" serve --socket "$sock" &
+server=$!
+trap 'kill "$server" 2>/dev/null || true; rm -f "$sock"' EXIT
+
+# Wait for the socket to appear (the daemon unlinks stale paths and
+# binds before accepting).
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check_server: daemon never bound $sock" >&2; exit 1; }
+  sleep 0.1
+done
+
+echo "check_server: soaking $((CLIENTS * REQUESTS)) requests ($CLIENTS clients x $REQUESTS) on n=$SOAK_N"
+"$loadgen" --socket "$sock" --clients "$CLIENTS" --requests "$REQUESTS" \
+  --name ring --n "$SOAK_N" --json > /tmp/check_server_summary.json
+
+# bbc_loadgen exits non-zero on protocol errors or inconsistency; the
+# gate additionally requires zero error responses (no timeouts/overload
+# at this load) and the full request count.
+awk -v want=$((CLIENTS * REQUESTS)) '
+  {
+    if (!match($0, /"requests":[0-9]+/)) { print "check_server: no request count" > "/dev/stderr"; exit 1 }
+    requests = substr($0, RSTART + 11, RLENGTH - 11)
+    if (requests + 0 != want) { printf "check_server: served %d of %d requests\n", requests, want > "/dev/stderr"; exit 1 }
+    if ($0 !~ /"errors":0,/) { print "check_server: error responses present" > "/dev/stderr"; exit 1 }
+    if ($0 !~ /"protocol_errors":0,/) { print "check_server: protocol errors present" > "/dev/stderr"; exit 1 }
+    if ($0 !~ /"consistent":true/) { print "check_server: inconsistent responses" > "/dev/stderr"; exit 1 }
+  }
+' /tmp/check_server_summary.json
+
+# Graceful lifecycle: SIGTERM -> drain -> exit 0, socket unlinked.
+kill -TERM "$server"
+if wait "$server"; then :; else
+  echo "check_server: daemon exited non-zero on SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+if [ -e "$sock" ]; then
+  echo "check_server: stale socket left behind" >&2
+  exit 1
+fi
+
+echo "check_server: ok ($((CLIENTS * REQUESTS)) requests, 0 errors, graceful drain)"

@@ -176,3 +176,49 @@ Unknown construction:
   $ bbc_cli verify not-a-thing
   bbc: unknown construction "not-a-thing"
   [124]
+
+Format conversion: text and JSON are both self-describing, so convert
+auto-detects kind and input format and re-emits a normalized document:
+
+  $ bbc_cli save ring --nodes 4 -o r.game
+  wrote r.game (4 nodes)
+  $ bbc_cli convert r.game
+  {"type":"bbc-instance","version":1,"n":4,"penalty":16,"uniform_k":1}
+  $ bbc_cli convert r.game --to json -o r.json
+  wrote r.json
+  $ bbc_cli convert r.json --to text
+  bbc-instance v1
+  n 4
+  penalty 16
+  uniform 1
+  $ echo nonsense > bad.txt
+  $ bbc_cli convert bad.txt
+  bbc: bad.txt: not an instance (bad header "nonsense") nor a configuration (bad header "nonsense")
+  [124]
+
+The analysis service over stdio (the daemon normally listens on a Unix
+socket; --stdio serves one implicit connection, which makes the
+protocol cram-testable).  With --jobs 1 the scheduler is fully
+deterministic: responses in admission order, one batch per queued
+request, deterministic session ids and stats:
+
+  $ bbc_cli serve --stdio --jobs 1 <<'EOF'
+  > {"id":"1","method":"ping","params":{}}
+  > {"id":"2","method":"gen","params":{"name":"ring","n":6}}
+  > {"id":"3","method":"cost","params":{"session":"s1","node":0}}
+  > {"id":"4","method":"stable","params":{"session":"s1"}}
+  > {"id":"5","method":"step_dynamics","params":{"session":"s1","steps":12}}
+  > {"id":"6","method":"cost","params":{"session":"s1"}}
+  > {"id":"7","method":"oops","params":{}}
+  > {"id":"8","method":"cost","params":{"session":"nope"}}
+  > {"id":"9","method":"stats","params":{}}
+  > EOF
+  {"id":"1","ok":{"pong":true}}
+  {"id":"2","ok":{"session":"s1","n":6,"feasible":true,"incremental":true}}
+  {"id":"3","ok":{"node":0,"cost":15}}
+  {"id":"4","ok":{"stable":true,"feasible":true}}
+  {"id":"5","ok":{"steps":6,"index":6,"round":1,"deviations":0,"converged":true}}
+  {"id":"6","ok":{"type":"bbc-costs","objective":"sum","costs":[15,15,15,15,15,15],"social":90}}
+  {"id":"7","error":{"code":"unknown_method","message":"unknown method \"oops\""}}
+  {"id":"8","error":{"code":"unknown_session","message":"no session \"nope\""}}
+  {"id":"9","ok":{"sessions":1,"queue_depth":0,"served":{"cost":3,"gen":1,"ping":1,"stable":1,"step_dynamics":1},"errors":1,"timeouts":0,"overloaded":0,"rejected":1,"batches":8}}

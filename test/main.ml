@@ -35,6 +35,7 @@ let () =
       ("potential", Test_potential.suite);
       ("social-optimum", Test_social_optimum.suite);
       ("codec", Test_codec.suite);
+      ("json", Test_json.suite);
       ("gen-instance", Test_gen_instance.suite);
       ("fabrikant", Test_fabrikant.suite);
       ("experiments-table", Test_table.suite);
@@ -42,4 +43,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("incremental", Test_incremental.suite);
+      ("server", Test_server.suite);
     ]

@@ -82,9 +82,82 @@ let test_file_roundtrip () =
   | Error e -> Alcotest.fail e);
   Sys.remove path
 
+let test_json_instance_roundtrip () =
+  let uniform = I.uniform ~n:7 ~k:3 in
+  let weight = [| [| 0; 3; 0 |]; [| 1; 0; 2 |]; [| 0; 5; 0 |] |] in
+  let cost = [| [| 0; 2; 1 |]; [| 1; 0; 1 |]; [| 3; 1; 0 |] |] in
+  let length = [| [| 1; 4; 1 |]; [| 2; 1; 1 |]; [| 1; 1; 1 |] |] in
+  let general = I.general ~weight ~cost ~length ~budget:[| 2; 1; 3 |] () in
+  List.iter
+    (fun (name, inst) ->
+      match Codec.instance_of_json (Codec.instance_to_json inst) with
+      | Ok inst' ->
+          Alcotest.(check bool) (name ^ " json roundtrip") true (instances_equal inst inst')
+      | Error e -> Alcotest.fail e)
+    [ ("uniform", uniform); ("general", general) ]
+
+let test_json_config_roundtrip () =
+  let c = C.of_lists 5 [| [ 1; 3 ]; []; [ 0 ]; [ 2; 4 ]; [] |] in
+  match Codec.config_of_json (Codec.config_to_json c) with
+  | Ok c' -> Alcotest.(check bool) "config json roundtrip" true (C.equal c c')
+  | Error e -> Alcotest.fail e
+
+let test_json_costs_roundtrip () =
+  let costs = [| 4; 0; 17 |] in
+  let j = Codec.costs_to_json ~objective:Bbc.Objective.Max ~social:17 costs in
+  match Codec.costs_of_json j with
+  | Ok (objective, costs', social) ->
+      Alcotest.(check bool) "objective" true (objective = Bbc.Objective.Max);
+      Alcotest.(check (list int)) "costs" (Array.to_list costs) (Array.to_list costs');
+      Alcotest.(check int) "social" 17 social
+  | Error e -> Alcotest.fail e
+
+(* The auto-detecting readers accept both formats; the shared wire
+   protocol and `bbc convert` rely on this. *)
+let test_any_string_detection () =
+  let inst = I.uniform ~n:5 ~k:2 in
+  let as_text = Codec.instance_to_string inst in
+  let as_json = Bbc.Json.to_string (Codec.instance_to_json inst) in
+  List.iter
+    (fun (label, s) ->
+      match Codec.instance_of_any_string s with
+      | Ok inst' -> Alcotest.(check bool) label true (instances_equal inst inst')
+      | Error e -> Alcotest.fail e)
+    [ ("text detected", as_text); ("json detected", as_json) ];
+  let c = C.of_lists 3 [| [ 1 ]; [ 2 ]; [] |] in
+  (match Codec.config_of_any_string (Bbc.Json.to_string (Codec.config_to_json c)) with
+  | Ok c' -> Alcotest.(check bool) "config json detected" true (C.equal c c')
+  | Error e -> Alcotest.fail e);
+  (* a JSON payload of the wrong type is rejected, not misparsed *)
+  Alcotest.(check bool) "type mismatch rejected" true
+    (Result.is_error (Codec.instance_of_any_string (Bbc.Json.to_string (Codec.config_to_json c))))
+
+let test_json_errors () =
+  let bad =
+    [
+      "{}";
+      "{\"type\":\"bbc-instance\",\"version\":1}";
+      "{\"type\":\"bbc-instance\",\"version\":1,\"n\":0,\"penalty\":1,\"uniform_k\":1}";
+      "{\"type\":\"bbc-instance\",\"version\":1,\"n\":2,\"penalty\":9,\"uniform_k\":5}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Bbc.Json.of_string s with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+          Alcotest.(check bool) ("rejects " ^ s) true
+            (Result.is_error (Codec.instance_of_json j)))
+    bad
+
 let suite =
   [
     Alcotest.test_case "uniform roundtrip" `Quick test_uniform_roundtrip;
+    Alcotest.test_case "json instance roundtrip" `Quick test_json_instance_roundtrip;
+    Alcotest.test_case "json config roundtrip" `Quick test_json_config_roundtrip;
+    Alcotest.test_case "json costs roundtrip" `Quick test_json_costs_roundtrip;
+    Alcotest.test_case "format auto-detection" `Quick test_any_string_detection;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
     Alcotest.test_case "general roundtrip" `Quick test_general_roundtrip;
     Alcotest.test_case "gadget roundtrip" `Quick test_gadget_roundtrip;
     Alcotest.test_case "config roundtrip" `Quick test_config_roundtrip;

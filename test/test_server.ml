@@ -1,0 +1,301 @@
+(* In-process exercises of the bbc serve stack (Protocol -> Engine ->
+   Handlers -> Session), covering the behaviours the wire tests can't
+   pin down deterministically: deadline expiry (fake clock), overload
+   rejection, drain-on-shutdown, and bit-identity of served answers
+   against the direct library. *)
+
+module Json = Bbc.Json
+module Engine = Bbc_server.Engine
+module Protocol = Bbc_server.Protocol
+
+let mk_engine ?(queue_cap = 256) ?(max_batch = 64) ?(jobs = 1) ?now () =
+  let d = Engine.default_config () in
+  let now = Option.value now ~default:d.Engine.now in
+  Engine.create
+    { d with Engine.queue_cap; max_batch; jobs = Some jobs; now }
+
+(* Submit a raw line; [`Queued] and [`Reply] both end up as response
+   strings after [run_batch], so tests drive everything through
+   [ask]. *)
+let ask engine line =
+  match Engine.submit engine ~client:0 line with
+  | `Reply r -> r
+  | `Queued -> (
+      match Engine.run_batch engine with
+      | [ (_, r) ] -> r
+      | rs -> Alcotest.failf "expected one response, got %d" (List.length rs))
+
+let parse r =
+  match Json.of_string r with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "bad response %S: %s" r e
+
+let ok_payload r =
+  let v = parse r in
+  match Json.member "ok" v with
+  | Some p -> p
+  | None -> Alcotest.failf "expected ok response, got %s" r
+
+let error_code r =
+  let v = parse r in
+  match Option.bind (Json.member "error" v) (Json.member "code") with
+  | Some (Json.Str c) -> c
+  | _ -> Alcotest.failf "expected error response, got %s" r
+
+let field name p =
+  match Json.member name p with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %s" name (Json.to_string p)
+
+let int_field name p =
+  match Json.to_int (field name p) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %S not an int" name
+
+let req ?deadline_ms id meth params =
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.Str id); ("method", Json.Str meth); ("params", Json.Obj params) ]
+       @ match deadline_ms with Some ms -> [ ("deadline_ms", Json.Int ms) ] | None -> []))
+
+let gen_session engine ?(name = "ring") ?(n = 6) () =
+  let p = ok_payload (ask engine (req "g" "gen" [ ("name", Json.Str name); ("n", Json.Int n) ])) in
+  match field "session" p with
+  | Json.Str sid -> sid
+  | _ -> Alcotest.fail "gen returned no session id"
+
+(* ---------------------------------------------------------------- *)
+
+let test_lifecycle () =
+  let engine = mk_engine () in
+  let sid = gen_session engine ~n:6 () in
+  Alcotest.(check string) "first session id" "s1" sid;
+  let costs = ok_payload (ask engine (req "c" "cost" [ ("session", Json.Str sid) ])) in
+  Alcotest.(check int) "social" 90 (int_field "social" costs);
+  (* close, then the session is gone *)
+  let closed = ok_payload (ask engine (req "x" "close_session" [ ("session", Json.Str sid) ])) in
+  Alcotest.(check bool) "closed" true (field "closed" closed = Json.Bool true);
+  Alcotest.(check string) "gone" "unknown_session"
+    (error_code (ask engine (req "c2" "cost" [ ("session", Json.Str sid) ])));
+  let closed2 = ok_payload (ask engine (req "x2" "close_session" [ ("session", Json.Str sid) ])) in
+  Alcotest.(check bool) "idempotent close" true (field "closed" closed2 = Json.Bool false)
+
+let test_malformed () =
+  let engine = mk_engine () in
+  Alcotest.(check string) "not json" "bad_request" (error_code (ask engine "{"));
+  Alcotest.(check string) "no method" "bad_request"
+    (error_code (ask engine "{\"id\":\"1\"}"));
+  Alcotest.(check string) "unknown method" "unknown_method"
+    (error_code (ask engine (req "1" "frobnicate" [])));
+  Alcotest.(check string) "bad params kind" "bad_request"
+    (error_code (ask engine "{\"id\":\"1\",\"method\":\"ping\",\"params\":[]}"));
+  Alcotest.(check string) "negative deadline" "bad_request"
+    (error_code
+       (ask engine "{\"id\":\"1\",\"method\":\"ping\",\"params\":{},\"deadline_ms\":-1}"));
+  let engine = mk_engine () in
+  let sid = gen_session engine () in
+  Alcotest.(check string) "missing param" "bad_params"
+    (error_code (ask engine (req "2" "best_response" [ ("session", Json.Str sid) ])));
+  Alcotest.(check string) "node out of range" "bad_params"
+    (error_code
+       (ask engine (req "3" "cost" [ ("session", Json.Str sid); ("node", Json.Int 99) ])));
+  Alcotest.(check string) "unknown construction" "bad_params"
+    (error_code (ask engine (req "4" "gen" [ ("name", Json.Str "nope") ])))
+
+let test_deadline_expiry () =
+  let clock = ref 0 in
+  let engine = mk_engine ~now:(fun () -> !clock) () in
+  let sid = gen_session engine () in
+  (* Queue two requests with deadlines, then let 50 ms pass before the
+     scheduler runs: the 10 ms one must expire in the queue, the 100 ms
+     one must still be served. *)
+  (match
+     Engine.submit engine ~client:0
+       (req ~deadline_ms:10 "dead" "cost" [ ("session", Json.Str sid) ])
+   with
+  | `Queued -> ()
+  | `Reply r -> Alcotest.failf "unexpected immediate reply %s" r);
+  (match
+     Engine.submit engine ~client:0
+       (req ~deadline_ms:100 "alive" "cost" [ ("session", Json.Str sid) ])
+   with
+  | `Queued -> ()
+  | `Reply r -> Alcotest.failf "unexpected immediate reply %s" r);
+  clock := 50 * 1_000_000;
+  (match Engine.run_batch engine with
+  | [ (_, r1); (_, r2) ] ->
+      Alcotest.(check string) "expired" "timeout" (error_code r1);
+      Alcotest.(check int) "served" 90 (int_field "social" (ok_payload r2))
+  | rs -> Alcotest.failf "expected two responses, got %d" (List.length rs));
+  let stats = ok_payload (ask engine (req "s" "stats" [])) in
+  Alcotest.(check int) "timeout counted" 1 (int_field "timeouts" stats)
+
+let test_overload () =
+  let engine = mk_engine ~queue_cap:2 () in
+  let sid = gen_session engine () in
+  let q i =
+    Engine.submit engine ~client:0
+      (req (string_of_int i) "cost" [ ("session", Json.Str sid) ])
+  in
+  (match (q 1, q 2) with
+  | `Queued, `Queued -> ()
+  | _ -> Alcotest.fail "first two admissions should queue");
+  (match q 3 with
+  | `Reply r -> Alcotest.(check string) "backpressure" "overloaded" (error_code r)
+  | `Queued -> Alcotest.fail "third admission should be rejected");
+  (* the rejection did not cancel queued work *)
+  Alcotest.(check int) "queued survive" 2 (List.length (Engine.run_batch engine));
+  let stats = ok_payload (ask engine (req "s" "stats" [])) in
+  Alcotest.(check int) "overload counted" 1 (int_field "overloaded" stats)
+
+let test_drain_on_shutdown () =
+  let engine = mk_engine () in
+  let sid = gen_session engine () in
+  for i = 1 to 5 do
+    match
+      Engine.submit engine ~client:i
+        (req (Printf.sprintf "q%d" i) "cost" [ ("session", Json.Str sid) ])
+    with
+    | `Queued -> ()
+    | `Reply r -> Alcotest.failf "unexpected immediate reply %s" r
+  done;
+  Engine.begin_shutdown engine;
+  (* post-shutdown admissions are refused... *)
+  (match Engine.submit engine ~client:9 (req "late" "ping" []) with
+  | `Reply r -> Alcotest.(check string) "refused" "shutting_down" (error_code r)
+  | `Queued -> Alcotest.fail "admission after shutdown");
+  (* ...but everything admitted before the signal is served, in
+     admission order. *)
+  let replies = Engine.drain engine in
+  Alcotest.(check int) "all drained" 5 (List.length replies);
+  Alcotest.(check (list int)) "admission order" [ 1; 2; 3; 4; 5 ]
+    (List.map fst replies);
+  List.iter
+    (fun (_, r) -> Alcotest.(check int) "drained answer" 90 (int_field "social" (ok_payload r)))
+    replies;
+  Alcotest.(check int) "queue empty" 0 (Engine.pending engine)
+
+(* The shutdown endpoint itself: executed, acknowledged, and visible to
+   the transport via [shutdown_requested]. *)
+let test_shutdown_request () =
+  let engine = mk_engine () in
+  Alcotest.(check bool) "not yet" false (Engine.shutdown_requested engine);
+  let p = ok_payload (ask engine (req "sd" "shutdown" [])) in
+  Alcotest.(check bool) "acknowledged" true (field "stopping" p = Json.Bool true);
+  Alcotest.(check bool) "flagged" true (Engine.shutdown_requested engine)
+
+(* Served answers must be bit-identical to the direct library: same
+   costs, same stability verdict, same best response. *)
+let test_bit_identity () =
+  let engine = mk_engine () in
+  let name = "random" and n = 10 in
+  let sid = gen_session engine ~name ~n () in
+  let instance, config =
+    match Bbc.Catalog.build name { Bbc.Catalog.default_params with n } with
+    | Ok ic -> ic
+    | Error e -> Alcotest.fail e
+  in
+  let direct = Bbc.Eval.all_costs instance config in
+  let served = ok_payload (ask engine (req "c" "cost" [ ("session", Json.Str sid) ])) in
+  (match Json.int_list (field "costs" served) with
+  | Some costs ->
+      Alcotest.(check (list int)) "per-node costs" (Array.to_list direct) costs
+  | None -> Alcotest.fail "costs not an int list");
+  Alcotest.(check int) "social cost"
+    (Bbc.Eval.social_cost instance config)
+    (int_field "social" served);
+  let stable = ok_payload (ask engine (req "st" "stable" [ ("session", Json.Str sid) ])) in
+  Alcotest.(check bool) "stability verdict"
+    (Bbc.Stability.is_stable instance config)
+    (field "stable" stable = Json.Bool true);
+  for u = 0 to n - 1 do
+    let r = Bbc.Best_response.exact instance config u in
+    let served =
+      ok_payload
+        (ask engine (req "br" "best_response" [ ("session", Json.Str sid); ("node", Json.Int u) ]))
+    in
+    Alcotest.(check int) "br cost" r.cost (int_field "cost" served);
+    match Json.int_list (field "strategy" served) with
+    | Some s -> Alcotest.(check (list int)) "br strategy" r.strategy s
+    | None -> Alcotest.fail "strategy not an int list"
+  done
+
+(* step_dynamics is Dynamics.run under Round_robin/Exact_best_response,
+   one activation at a time: walking a session to convergence must
+   reproduce the library walk's final configuration and deviation
+   count. *)
+let test_step_dynamics_differential () =
+  let name = "random" and n = 9 in
+  let instance, config0 =
+    match Bbc.Catalog.build name { Bbc.Catalog.default_params with n } with
+    | Ok ic -> ic
+    | Error e -> Alcotest.fail e
+  in
+  let outcome =
+    Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:500 instance config0
+  in
+  let reference, stats =
+    match outcome with
+    | Bbc.Dynamics.Converged (c, s) -> (c, s)
+    | _ -> Alcotest.fail "reference walk did not converge"
+  in
+  let engine = mk_engine () in
+  let sid = gen_session engine ~name ~n () in
+  let rec walk guard =
+    if guard = 0 then Alcotest.fail "server walk did not converge";
+    let p =
+      ok_payload
+        (ask engine (req "w" "step_dynamics" [ ("session", Json.Str sid); ("steps", Json.Int 1) ]))
+    in
+    if field "converged" p <> Json.Bool true then walk (guard - 1)
+    else int_field "deviations" p
+  in
+  let deviations = walk 100_000 in
+  Alcotest.(check int) "deviation count" stats.Bbc.Dynamics.deviations deviations;
+  let served_config =
+    match
+      Bbc.Codec.config_of_json (ok_payload (ask engine (req "cf" "config" [ ("session", Json.Str sid) ])))
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "final configuration" true (Bbc.Config.equal reference served_config)
+
+(* Interleaved sessions exercise the batch scheduler's grouping: answers
+   come back in admission order and match the single-session runs. *)
+let test_batch_interleaving () =
+  let engine = mk_engine ~jobs:4 () in
+  let a = gen_session engine ~name:"ring" ~n:6 () in
+  let b = gen_session engine ~name:"random" ~n:8 () in
+  let expected_a = "90" and ids = ref [] in
+  for i = 0 to 9 do
+    let sid = if i mod 2 = 0 then a else b in
+    ids := Printf.sprintf "i%d" i :: !ids;
+    match
+      Engine.submit engine ~client:i (req (Printf.sprintf "i%d" i) "cost" [ ("session", Json.Str sid) ])
+    with
+    | `Queued -> ()
+    | `Reply r -> Alcotest.failf "unexpected immediate reply %s" r
+  done;
+  let replies = Engine.drain engine in
+  Alcotest.(check (list int)) "admission order" (List.init 10 Fun.id) (List.map fst replies);
+  List.iteri
+    (fun i (_, r) ->
+      let p = ok_payload r in
+      if i mod 2 = 0 then
+        Alcotest.(check string) "ring social" expected_a
+          (Json.to_string (field "social" p)))
+    replies
+
+let suite =
+  [
+    Alcotest.test_case "session lifecycle" `Quick test_lifecycle;
+    Alcotest.test_case "malformed requests" `Quick test_malformed;
+    Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+    Alcotest.test_case "overload rejection" `Quick test_overload;
+    Alcotest.test_case "drain on shutdown" `Quick test_drain_on_shutdown;
+    Alcotest.test_case "shutdown request" `Quick test_shutdown_request;
+    Alcotest.test_case "bit identity vs library" `Quick test_bit_identity;
+    Alcotest.test_case "step_dynamics differential" `Quick test_step_dynamics_differential;
+    Alcotest.test_case "batch interleaving" `Quick test_batch_interleaving;
+  ]

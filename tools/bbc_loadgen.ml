@@ -1,0 +1,72 @@
+(* Closed-loop load generator for bbc serve: N client threads hammer a
+   shared session over a Unix-domain socket and report throughput,
+   latency quantiles and the consistency verdict (identical queries
+   must get byte-identical answers).  Used by scripts/check_server.sh
+   as the soak gate and by hand for capacity probing.
+
+   Usage:
+     bbc_loadgen --socket PATH [--clients N] [--requests N]
+                 [--name CONSTRUCTION] [--n NODES] [--deadline-ms MS]
+                 [--json] [--shutdown] *)
+
+let () =
+  let socket = ref "" in
+  let clients = ref 4 in
+  let requests = ref 2500 in
+  let name = ref "ring" in
+  let n = ref 12 in
+  let deadline_ms = ref 0 in
+  let json = ref false in
+  let shutdown = ref false in
+  let spec =
+    [
+      ("--socket", Arg.Set_string socket, "PATH  server socket (required)");
+      ("--clients", Arg.Set_int clients, "N  concurrent client threads (default 4)");
+      ("--requests", Arg.Set_int requests, "N  requests per client (default 2500)");
+      ("--name", Arg.Set_string name, "NAME  catalog construction for the shared session (default ring)");
+      ("--n", Arg.Set_int n, "N  instance size (default 12)");
+      ("--deadline-ms", Arg.Set_int deadline_ms, "MS  attach a deadline to every request (0 = none)");
+      ("--json", Arg.Set json, "  emit the summary as JSON instead of text");
+      ("--shutdown", Arg.Set shutdown, "  send a shutdown request after the run");
+    ]
+  in
+  let usage = "bbc_loadgen --socket PATH [options]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !socket = "" then begin
+    prerr_endline "bbc_loadgen: --socket is required";
+    exit 2
+  end;
+  let deadline_ms = if !deadline_ms > 0 then Some !deadline_ms else None in
+  match
+    Bbc_server.Loadgen.run ~socket:!socket ~clients:!clients ~requests:!requests
+      ~name:!name ~n:!n ?deadline_ms ()
+  with
+  | Error e ->
+      prerr_endline ("bbc_loadgen: " ^ e);
+      exit 1
+  | Ok s ->
+      if !json then
+        print_endline (Bbc.Json.to_string (Bbc_server.Loadgen.summary_to_json s))
+      else begin
+        Printf.printf "clients:          %d\n" s.clients;
+        Printf.printf "requests:         %d\n" s.requests;
+        Printf.printf "errors:           %d\n" s.errors;
+        Printf.printf "protocol errors:  %d\n" s.protocol_errors;
+        Printf.printf "elapsed:          %.3f s\n" s.elapsed_s;
+        Printf.printf "throughput:       %.0f req/s\n" s.req_per_s;
+        Printf.printf "latency p50/p99:  %.3f / %.3f ms\n" s.p50_ms s.p99_ms;
+        List.iter
+          (fun (m : Bbc_server.Loadgen.method_stats) ->
+            Printf.printf "  %-14s count %6d  p50 %.3f ms  p99 %.3f ms\n" m.meth
+              m.count m.m_p50_ms m.m_p99_ms)
+          s.by_method;
+        Printf.printf "consistent:       %b\n" s.consistent
+      end;
+      if !shutdown then begin
+        match Bbc_server.Loadgen.request_shutdown ~socket:!socket with
+        | Ok () -> ()
+        | Error e ->
+            prerr_endline ("bbc_loadgen: shutdown: " ^ e);
+            exit 1
+      end;
+      if s.protocol_errors > 0 || not s.consistent then exit 1
