@@ -480,14 +480,17 @@ let serve_cmd =
             if stdio then Bbc_server.Server.Stdio
             else Bbc_server.Server.Socket (Option.get socket)
           in
-          Fun.protect
-            ~finally:(fun () ->
-              Bbc_obs.drain ();
-              Option.iter close_out oc;
-              if obs.metrics then Bbc_obs.pp_summary fmt;
-              Bbc_obs.clear_sinks ())
-            (fun () -> Bbc_server.Server.run ~engine mode);
-          `Ok ()
+          match
+            Fun.protect
+              ~finally:(fun () ->
+                Bbc_obs.drain ();
+                Option.iter close_out oc;
+                if obs.metrics then Bbc_obs.pp_summary fmt;
+                Bbc_obs.clear_sinks ())
+              (fun () -> Bbc_server.Server.run ~engine mode)
+          with
+          | () -> `Ok ()
+          | exception Failure msg -> `Error (false, msg)
         end
   in
   Cmd.v

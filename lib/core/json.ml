@@ -72,6 +72,11 @@ let to_string v =
 
 exception Parse_error of int * string
 
+(* Bounds parser recursion: pathological inputs like "[[[[…" must fail
+   with a Parse_error instead of a Stack_overflow, which would escape
+   the [try] below and kill a long-running server. *)
+let max_depth = 512
+
 let of_string s =
   let len = String.length s in
   let pos = ref 0 in
@@ -188,8 +193,9 @@ let of_string s =
           | Some f -> Float f
           | None -> fail "malformed number")
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then fail (Printf.sprintf "nesting deeper than %d" max_depth);
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
@@ -206,7 +212,7 @@ let of_string s =
             let key = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             fields := (key, v) :: !fields;
             skip_ws ();
             match peek () with
@@ -227,7 +233,7 @@ let of_string s =
         else begin
           let items = ref [] in
           let rec items_loop () =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -245,11 +251,13 @@ let of_string s =
     | Some _ -> parse_number ()
   in
   try
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> len then Error (Printf.sprintf "offset %d: trailing input" !pos)
     else Ok v
-  with Parse_error (p, msg) -> Error (Printf.sprintf "offset %d: %s" p msg)
+  with
+  | Parse_error (p, msg) -> Error (Printf.sprintf "offset %d: %s" p msg)
+  | Stack_overflow -> Error "nesting too deep"
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

@@ -24,7 +24,9 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 (** Parse one JSON value; trailing non-whitespace is an error.  Errors
-    carry a character offset. *)
+    carry a character offset.  Nesting deeper than 512 levels is
+    rejected as a parse error (never a [Stack_overflow]), so untrusted
+    wire input cannot blow the stack. *)
 
 (** {1 Accessors}
 

@@ -5,6 +5,7 @@ type config = {
   max_batch : int;
   jobs : int option;
   session_cap : int;
+  session_ttl_ms : int;
   now : unit -> int;
 }
 
@@ -14,6 +15,7 @@ let default_config () =
     max_batch = 64;
     jobs = None;
     session_cap = 1024;
+    session_ttl_ms = 600_000;
     now = Bbc_obs.now_ns;
   }
 
@@ -57,7 +59,9 @@ type t = {
 let create cfg =
   {
     cfg;
-    store = Session.create_store ~capacity:cfg.session_cap ();
+    store =
+      Session.create_store ~capacity:cfg.session_cap
+        ~ttl_ns:(cfg.session_ttl_ms * 1_000_000) ();
     queue = Queue.create ();
     next_seq = 0;
     stopping = false;
@@ -166,7 +170,8 @@ let submit t ~client line =
 
 (* The session a request binds to, or [None] for sessionless requests
    (ping, gen, stats, ...), which form singleton groups and so
-   parallelize freely. *)
+   parallelize freely — safe because the session store's structural
+   operations are mutex-protected (see {!Session}). *)
 let session_key (r : Protocol.request) =
   match Json.member "session" r.params with Some (Json.Str s) -> Some s | _ -> None
 

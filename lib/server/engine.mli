@@ -37,6 +37,9 @@ type config = {
   max_batch : int;  (** requests drained per batch; default 64 *)
   jobs : int option;  (** pool width; [None] = {!Bbc_parallel.default_jobs} *)
   session_cap : int;  (** live-session bound; default 1024 *)
+  session_ttl_ms : int;
+      (** idle TTL for at-capacity session eviction (see {!Session.add});
+          default 10 min, [0] disables eviction *)
   now : unit -> int;  (** monotonic ns; injectable for deadline tests *)
 }
 

@@ -19,6 +19,13 @@ type st = {
 
 let chunk = Bytes.create 65536
 
+(* Per-connection buffer bounds: queue_cap backpressure caps queued
+   requests but not these buffers, so without limits one client
+   streaming newline-free bytes (inbuf) or submitting while never
+   reading responses (outbuf) could exhaust server memory. *)
+let max_line_bytes = 8 * 1024 * 1024
+let max_outbuf_bytes = 256 * 1024 * 1024
+
 (* Split complete lines out of [c.inbuf] and admit each one; immediate
    replies (parse errors, overload, ...) go straight to the write
    buffer. *)
@@ -39,7 +46,18 @@ let feed_lines st client c =
              Buffer.add_char c.outbuf '\n'
      done
    with Not_found -> ());
-  if !start > 0 then begin
+  if len - !start > max_line_bytes then begin
+    (* No newline within the limit: answer with a structured error and
+       close once it is flushed (eof stops further reads; sweep reaps
+       the connection when outbuf drains). *)
+    Buffer.clear c.inbuf;
+    Buffer.add_string c.outbuf
+      (Protocol.error ~id:Bbc.Json.Null Protocol.Bad_request
+         (Printf.sprintf "request line exceeds %d bytes" max_line_bytes));
+    Buffer.add_char c.outbuf '\n';
+    c.eof <- true
+  end
+  else if !start > 0 then begin
     let rest = String.sub data !start (len - !start) in
     Buffer.clear c.inbuf;
     Buffer.add_string c.inbuf rest
@@ -80,7 +98,13 @@ let deliver st replies =
       | None -> ()  (* client hung up before its response was ready *)
       | Some c ->
           Buffer.add_string c.outbuf reply;
-          Buffer.add_char c.outbuf '\n')
+          Buffer.add_char c.outbuf '\n';
+          if Buffer.length c.outbuf > max_outbuf_bytes then begin
+            (* The peer is not reading its responses; drop it rather
+               than buffer without bound. *)
+            Buffer.clear c.outbuf;
+            c.eof <- true
+          end)
     replies
 
 let close_conn st client c =
@@ -168,8 +192,25 @@ let accept_ready st listen_fd =
         { fd; inbuf = Buffer.create 256; outbuf = Buffer.create 256; eof = false }
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
 
+(* A socket file left by a crashed server refuses connections; a live
+   server accepts them.  Only unlink in the former case — silently
+   stealing the path from a running daemon would leave two servers, one
+   unreachable. *)
+let socket_alive path =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      match Unix.connect fd (ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false)
+
 let run_socket ?on_ready st path =
-  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  if Sys.file_exists path then
+    if socket_alive path then
+      failwith
+        (Printf.sprintf "socket %s is in use by a running server (stop it first)" path)
+    else (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
   let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   Unix.bind listen_fd (ADDR_UNIX path);
   Unix.listen listen_fd 64;

@@ -26,5 +26,12 @@ val run : ?on_ready:(unit -> unit) -> engine:Engine.config -> mode -> unit
 (** Serve until shutdown; blocks.  [on_ready] fires once the transport
     is accepting (socket bound and listening) — used by the in-process
     bench harness to sequence the load generator.  Signal handlers for
-    SIGINT/SIGTERM are installed for the duration of the call; a stale
-    socket file at the path is replaced. *)
+    SIGINT/SIGTERM are installed for the duration of the call.  A stale
+    socket file at the path (one that refuses connections) is replaced;
+    if a live server still answers on it, raises [Failure] instead of
+    stealing the path.
+
+    Per-connection buffers are bounded: a request line above 8 MiB is
+    answered with [bad_request] and the connection closed, and a client
+    that stops reading its responses is dropped once its pending output
+    passes 256 MiB. *)

@@ -23,46 +23,108 @@ let all_costs ?objective s =
   | Some ctx -> Bbc.Incr.all_costs ?objective ctx
   | None -> Bbc.Eval.all_costs ?objective s.instance s.config
 
+(* The table and id counter are shared mutable state touched from pool
+   workers (gen / load_instance / close_session run as independent
+   groups and parallelize freely) as well as the transport domain, and
+   stdlib Hashtbl is not domain-safe — every structural access goes
+   through [lock].  The session records themselves need no lock: all
+   requests naming the same session are serialized onto one worker per
+   batch by the scheduler. *)
 type store = {
   tbl : (string, t) Hashtbl.t;
   mutable next_id : int;
+  mutable reserved : int;
+      (** ids minted whose sessions are still being constructed; counts
+          against [capacity] so concurrent adds cannot overshoot *)
   capacity : int;
+  ttl_ns : int;
+  lock : Mutex.t;
 }
 
-let create_store ?(capacity = 1024) () =
-  { tbl = Hashtbl.create 64; next_id = 1; capacity }
+let locked store f =
+  Mutex.lock store.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.lock) f
 
-let add store ~now_ns instance config =
-  if Hashtbl.length store.tbl >= store.capacity then
-    Error
-      (Printf.sprintf "session store at capacity (%d live sessions)" store.capacity)
-  else begin
-    let id = Printf.sprintf "s%d" store.next_id in
-    store.next_id <- store.next_id + 1;
-    let ctx =
-      if Bbc.Incr.enabled () then Some (Bbc.Incr.create instance config) else None
+let default_ttl_ns = 600_000_000_000 (* 10 min *)
+
+let create_store ?(capacity = 1024) ?(ttl_ns = default_ttl_ns) () =
+  {
+    tbl = Hashtbl.create 64;
+    next_id = 1;
+    reserved = 0;
+    capacity;
+    ttl_ns;
+    lock = Mutex.create ();
+  }
+
+(* Caller holds [store.lock].  [last_used_ns] is written by workers
+   without the lock, but plain int stores never tear in OCaml, and a
+   session touched this batch has a fresh stamp well inside any sane
+   TTL. *)
+let expire_idle_locked store ~now_ns =
+  if store.ttl_ns > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun id s acc ->
+          if now_ns - s.last_used_ns > store.ttl_ns then id :: acc else acc)
+        store.tbl []
     in
-    let s =
-      {
-        id;
-        instance;
-        config;
-        ctx;
-        walk_index = 0;
-        walk_deviations = 0;
-        walk_quiet = 0;
-        last_used_ns = now_ns;
-      }
-    in
-    Hashtbl.replace store.tbl id s;
-    Ok s
+    List.iter (Hashtbl.remove store.tbl) stale
   end
 
-let find store id = Hashtbl.find_opt store.tbl id
+let add store ~now_ns instance config =
+  let minted =
+    locked store (fun () ->
+        if Hashtbl.length store.tbl + store.reserved >= store.capacity then
+          (* Reclaim abandoned sessions before refusing, so clients
+             that never close_session cannot exhaust the budget
+             forever. *)
+          expire_idle_locked store ~now_ns;
+        if Hashtbl.length store.tbl + store.reserved >= store.capacity then None
+        else begin
+          let id = Printf.sprintf "s%d" store.next_id in
+          store.next_id <- store.next_id + 1;
+          store.reserved <- store.reserved + 1;
+          Some id
+        end)
+  in
+  match minted with
+  | None ->
+      Error
+        (Printf.sprintf "session store at capacity (%d live sessions)" store.capacity)
+  | Some id ->
+      (* Context construction (SSSP state) is the expensive part; keep
+         it outside the lock so concurrent adds don't serialize on it. *)
+      let ctx =
+        try
+          if Bbc.Incr.enabled () then Some (Bbc.Incr.create instance config) else None
+        with e ->
+          locked store (fun () -> store.reserved <- store.reserved - 1);
+          raise e
+      in
+      let s =
+        {
+          id;
+          instance;
+          config;
+          ctx;
+          walk_index = 0;
+          walk_deviations = 0;
+          walk_quiet = 0;
+          last_used_ns = now_ns;
+        }
+      in
+      locked store (fun () ->
+          store.reserved <- store.reserved - 1;
+          Hashtbl.replace store.tbl id s);
+      Ok s
+
+let find store id = locked store (fun () -> Hashtbl.find_opt store.tbl id)
 
 let remove store id =
-  let existed = Hashtbl.mem store.tbl id in
-  Hashtbl.remove store.tbl id;
-  existed
+  locked store (fun () ->
+      let existed = Hashtbl.mem store.tbl id in
+      Hashtbl.remove store.tbl id;
+      existed)
 
-let count store = Hashtbl.length store.tbl
+let count store = locked store (fun () -> Hashtbl.length store.tbl)

@@ -10,7 +10,13 @@
     Contexts are single-domain mutable state; the scheduler therefore
     serializes all requests that name the same session onto one worker
     per batch (see {!Engine}).  Different sessions are independent and
-    run concurrently. *)
+    run concurrently.
+
+    The {!store} itself {e is} domain-safe: creation, lookup, removal
+    and counting are mutex-protected, because session-creating and
+    -destroying requests ([gen], [load_instance], [close_session])
+    execute as independent groups on the domain pool and may run
+    concurrently with each other and with lookups. *)
 
 type t = {
   id : string;  (** ["s1"], ["s2"], … — deterministic creation order *)
@@ -36,13 +42,19 @@ val all_costs : ?objective:Bbc.Objective.t -> t -> int array
 
 type store
 
-val create_store : ?capacity:int -> unit -> store
-(** [capacity] defaults to 1024 live sessions. *)
+val create_store : ?capacity:int -> ?ttl_ns:int -> unit -> store
+(** [capacity] defaults to 1024 live sessions.  [ttl_ns] (default
+    10 minutes) is the idle TTL used by at-capacity eviction in {!add};
+    [0] disables eviction, in which case capacity is only recovered by
+    explicit [close_session]. *)
 
 val add :
   store -> now_ns:int -> Bbc.Instance.t -> Bbc.Config.t -> (t, string) result
 (** Mint a fresh session (owning a new context when the incremental
-    engine is enabled); [Error] when the store is at capacity. *)
+    engine is enabled).  When the store is full, sessions idle longer
+    than the TTL (by [last_used_ns]) are evicted first; [Error] only if
+    the store is still at capacity afterwards, so abandoned sessions
+    cannot exhaust the budget forever. *)
 
 val find : store -> string -> t option
 val remove : store -> string -> bool

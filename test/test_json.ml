@@ -63,6 +63,20 @@ let test_errors () =
         (Result.is_error (Json.of_string s)))
     bad
 
+(* Pathological nesting must come back as a parse error, never a
+   Stack_overflow that could kill a server reading untrusted input. *)
+let test_depth_limit () =
+  let deep n = String.make n '[' ^ String.make n ']' in
+  Alcotest.(check bool) "moderate nesting ok" true
+    (Result.is_ok (Json.of_string (deep 100)));
+  Alcotest.(check bool) "over the limit rejected" true
+    (Result.is_error (Json.of_string (deep 600)));
+  Alcotest.(check bool) "unclosed bracket bomb rejected" true
+    (Result.is_error (Json.of_string (String.make 200_000 '[')));
+  Alcotest.(check bool) "object nesting bomb rejected" true
+    (Result.is_error
+       (Json.of_string (String.concat "" (List.init 600 (fun _ -> "{\"a\":")))))
+
 let test_accessors () =
   Alcotest.(check (option int)) "to_int" (Some 3) (Json.to_int (Json.Int 3));
   Alcotest.(check (option int)) "to_int float" None (Json.to_int (Json.Float 3.5));
@@ -81,5 +95,6 @@ let suite =
     Alcotest.test_case "parse nested" `Quick test_parse_nested;
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "depth limit" `Quick test_depth_limit;
     Alcotest.test_case "accessors" `Quick test_accessors;
   ]

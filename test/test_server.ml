@@ -100,7 +100,10 @@ let test_malformed () =
     (error_code
        (ask engine (req "3" "cost" [ ("session", Json.Str sid); ("node", Json.Int 99) ])));
   Alcotest.(check string) "unknown construction" "bad_params"
-    (error_code (ask engine (req "4" "gen" [ ("name", Json.Str "nope") ])))
+    (error_code (ask engine (req "4" "gen" [ ("name", Json.Str "nope") ])));
+  (* a nesting bomb is a structured parse error, not a crash *)
+  Alcotest.(check string) "nesting bomb" "bad_request"
+    (error_code (ask engine (String.make 100_000 '[')))
 
 let test_deadline_expiry () =
   let clock = ref 0 in
@@ -287,6 +290,84 @@ let test_batch_interleaving () =
           (Json.to_string (field "social" p)))
     replies
 
+(* gen and close_session execute as independent singleton groups on the
+   domain pool: a batch full of them runs store mutations concurrently,
+   which must neither corrupt the table nor hand out duplicate ids. *)
+let test_concurrent_session_churn () =
+  let engine = mk_engine ~jobs:4 () in
+  let n_req = 32 in
+  for i = 0 to n_req - 1 do
+    match
+      Engine.submit engine ~client:i
+        (req (Printf.sprintf "g%d" i) "gen" [ ("name", Json.Str "ring"); ("n", Json.Int 5) ])
+    with
+    | `Queued -> ()
+    | `Reply r -> Alcotest.failf "unexpected immediate reply %s" r
+  done;
+  let replies = Engine.drain engine in
+  Alcotest.(check int) "all served" n_req (List.length replies);
+  let sids =
+    List.map
+      (fun (_, r) ->
+        match field "session" (ok_payload r) with
+        | Json.Str s -> s
+        | _ -> Alcotest.fail "gen returned no session id")
+      replies
+  in
+  Alcotest.(check int) "unique session ids" n_req
+    (List.length (List.sort_uniq compare sids));
+  Alcotest.(check int) "store count" n_req
+    (Bbc_server.Session.count (Engine.sessions engine));
+  (* every minted session is really in the store, then concurrent
+     teardown drains it completely *)
+  List.iteri
+    (fun i sid ->
+      match
+        Engine.submit engine ~client:i
+          (req (Printf.sprintf "x%d" i) "close_session" [ ("session", Json.Str sid) ])
+      with
+      | `Queued -> ()
+      | `Reply r -> Alcotest.failf "unexpected immediate reply %s" r)
+    sids;
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "closed" true
+        (field "closed" (ok_payload r) = Json.Bool true))
+    (Engine.drain engine);
+  Alcotest.(check int) "store empty" 0 (Bbc_server.Session.count (Engine.sessions engine))
+
+(* At capacity the store evicts sessions idle past the TTL instead of
+   refusing forever; warm sessions survive the eviction. *)
+let test_session_expiry () =
+  let clock = ref 0 in
+  let d = Engine.default_config () in
+  let engine =
+    Engine.create
+      {
+        d with
+        Engine.jobs = Some 1;
+        session_cap = 2;
+        session_ttl_ms = 1_000;
+        now = (fun () -> !clock);
+      }
+  in
+  let s1 = gen_session engine () in
+  let s2 = gen_session engine () in
+  Alcotest.(check string) "full and nothing idle" "session_limit"
+    (error_code (ask engine (req "g3" "gen" [ ("name", Json.Str "ring"); ("n", Json.Int 5) ])));
+  (* keep s1 warm; s2 idles past the 1 s TTL *)
+  clock := 900 * 1_000_000;
+  ignore (ok_payload (ask engine (req "c1" "cost" [ ("session", Json.Str s1) ])));
+  clock := 1_500 * 1_000_000;
+  let p =
+    ok_payload (ask engine (req "g4" "gen" [ ("name", Json.Str "ring"); ("n", Json.Int 5) ]))
+  in
+  Alcotest.(check bool) "eviction made room" true (field "session" p <> Json.Null);
+  Alcotest.(check int) "still two live" 2 (Bbc_server.Session.count (Engine.sessions engine));
+  ignore (ok_payload (ask engine (req "c2" "cost" [ ("session", Json.Str s1) ])));
+  Alcotest.(check string) "idle session evicted" "unknown_session"
+    (error_code (ask engine (req "c3" "cost" [ ("session", Json.Str s2) ])))
+
 let suite =
   [
     Alcotest.test_case "session lifecycle" `Quick test_lifecycle;
@@ -298,4 +379,6 @@ let suite =
     Alcotest.test_case "bit identity vs library" `Quick test_bit_identity;
     Alcotest.test_case "step_dynamics differential" `Quick test_step_dynamics_differential;
     Alcotest.test_case "batch interleaving" `Quick test_batch_interleaving;
+    Alcotest.test_case "concurrent session churn" `Quick test_concurrent_session_churn;
+    Alcotest.test_case "idle session expiry" `Quick test_session_expiry;
   ]
