@@ -23,11 +23,14 @@ check:
 # Everything CI runs, in the same order (see .github/workflows/ci.yml):
 # build, tests, smoke bench, then the regression gates on its JSON —
 # observability overhead within budget, incremental engine faster than
-# the oracle and bit-identical to it — and the serving-layer soak
-# (10k concurrent requests, zero protocol errors, graceful drain).
+# the oracle and bit-identical to it, CSR kernels bit-identical to the
+# list-graph references and the hot path holding its floors over the
+# BENCH_1 baseline — and the serving-layer soak (10k concurrent
+# requests, zero protocol errors, graceful drain).
 ci: check
 	scripts/check_obs_overhead.sh bench/results/BENCH_smoke.json
 	scripts/check_incremental.sh bench/results/BENCH_smoke.json
+	scripts/check_kernels.sh bench/results/BENCH_smoke.json
 	scripts/check_server.sh
 
 build:

@@ -63,78 +63,94 @@ let naive_best_response instance config u =
     max_int
     (Bbc.Exhaustive.all_strategies instance u)
 
+(* Micro benchmarks as (name, thunk) pairs: the same closure feeds the
+   Bechamel timing run and the allocation measurement below, so the
+   [minor_words]/[major_words] columns of the JSON describe exactly the
+   timed computation. *)
 let core_benchmarks () =
   [
-    Test.make ~name:"eval/node_cost willows(n=46)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force willows_fixture in
-           ignore (Bbc.Eval.node_cost inst config 0)));
-    Test.make ~name:"eval/social_cost willows(n=46)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force willows_fixture in
-           ignore (Bbc.Eval.social_cost inst config)));
-    Test.make ~name:"best_response/exact (n=40,k=2)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force random_config_fixture in
-           ignore (Bbc.Best_response.exact inst config 0)));
-    Test.make ~name:"stability/is_stable willows(n=46)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force willows_fixture in
-           ignore (Bbc.Stability.is_stable inst config)));
-    Test.make ~name:"dynamics/one round (n=40,k=2)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force random_config_fixture in
-           ignore
-             (Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:1
-                inst config)));
-    Test.make ~name:"graph/scc (n=2000,k=3)"
-      (Staged.stage (fun () ->
-           ignore (Bbc_graph.Scc.compute (Lazy.force big_graph_fixture))));
-    Test.make ~name:"graph/bfs (n=2000,k=3)"
-      (Staged.stage (fun () ->
-           ignore (Bbc_graph.Paths.bfs (Lazy.force big_graph_fixture) 0)));
-    Test.make ~name:"flow/min-cost unit flow (n=8)"
-      (Staged.stage (fun () ->
-           let inst, profile = Lazy.force fractional_fixture in
-           ignore (Bbc.Fractional.pair_cost inst profile 0 5)));
+    ( "eval/node_cost willows(n=46)",
+      fun () ->
+        let inst, config = Lazy.force willows_fixture in
+        ignore (Bbc.Eval.node_cost inst config 0) );
+    ( "eval/social_cost willows(n=46)",
+      fun () ->
+        let inst, config = Lazy.force willows_fixture in
+        ignore (Bbc.Eval.social_cost inst config) );
+    ( "best_response/exact (n=40,k=2)",
+      fun () ->
+        let inst, config = Lazy.force random_config_fixture in
+        ignore (Bbc.Best_response.exact inst config 0) );
+    ( "stability/is_stable willows(n=46)",
+      fun () ->
+        let inst, config = Lazy.force willows_fixture in
+        ignore (Bbc.Stability.is_stable inst config) );
+    ( "dynamics/one round (n=40,k=2)",
+      fun () ->
+        let inst, config = Lazy.force random_config_fixture in
+        ignore
+          (Bbc.Dynamics.run ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:1
+             inst config) );
+    ( "graph/scc (n=2000,k=3)",
+      fun () -> ignore (Bbc_graph.Scc.compute (Lazy.force big_graph_fixture)) );
+    ( "graph/bfs (n=2000,k=3)",
+      fun () -> ignore (Bbc_graph.Paths.bfs (Lazy.force big_graph_fixture) 0) );
+    ( "flow/min-cost unit flow (n=8)",
+      fun () ->
+        let inst, profile = Lazy.force fractional_fixture in
+        ignore (Bbc.Fractional.pair_cost inst profile 0 5) );
   ]
 
 let ablation_benchmarks () =
   [
-    Test.make ~name:"ablation/BR via d_{-u} (n=40,k=2)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force random_config_fixture in
-           ignore (Bbc.Best_response.exact inst config 0)));
-    Test.make ~name:"ablation/BR naive rebuild (n=40,k=2)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force random_config_fixture in
-           ignore (naive_best_response inst config 0)));
-    Test.make ~name:"ablation/bfs on unit graph (n=2000)"
-      (Staged.stage (fun () ->
-           ignore (Bbc_graph.Paths.bfs (Lazy.force big_graph_fixture) 0)));
-    Test.make ~name:"ablation/dijkstra on unit graph (n=2000)"
-      (Staged.stage (fun () ->
-           ignore (Bbc_graph.Paths.dijkstra (Lazy.force big_graph_fixture) 0)));
-    Test.make ~name:"ablation/stability early-exit, unstable start"
-      (Staged.stage (fun () ->
-           let inst, _ = Lazy.force random_config_fixture in
-           ignore (Bbc.Stability.is_stable inst (Bbc.Config.empty 40))));
-    Test.make ~name:"ablation/stability full scan, stable graph"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force willows_fixture in
-           ignore (Bbc.Stability.is_stable inst config)));
-    Test.make ~name:"ablation/stability sequential (n=126)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force big_willows_fixture in
-           ignore (Bbc.Stability.is_stable inst config)));
-    Test.make ~name:"ablation/stability 4 domains (n=126)"
-      (Staged.stage (fun () ->
-           let inst, config = Lazy.force big_willows_fixture in
-           ignore (Bbc.Stability.is_stable_parallel ~domains:4 inst config)));
+    ( "ablation/BR via d_{-u} (n=40,k=2)",
+      fun () ->
+        let inst, config = Lazy.force random_config_fixture in
+        ignore (Bbc.Best_response.exact inst config 0) );
+    ( "ablation/BR naive rebuild (n=40,k=2)",
+      fun () ->
+        let inst, config = Lazy.force random_config_fixture in
+        ignore (naive_best_response inst config 0) );
+    ( "ablation/bfs on unit graph (n=2000)",
+      fun () -> ignore (Bbc_graph.Paths.bfs (Lazy.force big_graph_fixture) 0) );
+    ( "ablation/dijkstra on unit graph (n=2000)",
+      fun () ->
+        ignore (Bbc_graph.Paths.dijkstra (Lazy.force big_graph_fixture) 0) );
+    ( "ablation/stability early-exit, unstable start",
+      fun () ->
+        let inst, _ = Lazy.force random_config_fixture in
+        ignore (Bbc.Stability.is_stable inst (Bbc.Config.empty 40)) );
+    ( "ablation/stability full scan, stable graph",
+      fun () ->
+        let inst, config = Lazy.force willows_fixture in
+        ignore (Bbc.Stability.is_stable inst config) );
+    ( "ablation/stability sequential (n=126)",
+      fun () ->
+        let inst, config = Lazy.force big_willows_fixture in
+        ignore (Bbc.Stability.is_stable inst config) );
+    ( "ablation/stability 4 domains (n=126)",
+      fun () ->
+        let inst, config = Lazy.force big_willows_fixture in
+        ignore (Bbc.Stability.is_stable_parallel ~domains:4 inst config) );
   ]
 
-(* Returns [(name, ns_per_run)] so the JSON writer can replay them. *)
-let run_benchmarks ~name tests =
+(* Allocation per call, measured with [Gc.quick_stat] deltas over a few
+   repetitions (one warm-up call first, so lazy fixtures and workspace
+   pools are paid for outside the window). *)
+let alloc_words f =
+  ignore (Sys.opaque_identity (f ()));
+  let reps = 5 in
+  let minor0, _, major0 = Gc.counters () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let minor1, _, major1 = Gc.counters () in
+  ( (minor1 -. minor0) /. float_of_int reps,
+    (major1 -. major0) /. float_of_int reps )
+
+(* Returns [(name, ns_per_run, minor_words, major_words)] so the JSON
+   writer can replay them. *)
+let run_benchmarks ~name entries =
   Format.fprintf fmt "@.%s@.%s@." (String.make 72 '=') name;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -145,18 +161,21 @@ let run_benchmarks ~name tests =
   in
   let collected = ref [] in
   List.iter
-    (fun test ->
+    (fun (bname, f) ->
+      let test = Test.make ~name:bname (Staged.stage f) in
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
+      let minor, major = alloc_words f in
       Hashtbl.iter
         (fun key ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
-              Format.fprintf fmt "  %-48s %14.1f ns/run@." key est;
-              collected := (key, est) :: !collected
+              Format.fprintf fmt "  %-48s %14.1f ns/run  %12.0f minor w/run@."
+                key est minor;
+              collected := (key, est, minor, major) :: !collected
           | _ -> Format.fprintf fmt "  %-48s (no estimate)@." key)
         analyzed)
-    tests;
+    entries;
   Format.pp_print_flush fmt ();
   List.rev !collected
 
@@ -225,6 +244,147 @@ let print_speedups speedups =
         s.sp_name s.seq_s s.par_s (s.seq_s /. s.par_s)
         (if s.matches then "" else "  [MISMATCH]"))
     speedups;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* CSR kernels vs the list-graph baselines.  Each entry times the
+   adjacency-list reference implementation against the flat-CSR pooled
+   kernel on the same input, checks the results are identical, and
+   records allocation per call on both sides — the perf gate
+   (scripts/check_kernels.sh) asserts every [results_match] bit. *)
+
+type kernel = {
+  k_name : string;
+  k_base_s : float;  (** list-graph / pre-CSR reference *)
+  k_csr_s : float;  (** flat CSR + pooled workspace *)
+  k_matches : bool;
+  k_base_minor_w : float;
+  k_csr_minor_w : float;
+}
+
+(* The pre-CSR best response: G_{-u} as a mutated adjacency-list copy,
+   one allocated distance row per SSSP, and one [Array.copy] per DFS
+   node.  Kept here (not in the library) as the ablation baseline for
+   the pooled enumeration. *)
+let legacy_exact_cost instance config u =
+  let module D = Bbc_graph.Digraph in
+  let module P = Bbc_graph.Paths in
+  let g = Bbc.Config.to_graph instance config in
+  D.remove_out_edges g u;
+  let n = Bbc.Instance.n instance in
+  let cache = Array.make n None in
+  let row v =
+    match cache.(v) with
+    | Some d -> d
+    | None ->
+        let d = P.shortest g v in
+        cache.(v) <- Some d;
+        d
+  in
+  let merge_row cur v =
+    let luv = Bbc.Instance.length instance u v in
+    let d = Array.copy cur in
+    let rv = row v in
+    for x = 0 to n - 1 do
+      if rv.(x) <> P.unreachable then begin
+        let c = luv + rv.(x) in
+        if c < d.(x) then d.(x) <- c
+      end
+    done;
+    d
+  in
+  let base = Array.make n P.unreachable in
+  base.(u) <- 0;
+  let candidates = Array.of_list (Bbc.Best_response.candidate_targets instance u) in
+  let best = ref (Bbc.Eval.cost_of_distances instance u base) in
+  let rec dfs i budget cur =
+    for j = i to Array.length candidates - 1 do
+      let v = candidates.(j) in
+      let c = Bbc.Instance.cost instance u v in
+      if c <= budget then begin
+        let cur' = merge_row cur v in
+        let cost = Bbc.Eval.cost_of_distances instance u cur' in
+        if cost < !best then best := cost;
+        dfs (j + 1) (budget - c) cur'
+      end
+    done
+  in
+  dfs 0 (Bbc.Instance.budget instance u) base;
+  !best
+
+let kernel_benchmarks () =
+  let module Csr = Bbc_graph.Csr in
+  let module W = Bbc_graph.Workspace in
+  let module P = Bbc_graph.Paths in
+  let g = Lazy.force big_graph_fixture in
+  let csr = Csr.of_digraph g in
+  (* Weighted variant of the same topology (lengths 1..4), so the
+     Dijkstra pair exercises the heap kernel rather than BFS. *)
+  let gw =
+    let rng = Bbc_prng.Splitmix.create 11 in
+    let h = Bbc_graph.Digraph.create (Bbc_graph.Digraph.n g) in
+    Bbc_graph.Digraph.iter_edges g (fun u v _ ->
+        Bbc_graph.Digraph.add_edge h u v (1 + Bbc_prng.Splitmix.int rng 4));
+    h
+  in
+  let csrw = Csr.of_digraph gw in
+  (* Pure pooled sweep: distances land in a pooled row and are undone
+     with the dirty-list reset, so steady state allocates nothing. *)
+  let pooled_sweep snapshot () =
+    let ws = W.get () in
+    let scratch = W.scratch ws in
+    let row = W.acquire ws (Csr.n snapshot) in
+    Csr.sssp snapshot scratch ~src:0 ~dist:row;
+    Csr.reset scratch row;
+    W.release_clean ws row
+  in
+  let br_inst, br_cfg = Lazy.force random_config_fixture in
+  let apsp_graph =
+    Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create 7) ~n:256 ~k:3
+  in
+  let run (name, reps, base, csrf, check) =
+    let matches = check () in
+    let k_base_s = time_best ~reps base and k_csr_s = time_best ~reps csrf in
+    let k_base_minor_w, _ = alloc_words base in
+    let k_csr_minor_w, _ = alloc_words csrf in
+    { k_name = name; k_base_s; k_csr_s; k_matches = matches; k_base_minor_w; k_csr_minor_w }
+  in
+  List.map run
+    [
+      ( "graph/bfs (n=2000,k=3)", 40,
+        (fun () -> ignore (P.bfs g 0)),
+        pooled_sweep csr,
+        fun () -> P.bfs g 0 = P.shortest_csr csr 0 );
+      ( "graph/dijkstra (n=2000,k=3,weighted)", 40,
+        (fun () -> ignore (P.dijkstra gw 0)),
+        pooled_sweep csrw,
+        fun () -> P.dijkstra gw 0 = P.shortest_csr csrw 0 );
+      ( "graph/apsp (n=256,k=3)", 3,
+        (fun () -> ignore (Bbc_graph.Apsp.floyd_warshall apsp_graph)),
+        (fun () -> ignore (Bbc_graph.Apsp.compute apsp_graph)),
+        fun () ->
+          Bbc_graph.Apsp.matrix (Bbc_graph.Apsp.floyd_warshall apsp_graph)
+          = Bbc_graph.Apsp.matrix (Bbc_graph.Apsp.compute apsp_graph) );
+      ( "best_response/exact (n=40,k=2)", 10,
+        (fun () -> ignore (legacy_exact_cost br_inst br_cfg 0)),
+        (fun () -> ignore (Bbc.Best_response.exact br_inst br_cfg 0)),
+        fun () ->
+          legacy_exact_cost br_inst br_cfg 0
+          = (Bbc.Best_response.exact br_inst br_cfg 0).cost );
+    ]
+
+let print_kernels kernels =
+  Format.fprintf fmt "@.%s@.CSR kernels vs list-graph baselines@."
+    (String.make 72 '=');
+  List.iter
+    (fun k ->
+      Format.fprintf fmt
+        "  %-40s base %10.6fs  csr %10.6fs  speedup %5.2fx  minor w %8.0f -> %-8.0f%s@."
+        k.k_name k.k_base_s k.k_csr_s
+        (k.k_base_s /. k.k_csr_s)
+        k.k_base_minor_w k.k_csr_minor_w
+        (if k.k_matches then "" else "  [MISMATCH]"))
+    kernels;
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
@@ -317,47 +477,35 @@ type overhead = {
   inst_s : float;  (** instrumented library version, observability off *)
 }
 
-(* Uninstrumented [Eval.all_costs]: same pool fan-out, no span, no
-   counter. *)
+(* Uninstrumented [Eval.all_costs]: same CSR snapshot, pooled rows and
+   contiguous chunking — no span, no counter. *)
 let plain_all_costs inst config =
-  let g = Bbc.Config.to_graph inst config in
   let n = Bbc.Instance.n inst in
   let jobs = Bbc_parallel.jobs_for ~threshold:64 n in
-  Bbc_parallel.parallel_init ~jobs n (fun u ->
-      Bbc.Eval.node_cost ~graph:g inst config u)
+  let csr = Bbc.Config.to_csr inst config in
+  let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
+  Bbc_parallel.parallel_init ~jobs ~chunk n (fun u ->
+      let ws = Bbc_graph.Workspace.get () in
+      let scratch = Bbc_graph.Workspace.scratch ws in
+      let row = Bbc_graph.Workspace.acquire ws n in
+      Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
+      let c = Bbc.Eval.cost_of_distances inst u row in
+      Bbc_graph.Csr.reset scratch row;
+      Bbc_graph.Workspace.release_clean ws row;
+      c)
 
-(* Uninstrumented [Apsp.compute] (same chunking and pivot loop). *)
+(* Uninstrumented [Apsp.compute] (same CSR sweeps and chunking). *)
 let plain_apsp g =
-  let module Digraph = Bbc_graph.Digraph in
-  let n = Digraph.n g in
-  let unreachable = Bbc_graph.Paths.unreachable in
-  let dist = Array.init n (fun _ -> Array.make n unreachable) in
-  for v = 0 to n - 1 do
-    dist.(v).(v) <- 0
-  done;
-  Digraph.iter_edges g (fun u v len -> if len < dist.(u).(v) then dist.(u).(v) <- len);
-  let relax_row k i =
-    let dik = dist.(i).(k) in
-    if dik <> unreachable then begin
-      let row_i = dist.(i) and row_k = dist.(k) in
-      for j = 0 to n - 1 do
-        let dkj = row_k.(j) in
-        if dkj <> unreachable && dik + dkj < row_i.(j) then row_i.(j) <- dik + dkj
-      done
-    end
-  in
-  let jobs = Bbc_parallel.default_jobs () in
-  if jobs = 1 || n < 128 then
-    for k = 0 to n - 1 do
-      for i = 0 to n - 1 do
-        relax_row k i
-      done
-    done
-  else
-    for k = 0 to n - 1 do
-      Bbc_parallel.parallel_for ~jobs 0 n (fun i -> relax_row k i)
-    done;
-  dist
+  let n = Bbc_graph.Digraph.n g in
+  let jobs = Bbc_parallel.jobs_for ~threshold:128 n in
+  let csr = Bbc_graph.Csr.of_digraph g in
+  let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
+  Bbc_parallel.parallel_init ~jobs ~chunk n (fun src ->
+      let row = Array.make n Bbc_graph.Paths.unreachable in
+      Bbc_graph.Csr.sssp csr
+        (Bbc_graph.Workspace.scratch (Bbc_graph.Workspace.get ()))
+        ~src ~dist:row;
+      row)
 
 (* Interleave base/instrumented reps so machine-load drift hits both
    sides of each pair equally, then take the median per-pair ratio —
@@ -505,9 +653,13 @@ let next_bench_path () =
       dir
     with Unix.Unix_error _ -> Filename.current_dir_name
   in
+  (* An index is taken if it exists in the results directory *or* at the
+     repo root — promoted snapshots (BENCH_1.json, ...) live there, and
+     the next run must continue the shared numbering. *)
   let rec go i =
-    let p = Filename.concat dir (Printf.sprintf "BENCH_%d.json" i) in
-    if Sys.file_exists p then go (i + 1) else p
+    let name = Printf.sprintf "BENCH_%d.json" i in
+    let p = Filename.concat dir name in
+    if Sys.file_exists p || Sys.file_exists name then go (i + 1) else p
   in
   go 1
 
@@ -520,20 +672,36 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json ~path ~micro ~speedups ~incr ~overheads ~servers =
+let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~servers =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"version\": 2,\n";
+  out "  \"version\": 3,\n";
   out "  \"jobs\": %d,\n" (Bbc_parallel.default_jobs ());
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"git_rev\": %S,\n" (git_rev ());
   out "  \"micro\": [\n";
   List.iteri
-    (fun i (name, ns) ->
-      out "    {\"name\": %S, \"ns_per_run\": %.1f}%s\n" name ns
+    (fun i (name, ns, minor_w, major_w) ->
+      out
+        "    {\"name\": %S, \"ns_per_run\": %.1f, \"minor_words\": %.0f, \
+         \"major_words\": %.0f}%s\n"
+        name ns minor_w major_w
         (if i = List.length micro - 1 then "" else ","))
     micro;
+  out "  ],\n";
+  out "  \"kernels\": [\n";
+  List.iteri
+    (fun i k ->
+      out
+        "    {\"name\": %S, \"baseline_s\": %.6f, \"csr_s\": %.6f, \
+         \"speedup\": %.3f, \"results_match\": %b, \
+         \"baseline_minor_words\": %.0f, \"csr_minor_words\": %.0f}%s\n"
+        k.k_name k.k_base_s k.k_csr_s
+        (k.k_base_s /. k.k_csr_s)
+        k.k_matches k.k_base_minor_w k.k_csr_minor_w
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
   out "  ],\n";
   out "  \"speedup\": [\n";
   List.iteri
@@ -665,13 +833,15 @@ let () =
           (fun () -> speedup_benchmarks ~par_jobs)
       in
       print_speedups speedups;
+      let kernels = kernel_benchmarks () in
+      print_kernels kernels;
       let incr = incremental_benchmarks ~full in
       print_incr_speedups incr;
       let overheads = overhead_benchmarks () in
       print_overheads overheads;
       let servers = server_benchmarks ~full in
       print_servers servers;
-      write_json ~path ~micro:!micro ~speedups ~incr ~overheads ~servers);
+      write_json ~path ~micro:!micro ~kernels ~speedups ~incr ~overheads ~servers);
   Bbc_obs.drain ();
   Option.iter close_out trace_oc;
   if !metrics_arg then Bbc_obs.pp_summary fmt;

@@ -1,5 +1,6 @@
-module Digraph = Bbc_graph.Digraph
 module Paths = Bbc_graph.Paths
+module Csr = Bbc_graph.Csr
+module Workspace = Bbc_graph.Workspace
 
 type result = { strategy : int list; cost : int }
 
@@ -14,26 +15,50 @@ let candidate_targets instance u =
 
 (* Distance rows in G_{-u}, fetched lazily per candidate target and
    cached for the duration of one enumeration.  [fetch] is the engine:
-   a from-scratch SSSP on a G_{-u} copy, or one of the two incremental
-   providers in {!Incr}. *)
+   a CSR kernel sweep of the G_{-u} snapshot into a pooled workspace
+   row, or one of the two incremental providers in {!Incr}.  [owned]
+   rows came from the per-domain pool and go back to it when the
+   enumeration finishes; the masked engine serves live internal arrays
+   that must not be released. *)
 type rows = {
   fetch : int -> int array;
   cache : int array option array;
+  owned : bool;
 }
 
 let scratch_rows instance config u =
-  let g = Config.to_graph instance config in
-  Digraph.remove_out_edges g u;
-  { fetch = (fun v -> Paths.shortest g v); cache = Array.make (Instance.n instance) None }
+  let ws = Workspace.get () in
+  let csr = Config.to_csr ~skip:u instance config in
+  let n = Instance.n instance in
+  {
+    fetch =
+      (fun v ->
+        let row = Workspace.acquire ws n in
+        Csr.sssp csr (Workspace.scratch ws) ~src:v ~dist:row;
+        row);
+    cache = Array.make n None;
+    owned = true;
+  }
 
 let threshold_rows ctx instance u =
+  let ws = Workspace.get () in
+  let n = Instance.n instance in
   {
-    fetch = (fun v -> Incr.threshold_row ctx ~u ~v);
-    cache = Array.make (Instance.n instance) None;
+    fetch =
+      (fun v ->
+        let row = Workspace.acquire ws n in
+        Incr.threshold_row_into ctx ~u ~v row;
+        row);
+    cache = Array.make n None;
+    owned = true;
   }
 
 let masked_rows ctx instance =
-  { fetch = (fun v -> Incr.masked_row ctx v); cache = Array.make (Instance.n instance) None }
+  {
+    fetch = (fun v -> Incr.masked_row ctx v);
+    cache = Array.make (Instance.n instance) None;
+    owned = false;
+  }
 
 let row rows v =
   match rows.cache.(v) with
@@ -43,20 +68,93 @@ let row rows v =
       rows.cache.(v) <- Some d;
       d
 
-(* Distance from u to x when u's strategy contains the link (u,v), given
-   the current best-known distances [cur]. *)
-let merge_row instance u cur r v =
-  let luv = Instance.length instance u v in
-  let n = Array.length cur in
-  let out = Array.copy cur in
-  let rv = r v in
+let release_rows ws rows =
+  if rows.owned then
+    Array.iteri
+      (fun v r ->
+        match r with
+        | None -> ()
+        | Some r ->
+            rows.cache.(v) <- None;
+            Workspace.release ws r)
+      rows.cache
+
+(* Distance from u to x when u's strategy gains the link (u,v) of length
+   [luv], given the current best-known distances [src] and the
+   [G_{-u}] row [rv] of [v]: written into [dst] (a pooled row). *)
+let merge_into ~src ~dst rv luv =
+  let n = Array.length src in
+  Array.blit src 0 dst 0 n;
   for x = 0 to n - 1 do
     if rv.(x) <> Paths.unreachable then begin
       let d = luv + rv.(x) in
-      if d < out.(x) then out.(x) <- d
+      if d < dst.(x) then dst.(x) <- d
     end
-  done;
-  out
+  done
+
+(* Cost of the strategy extended by the link (u,v), evaluated in a
+   single pass over [src] and [rv] — the merged distance row is never
+   materialized.  Bit-identical to [merge_into] followed by
+   {!Eval.cost_of_distances}; most subsets of an enumeration are leaves
+   of the DFS, and this collapses their three O(n) passes
+   (copy, merge, fold) into one. *)
+let merged_cost ~objective instance u ~src rv luv =
+  let n = Array.length src in
+  let m = Instance.penalty instance in
+  (* Same dispatch hoisting as [Eval.cost_of_distances]: this loop runs
+     once per enumerated subset, so per-element call overhead dominates
+     the whole enumeration if left in. *)
+  match objective with
+  | Objective.Sum -> (
+      match Instance.weight_row instance u with
+      | None ->
+          let acc = ref 0 in
+          for x = 0 to n - 1 do
+            if x <> u then begin
+              let rx = rv.(x) in
+              let d0 = src.(x) in
+              let d =
+                if rx <> Paths.unreachable && luv + rx < d0 then luv + rx
+                else d0
+              in
+              acc := !acc + (if d = Paths.unreachable then m else d)
+            end
+          done;
+          !acc
+      | Some wrow ->
+          let acc = ref 0 in
+          for x = 0 to n - 1 do
+            if x <> u then begin
+              let w = wrow.(x) in
+              if w > 0 then begin
+                let rx = rv.(x) in
+                let d0 = src.(x) in
+                let d =
+                  if rx <> Paths.unreachable && luv + rx < d0 then luv + rx
+                  else d0
+                in
+                acc := !acc + (w * if d = Paths.unreachable then m else d)
+              end
+            end
+          done;
+          !acc)
+  | Objective.Max ->
+      let acc = ref 0 in
+      for x = 0 to n - 1 do
+        if x <> u then begin
+          let w = Instance.weight instance u x in
+          if w > 0 then begin
+            let rx = rv.(x) in
+            let d0 = src.(x) in
+            let d =
+              if rx <> Paths.unreachable && luv + rx < d0 then luv + rx else d0
+            in
+            let d = if d = Paths.unreachable then m else d in
+            if w * d > !acc then acc := w * d
+          end
+        end
+      done;
+      !acc
 
 (* Subsets explored across all enumerations; accumulated locally and
    published once per call so the DFS hot loop stays untouched. *)
@@ -67,31 +165,57 @@ let obs_enumerations = Bbc_obs.counter "best_response.enumerations"
    is called for every feasible subset (including the empty one); it
    returns [true] to abort the search early. *)
 let dfs_enumerate ~objective instance u ~rows ~on_subset =
+  let ws = Workspace.get () in
   let candidates = Array.of_list (candidate_targets instance u) in
+  let ncand = Array.length candidates in
+  let costs = Array.map (fun v -> Instance.cost instance u v) candidates in
+  (* Cheapest candidate among j..ncand-1: O(1) "is this subset a DFS
+     leaf?" checks below. *)
+  let min_cost_from = Array.make (ncand + 1) max_int in
+  for j = ncand - 1 downto 0 do
+    min_cost_from.(j) <- min costs.(j) min_cost_from.(j + 1)
+  done;
   let n = Instance.n instance in
-  let base = Array.make n Paths.unreachable in
-  base.(u) <- 0;
-  let eval cur = Eval.cost_of_distances ~objective instance u cur in
   let stop = ref false in
   let subsets = ref 1 in
-  if on_subset [] (eval base) then stop := true;
-  let rec dfs i chosen budget cur =
-    if not !stop then
-      for j = i to Array.length candidates - 1 do
-        if not !stop then begin
-          let v = candidates.(j) in
-          let c = Instance.cost instance u v in
-          if c <= budget then begin
-            let cur' = merge_row instance u cur (row rows) v in
-            let chosen' = v :: chosen in
-            incr subsets;
-            if on_subset chosen' (eval cur') then stop := true
-            else dfs (j + 1) chosen' (budget - c) cur'
-          end
-        end
-      done
-  in
-  dfs 0 [] (Instance.budget instance u) base;
+  let base = Workspace.acquire ws n in
+  base.(u) <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Workspace.release ws base;
+      release_rows ws rows)
+    (fun () ->
+      if on_subset [] (Eval.cost_of_distances ~objective instance u base) then
+        stop := true;
+      (* Every subset is costed by the one-pass [merged_cost]; the merged
+         row itself is materialized (into a pooled row borrowed for the
+         subtree) only when the DFS actually descends — i.e. when some
+         further candidate is still affordable.  Leaves, the bulk of the
+         enumeration, never touch a buffer. *)
+      let rec dfs i chosen budget cur =
+        if not !stop then
+          for j = i to ncand - 1 do
+            if not !stop then begin
+              let v = candidates.(j) in
+              let c = costs.(j) in
+              if c <= budget then begin
+                let rv = row rows v in
+                let luv = Instance.length instance u v in
+                let chosen' = v :: chosen in
+                incr subsets;
+                if on_subset chosen' (merged_cost ~objective instance u ~src:cur rv luv)
+                then stop := true
+                else if min_cost_from.(j + 1) <= budget - c then begin
+                  let cur' = Workspace.acquire ws n in
+                  merge_into ~src:cur ~dst:cur' rv luv;
+                  dfs (j + 1) chosen' (budget - c) cur';
+                  Workspace.release ws cur'
+                end
+              end
+            end
+          done
+      in
+      dfs 0 [] (Instance.budget instance u) base);
   Bbc_obs.incr obs_enumerations;
   Bbc_obs.add obs_subsets !subsets
 
@@ -164,31 +288,46 @@ let improving ?objective ?ctx instance config u =
   !found
 
 let greedy_rows ~objective instance u ~rows =
+  let ws = Workspace.get () in
   let n = Instance.n instance in
-  let base = Array.make n Paths.unreachable in
-  base.(u) <- 0;
   let eval cur = Eval.cost_of_distances ~objective instance u cur in
   (* The candidate list only depends on the instance — computed once,
      not rebuilt on every growth step. *)
   let candidates = candidate_targets instance u in
-  let rec grow chosen budget cur cost =
-    let best = ref None in
-    List.iter
-      (fun v ->
-        if (not (List.mem v chosen)) && Instance.cost instance u v <= budget then begin
-          let cur' = merge_row instance u cur (row rows) v in
-          let c = eval cur' in
-          match !best with
-          | Some (_, _, c') when c' <= c -> ()
-          | _ -> best := Some (v, cur', c)
-        end)
-      candidates;
-    match !best with
-    | Some (v, cur', c) when c < cost ->
-        grow (v :: chosen) (budget - Instance.cost instance u v) cur' c
-    | _ -> { strategy = List.sort compare chosen; cost }
-  in
-  grow [] (Instance.budget instance u) base (eval base)
+  let base = Workspace.acquire ws n in
+  base.(u) <- 0;
+  Fun.protect
+    ~finally:(fun () -> release_rows ws rows)
+    (fun () ->
+      (* [cur] is always a pooled row owned by this loop.  Candidate
+         trials are costed by the one-pass [merged_cost]; only the
+         winning link's merged row is ever materialized.  (Cached rows
+         outlive the whole enumeration, so holding the winner's [rv]
+         across the scan is safe.) *)
+      let rec grow chosen budget cur cost =
+        let best = ref None in
+        List.iter
+          (fun v ->
+            if (not (List.mem v chosen)) && Instance.cost instance u v <= budget then begin
+              let rv = row rows v in
+              let luv = Instance.length instance u v in
+              let c = merged_cost ~objective instance u ~src:cur rv luv in
+              match !best with
+              | Some (_, _, _, c') when c' <= c -> ()
+              | _ -> best := Some (v, luv, rv, c)
+            end)
+          candidates;
+        match !best with
+        | Some (v, luv, rv, c) when c < cost ->
+            let cur' = Workspace.acquire ws n in
+            merge_into ~src:cur ~dst:cur' rv luv;
+            Workspace.release ws cur;
+            grow (v :: chosen) (budget - Instance.cost instance u v) cur' c
+        | _ ->
+            Workspace.release ws cur;
+            { strategy = List.sort compare chosen; cost }
+      in
+      grow [] (Instance.budget instance u) base (eval base))
 
 let greedy ?(objective = Objective.Sum) ?ctx instance config u =
   match ctx with

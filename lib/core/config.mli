@@ -40,7 +40,36 @@ val to_graph : Instance.t -> t -> Bbc_graph.Digraph.t
 (** Realize the bought links as a digraph with lengths from the
     instance. *)
 
+val to_csr : ?skip:int -> Instance.t -> t -> Bbc_graph.Csr.t
+(** Realize the profile directly as a flat CSR snapshot — no
+    intermediate adjacency-list graph.  With [~skip:u], node [u]'s links
+    are left out: the best-response [G_{-u}] shape, built in one pass. *)
+
 val edge_count : t -> int
+
+(** {2 Trusted construction (hot paths)}
+
+    The exhaustive search enumerates millions of profiles; validating
+    and re-sorting each one ({!of_lists}) dominated its budget.  These
+    entry points let a caller that {e already} maintains the
+    representation invariant (every row sorted, duplicate-free, in
+    range, no self-links — e.g. rows produced by {!validated_strategy})
+    wrap or copy a profile without a per-profile pass. *)
+
+val validated_strategy : int -> int -> int list -> int array
+(** [validated_strategy n u targets] validates one strategy exactly as
+    {!of_lists} does and returns its canonical sorted array. *)
+
+val unsafe_of_arrays : int array array -> t
+(** Adopt the array as a profile {b without copying or validation}.
+    The caller promises every row satisfies the representation
+    invariant; the view aliases the array, so later in-place updates of
+    the array are visible through it (the exhaustive search exploits
+    exactly this for its reusable profile buffer). *)
+
+val snapshot : t -> t
+(** Deep copy (rows included) — detaches a profile obtained from
+    {!unsafe_of_arrays} from its underlying mutable buffer. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

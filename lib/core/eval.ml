@@ -1,20 +1,49 @@
 module Paths = Bbc_graph.Paths
 
+(* The representation and objective dispatch is hoisted out of the
+   per-node loop: this fold runs once per SSSP across every evaluation
+   path, and the generic [Objective.fold]-per-element version costs a
+   non-inlined call (plus a weight lookup dispatch) per node. *)
 let cost_of_distances ?(objective = Objective.Sum) instance u dist =
   let n = Instance.n instance in
   let m = Instance.penalty instance in
-  let acc = ref (Objective.identity objective) in
-  for v = 0 to n - 1 do
-    if v <> u then begin
-      let w = Instance.weight instance u v in
-      if w > 0 then begin
-        let d = dist.(v) in
-        let d = if d = Paths.unreachable then m else d in
-        acc := Objective.fold objective !acc (w * d)
-      end
-    end
-  done;
-  !acc
+  match objective with
+  | Objective.Sum -> (
+      match Instance.weight_row instance u with
+      | None ->
+          let acc = ref 0 in
+          for v = 0 to n - 1 do
+            if v <> u then begin
+              let d = dist.(v) in
+              acc := !acc + (if d = Paths.unreachable then m else d)
+            end
+          done;
+          !acc
+      | Some wrow ->
+          let acc = ref 0 in
+          for v = 0 to n - 1 do
+            if v <> u then begin
+              let w = wrow.(v) in
+              if w > 0 then begin
+                let d = dist.(v) in
+                acc := !acc + (w * if d = Paths.unreachable then m else d)
+              end
+            end
+          done;
+          !acc)
+  | Objective.Max ->
+      let acc = ref 0 in
+      for v = 0 to n - 1 do
+        if v <> u then begin
+          let w = Instance.weight instance u v in
+          if w > 0 then begin
+            let d = dist.(v) in
+            let d = if d = Paths.unreachable then m else d in
+            if w * d > !acc then acc := w * d
+          end
+        end
+      done;
+      !acc
 
 let node_cost ?objective ?graph instance config u =
   let g = match graph with Some g -> g | None -> Config.to_graph instance config in
@@ -28,24 +57,47 @@ let parallel_threshold = 64
    workers, exercising Bbc_obs's per-domain shards. *)
 let obs_sssp = Bbc_obs.counter "eval.sssp"
 
+(* One contiguous source range per domain: [chunk = ceil (n / jobs)],
+   so a domain's sweeps walk adjacent rows of the shared CSR snapshot
+   instead of interleaving with the other domains' ranges. *)
+let contiguous_chunk ~jobs n = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n
+
+(* Cost of one source under the shared CSR snapshot, allocation-free:
+   sweep into this domain's pooled row, fold the distances, then undo
+   the sweep with the O(visited) dirty-list reset. *)
+let csr_node_cost ?objective instance csr u =
+  let ws = Bbc_graph.Workspace.get () in
+  let scratch = Bbc_graph.Workspace.scratch ws in
+  let row = Bbc_graph.Workspace.acquire ws (Instance.n instance) in
+  Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
+  let c = cost_of_distances ?objective instance u row in
+  Bbc_graph.Csr.reset scratch row;
+  Bbc_graph.Workspace.release_clean ws row;
+  c
+
 let all_costs ?objective ?jobs instance config =
-  let g = Config.to_graph instance config in
   let n = Instance.n instance in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
   Bbc_obs.with_span "eval.all_costs"
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
-      (* Workers share the realized graph read-only; each SSSP allocates its
-         own distance array, so per-node evaluations are independent. *)
-      Bbc_parallel.parallel_init ~jobs n (fun u ->
+      (* Workers share one flat CSR snapshot read-only; all per-sweep
+         state (distance row, queue, heap) comes from the per-domain
+         workspace pool, so the fan-out no longer hammers the shared
+         minor heap with per-node distance arrays. *)
+      let csr = Config.to_csr instance config in
+      Bbc_parallel.parallel_init ~jobs ~chunk:(contiguous_chunk ~jobs n) n (fun u ->
           Bbc_obs.incr obs_sssp;
-          node_cost ?objective ~graph:g instance config u))
+          csr_node_cost ?objective instance csr u))
 
 let social_cost ?objective ?jobs instance config =
-  let g = Config.to_graph instance config in
   let n = Instance.n instance in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
   Bbc_obs.with_span "eval.social_cost"
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
-      Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:( + ) 0 n (fun u ->
+      let csr = Config.to_csr instance config in
+      Bbc_parallel.parallel_reduce ~jobs
+        ~chunk:(contiguous_chunk ~jobs n)
+        ~neutral:0 ~combine:( + ) 0 n
+        (fun u ->
           Bbc_obs.incr obs_sssp;
-          node_cost ?objective ~graph:g instance config u))
+          csr_node_cost ?objective instance csr u))

@@ -100,8 +100,14 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jo
   let n = Instance.n instance in
   let candidates = match candidates with Some c -> c | None -> default_candidates instance in
   if Array.length candidates <> n then invalid_arg "Exhaustive.search: candidates length mismatch";
+  (* Validate every candidate strategy once, up front.  The canonical
+     rows this produces satisfy the profile representation invariant, so
+     the enumeration below may assemble profiles out of them with
+     {!Config.unsafe_of_arrays} — no per-profile validation pass. *)
   let candidate_arrays =
-    Array.map (fun l -> Array.of_list (List.map Array.of_list l)) candidates
+    Array.mapi
+      (fun u l -> Array.of_list (List.map (Config.validated_strategy n u) l))
+      candidates
   in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:0 n in
   Bbc_obs.with_span "exhaustive.search"
@@ -126,11 +132,23 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jo
     done;
     !acc >= limit
   in
+  let use_incr = Incr.enabled () in
   let run_prefix p =
     if Atomic.get over_budget || limit_reached_before p then Bbc_obs.incr obs_pruned
     else begin
+      (* One mutable profile buffer per subtree, wrapped once as a
+         profile view: the DFS rebinds rows in place and the view tracks
+         it, so examining a profile allocates nothing.  Equilibria are
+         detached from the buffer with a deep {!Config.snapshot}. *)
       let profile = Array.make n [||] in
+      let view = Config.unsafe_of_arrays profile in
       decode_prefix candidate_arrays ~depth p profile;
+      (* One incremental context per subtree, created against the first
+         complete profile (deep-copied — [Incr.ensure] diffs against the
+         live view, so the context must not alias it).  Consecutive
+         profiles differ only in trailing suffix levels, so re-syncing
+         applies a handful of moves instead of rebuilding the mirror. *)
+      let ctx = lazy (Incr.create instance (Config.snapshot view)) in
       let equilibria = ref [] and mine = ref 0 and examined = ref 0 in
       let on_profile () =
         if Atomic.fetch_and_add examined_total 1 >= max_profiles then begin
@@ -139,9 +157,13 @@ let search ?objective ?candidates ?(limit = 1) ?(max_profiles = 100_000_000) ?jo
         end
         else begin
           incr examined;
-          let config = Config.of_lists n (Array.map Array.to_list profile) in
-          if Stability.is_stable ?objective instance config then begin
-            equilibria := config :: !equilibria;
+          let stable =
+            if use_incr then
+              Stability.is_stable ?objective ~ctx:(Lazy.force ctx) instance view
+            else Stability.is_stable ?objective ~incremental:false instance view
+          in
+          if stable then begin
+            equilibria := Config.snapshot view :: !equilibria;
             incr mine;
             Atomic.incr found.(p);
             Atomic.incr total_found

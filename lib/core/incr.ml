@@ -167,12 +167,20 @@ let singleton_cost ?(objective = Objective.Sum) ctx u v =
    full-graph SSSP: the unique walk from [v] survives exactly up to [u]
    (strictly increasing distances), so a distance is kept iff it does not
    exceed dist_v(u). *)
-let threshold_row ctx ~u ~v =
+let threshold_row_into ctx ~u ~v dst =
   unmasked_or_fail ctx "threshold_row";
   Bbc_obs.incr obs_threshold_rows;
   let dv = Incremental.distances (sssp ctx v) in
   let t = dv.(u) in
-  Array.map (fun d -> if d <= t then d else Paths.unreachable) dv
+  for i = 0 to Array.length dv - 1 do
+    let d = dv.(i) in
+    dst.(i) <- (if d <= t then d else Paths.unreachable)
+  done
+
+let threshold_row ctx ~u ~v =
+  let dst = Array.make (Instance.n ctx.instance) Paths.unreachable in
+  threshold_row_into ctx ~u ~v dst;
+  dst
 
 let mask ctx u =
   unmasked_or_fail ctx "mask";

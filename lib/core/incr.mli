@@ -72,6 +72,11 @@ val threshold_row : ctx -> u:int -> v:int -> int array
 (** [G_{-u}] distance row from [v], derived from the full-graph SSSP
     by the walk-cutoff rule; only valid when {!functional} holds. *)
 
+val threshold_row_into : ctx -> u:int -> v:int -> int array -> unit
+(** {!threshold_row} written into a caller-supplied buffer (length [n],
+    every entry overwritten) — the zero-allocation variant the
+    best-response enumeration feeds with {!Bbc_graph.Workspace} rows. *)
+
 val with_masked : ctx -> int -> (unit -> 'a) -> 'a
 (** [with_masked ctx u f] runs [f] with [u]'s out-edges removed from
     the mirror (materialized SSSPs delta-repaired, exact rollback on

@@ -60,6 +60,9 @@ let n t = t.size
 let weight t u v =
   match t.data with Uniform _ -> 1 | General g -> g.weight.(u).(v)
 
+let weight_row t u =
+  match t.data with Uniform _ -> None | General g -> Some g.weight.(u)
+
 let cost t u v = match t.data with Uniform _ -> 1 | General g -> g.cost.(u).(v)
 
 let length t u v =

@@ -38,7 +38,15 @@ val of_weights : ?penalty:int -> k:int -> int array array -> t
     explicit preference matrix. *)
 
 val n : t -> int
+
 val weight : t -> int -> int -> int
+
+val weight_row : t -> int -> int array option
+(** [Some] of node [u]'s preference row for explicit-matrix instances,
+    [None] for uniform ones (every weight is 1).  Lets evaluation hot
+    loops hoist the representation dispatch out of their per-node
+    iteration; treat the row as read-only. *)
+
 val cost : t -> int -> int -> int
 val length : t -> int -> int -> int
 val budget : t -> int -> int

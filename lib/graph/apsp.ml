@@ -16,11 +16,12 @@ let relax_row dist k i =
   end
 
 let obs_pivots = Bbc_obs.counter "apsp.pivots"
+let obs_sweeps = Bbc_obs.counter "apsp.sweeps"
 
-let compute ?jobs g =
+let floyd_warshall ?jobs g =
   let n = Digraph.n g in
   let jobs = match jobs with Some j -> max 1 j | None -> Bbc_parallel.default_jobs () in
-  Bbc_obs.with_span "apsp.compute"
+  Bbc_obs.with_span "apsp.floyd_warshall"
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
       let dist = Array.init n (fun _ -> Array.make n Paths.unreachable) in
       for v = 0 to n - 1 do
@@ -41,6 +42,26 @@ let compute ?jobs g =
         for k = 0 to n - 1 do
           Bbc_parallel.parallel_for ~jobs 0 n (fun i -> relax_row dist k i)
         done;
+      { dist })
+
+(* One CSR sweep per source: O(n (m + n)) on unit graphs instead of the
+   Floyd–Warshall O(n^3), and each sweep runs against this domain's
+   pooled workspace scratch, so the only allocation is the result matrix
+   itself.  Rows are independent, hence identical for every job count. *)
+let compute ?jobs g =
+  let n = Digraph.n g in
+  let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
+  Bbc_obs.with_span "apsp.compute"
+    ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
+      let csr = Csr.of_digraph g in
+      Bbc_obs.add obs_sweeps n;
+      let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
+      let dist =
+        Bbc_parallel.parallel_init ~jobs ~chunk n (fun src ->
+            let row = Array.make n Paths.unreachable in
+            Csr.sssp csr (Workspace.scratch (Workspace.get ())) ~src ~dist:row;
+            row)
+      in
       { dist })
 
 let distance t u v = t.dist.(u).(v)

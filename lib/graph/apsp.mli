@@ -1,18 +1,24 @@
-(** All-pairs shortest paths (Floyd–Warshall).
+(** All-pairs shortest paths.
 
-    O(n^3) regardless of density — slower than n single-source runs on
-    the sparse graphs this project mostly handles, but valuable as an
-    independent oracle: the test suite cross-checks {!Paths.dijkstra}
-    against it, and dense-instance callers (the fractional experiments)
-    can amortize one matrix across many queries. *)
+    {!compute} builds the matrix from one {!Csr} kernel sweep per source
+    — O(n (m + n)) on the sparse unit graphs this project mostly handles
+    — with all traversal state drawn from the per-domain {!Workspace}
+    pool, so the only allocation is the result matrix.  The classic
+    Floyd–Warshall is kept as {!floyd_warshall}: O(n^3) but structurally
+    independent of the SSSP kernels, which makes it the oracle the test
+    suite cross-checks {!compute}, {!Paths.dijkstra} and the CSR kernels
+    against. *)
 
 type t
 
 val compute : ?jobs:int -> Digraph.t -> t
-(** [jobs] (default {!Bbc_parallel.default_jobs}) fans the row updates of
-    each Floyd–Warshall pass over the domain pool; for a fixed pivot the
-    rows are independent, so the result is identical for every job
-    count.  Small matrices (n < 128) always run sequentially. *)
+(** One CSR sweep per source, fanned over the domain pool in contiguous
+    source ranges.  Rows are independent, so the result is identical for
+    every job count; small matrices (n < 128) run sequentially. *)
+
+val floyd_warshall : ?jobs:int -> Digraph.t -> t
+(** Floyd–Warshall oracle; same matrix as {!compute}.  [jobs] fans the
+    row updates of each pivot pass over the domain pool. *)
 
 val distance : t -> int -> int -> int
 (** [Paths.unreachable] when no path exists; 0 on the diagonal. *)

@@ -1,0 +1,156 @@
+let unreachable = max_int
+
+type t = {
+  n : int;
+  offsets : int array; (* length n + 1; row u = targets.(offsets.(u) .. offsets.(u+1) - 1) *)
+  targets : int array;
+  lengths : int array;
+  unit_lengths : bool;
+}
+
+let n t = t.n
+let edge_count t = t.offsets.(t.n)
+let unit_lengths t = t.unit_lengths
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+
+type builder = {
+  b_n : int;
+  b_offsets : int array;
+  mutable b_targets : int array;
+  mutable b_lengths : int array;
+  mutable b_cur : int; (* current source row *)
+  mutable b_pos : int; (* next free edge slot *)
+  mutable b_unit : bool;
+}
+
+let builder ~n ~m =
+  if n < 0 then invalid_arg "Csr.builder: negative size";
+  if m < 0 then invalid_arg "Csr.builder: negative edge count";
+  {
+    b_n = n;
+    b_offsets = Array.make (n + 1) 0;
+    b_targets = Array.make (max m 1) 0;
+    b_lengths = Array.make (max m 1) 0;
+    b_cur = 0;
+    b_pos = 0;
+    b_unit = true;
+  }
+
+let add b u v len =
+  if u < b.b_cur then invalid_arg "Csr.add: sources must be non-decreasing";
+  if u >= b.b_n || v < 0 || v >= b.b_n then invalid_arg "Csr.add: vertex out of range";
+  if b.b_pos >= Array.length b.b_targets then invalid_arg "Csr.add: more edges than declared";
+  while b.b_cur < u do
+    b.b_cur <- b.b_cur + 1;
+    b.b_offsets.(b.b_cur) <- b.b_pos
+  done;
+  b.b_targets.(b.b_pos) <- v;
+  b.b_lengths.(b.b_pos) <- len;
+  b.b_pos <- b.b_pos + 1;
+  if len <> 1 then b.b_unit <- false
+
+let finish b =
+  while b.b_cur < b.b_n do
+    b.b_cur <- b.b_cur + 1;
+    b.b_offsets.(b.b_cur) <- b.b_pos
+  done;
+  let targets, lengths =
+    if b.b_pos = Array.length b.b_targets then (b.b_targets, b.b_lengths)
+    else (Array.sub b.b_targets 0 b.b_pos, Array.sub b.b_lengths 0 b.b_pos)
+  in
+  { n = b.b_n; offsets = b.b_offsets; targets; lengths; unit_lengths = b.b_unit }
+
+let of_digraph ?skip g =
+  let n = Digraph.n g in
+  let sk = match skip with Some u -> u | None -> -1 in
+  let skipped = if sk >= 0 then Digraph.out_degree g sk else 0 in
+  let b = builder ~n ~m:(Digraph.edge_count g - skipped) in
+  for u = 0 to n - 1 do
+    if u <> sk then Digraph.iter_out g u (fun v len -> add b u v len)
+  done;
+  finish b
+
+(* ------------------------------------------------------------------ *)
+(* Kernels.                                                            *)
+
+type scratch = {
+  mutable queue : int array; (* BFS ring buffer; capacity >= n *)
+  heap : Binary_heap.t;
+  mutable touched : int array; (* vertices written by the last sweep *)
+  mutable ntouched : int;
+}
+
+let create_scratch () =
+  { queue = [||]; heap = Binary_heap.create ~capacity:16 (); touched = [||]; ntouched = 0 }
+
+let ensure s n =
+  if Array.length s.queue < n then begin
+    s.queue <- Array.make n 0;
+    s.touched <- Array.make n 0
+  end;
+  s.ntouched <- 0
+
+let touch s v =
+  s.touched.(s.ntouched) <- v;
+  s.ntouched <- s.ntouched + 1
+
+let reset s dist =
+  for i = 0 to s.ntouched - 1 do
+    dist.(s.touched.(i)) <- unreachable
+  done;
+  s.ntouched <- 0
+
+let bfs t s ~src ~dist =
+  ensure s t.n;
+  let queue = s.queue in
+  let cap = Array.length queue in
+  let offsets = t.offsets and targets = t.targets in
+  dist.(src) <- 0;
+  touch s src;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head <> !tail do
+    let u = queue.(!head) in
+    head := (!head + 1) mod cap;
+    let du = dist.(u) + 1 in
+    for e = offsets.(u) to offsets.(u + 1) - 1 do
+      let v = targets.(e) in
+      if dist.(v) = unreachable then begin
+        dist.(v) <- du;
+        touch s v;
+        queue.(!tail) <- v;
+        tail := (!tail + 1) mod cap
+      end
+    done
+  done
+
+let dijkstra t s ~src ~dist =
+  ensure s t.n;
+  let heap = s.heap in
+  Binary_heap.clear heap;
+  let offsets = t.offsets and targets = t.targets and lengths = t.lengths in
+  dist.(src) <- 0;
+  touch s src;
+  Binary_heap.push heap 0 src;
+  let continue = ref true in
+  while !continue do
+    match Binary_heap.pop heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        (* Lazy deletion: skip entries that were superseded. *)
+        if d = dist.(u) then
+          for e = offsets.(u) to offsets.(u + 1) - 1 do
+            let v = targets.(e) in
+            let nd = d + lengths.(e) in
+            if nd < dist.(v) then begin
+              if dist.(v) = unreachable then touch s v;
+              dist.(v) <- nd;
+              Binary_heap.push heap nd v
+            end
+          done
+  done
+
+let sssp t s ~src ~dist =
+  if t.unit_lengths then bfs t s ~src ~dist else dijkstra t s ~src ~dist

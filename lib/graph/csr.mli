@@ -1,0 +1,87 @@
+(** Immutable flat CSR (compressed sparse row) snapshots of a digraph,
+    with allocation-free shortest-path kernels.
+
+    A snapshot packs the adjacency structure into three flat [int]
+    arrays — row offsets, edge targets, edge lengths — so a sweep walks
+    contiguous memory instead of chasing list cells.  Snapshots are
+    immutable: build one per realized graph (or per [G_{-u}]), run any
+    number of sweeps against it, from any number of domains.
+
+    The kernels ({!bfs}, {!dijkstra}, {!sssp}) write distances into a
+    {b caller-supplied} buffer and keep all traversal state (BFS ring
+    queue, Dijkstra heap, touched-vertex dirty list) in a reusable
+    {!scratch}, so a sweep allocates nothing once the scratch has grown
+    to the graph's size.  The dirty list makes clearing a distance
+    buffer between sweeps cost O(visited), not O(n) ({!reset}).
+
+    {b Contract.}  A distance buffer handed to a kernel must be
+    {e clean}: every entry equal to {!unreachable}.  After the sweep,
+    entries of visited vertices hold distances and the scratch's dirty
+    list records exactly which entries were written; {!reset} restores
+    the buffer to clean using that list.  The dirty list describes only
+    the {e most recent} sweep through that scratch — reusing one scratch
+    for several live buffers is fine, but only the last one can be reset
+    through it (clear the others with [Array.fill _ 0 n unreachable], or
+    let {!Workspace} do it on release).
+
+    Scratches are single-domain state; {!Workspace} hands out one per
+    domain. *)
+
+type t
+
+val unreachable : int
+(** Sentinel distance ([max_int]), same value as [Paths.unreachable]. *)
+
+val n : t -> int
+val edge_count : t -> int
+
+val unit_lengths : t -> bool
+(** Whether every edge has length 1 (recorded at build time; {!sssp}
+    dispatches BFS vs Dijkstra on it). *)
+
+val of_digraph : ?skip:int -> Digraph.t -> t
+(** Snapshot of [g]; with [~skip:u], the out-edges of [u] are left out
+    (the best-response [G_{-u}] shape) — [u] keeps its vertex slot with
+    an empty row. *)
+
+(** {1 Direct construction}
+
+    For callers that can enumerate edges grouped by source in ascending
+    order (e.g. a strategy profile), building the snapshot directly
+    skips the intermediate adjacency-list graph. *)
+
+type builder
+
+val builder : n:int -> m:int -> builder
+(** A builder for a graph on [n] vertices with at most [m] edges. *)
+
+val add : builder -> int -> int -> int -> unit
+(** [add b u v len] appends the edge [u -> v].  Sources must arrive in
+    non-decreasing order; raises [Invalid_argument] otherwise. *)
+
+val finish : builder -> t
+(** Seal the builder.  The builder must not be reused. *)
+
+(** {1 Kernels} *)
+
+type scratch
+
+val create_scratch : unit -> scratch
+(** An empty scratch; grows on first use to the graph's size and is
+    reused (allocation-free) afterwards. *)
+
+val bfs : t -> scratch -> src:int -> dist:int array -> unit
+(** Hop-count distances from [src] into [dist] (must be clean, length
+    [n]).  Edge lengths are ignored — exact for unit-length graphs. *)
+
+val dijkstra : t -> scratch -> src:int -> dist:int array -> unit
+(** Length-weighted distances from [src] into [dist] (must be clean). *)
+
+val sssp : t -> scratch -> src:int -> dist:int array -> unit
+(** {!bfs} when {!unit_lengths}, {!dijkstra} otherwise — the CSR
+    counterpart of [Paths.shortest]. *)
+
+val reset : scratch -> int array -> unit
+(** Restore a distance buffer to all-{!unreachable} by clearing exactly
+    the entries the {e most recent} sweep through this scratch wrote:
+    O(visited), not O(n). *)

@@ -26,32 +26,34 @@ let add_edge g u v len =
   check_vertex g v "add_edge";
   if u = v then invalid_arg "Digraph.add_edge: self-loop";
   if len < 0 then invalid_arg "Digraph.add_edge: negative length";
-  let rec replace = function
-    | [] -> None
-    | (v', old_len) :: rest when v' = v -> Some (old_len, (v, len) :: rest)
-    | e :: rest -> (
-        match replace rest with
-        | None -> None
-        | Some (old_len, rest') -> Some (old_len, e :: rest'))
+  (* Single tail-recursive pass: find the edge to replace (rebuilding
+     only the scanned prefix) or learn it is absent and prepend. *)
+  let rec replace prefix = function
+    | [] ->
+        g.adj.(u) <- (v, len) :: g.adj.(u);
+        g.edges <- g.edges + 1;
+        g.non_unit <- g.non_unit + count_non_unit len
+    | (v', old_len) :: rest when v' = v ->
+        g.adj.(u) <- List.rev_append prefix ((v, len) :: rest);
+        g.non_unit <- g.non_unit - count_non_unit old_len + count_non_unit len
+    | e :: rest -> replace (e :: prefix) rest
   in
-  match replace g.adj.(u) with
-  | Some (old_len, adj') ->
-      g.adj.(u) <- adj';
-      g.non_unit <- g.non_unit - count_non_unit old_len + count_non_unit len
-  | None ->
-      g.adj.(u) <- (v, len) :: g.adj.(u);
-      g.edges <- g.edges + 1;
-      g.non_unit <- g.non_unit + count_non_unit len
+  replace [] g.adj.(u)
 
 let remove_edge g u v =
   check_vertex g u "remove_edge";
   check_vertex g v "remove_edge";
-  match List.assoc_opt v g.adj.(u) with
-  | None -> ()
-  | Some len ->
-      g.adj.(u) <- List.filter (fun (v', _) -> v' <> v) g.adj.(u);
-      g.edges <- g.edges - 1;
-      g.non_unit <- g.non_unit - count_non_unit len
+  (* Single tail-recursive pass; an absent edge leaves the list intact
+     (no rebuild). *)
+  let rec remove prefix = function
+    | [] -> ()
+    | (v', len) :: rest when v' = v ->
+        g.adj.(u) <- List.rev_append prefix rest;
+        g.edges <- g.edges - 1;
+        g.non_unit <- g.non_unit - count_non_unit len
+    | e :: rest -> remove (e :: prefix) rest
+  in
+  remove [] g.adj.(u)
 
 let remove_out_edges g u =
   check_vertex g u "remove_out_edges";

@@ -42,7 +42,21 @@ let dijkstra g src =
 
 let all_unit_lengths = Digraph.all_unit_lengths
 
-let shortest g src = if all_unit_lengths g then bfs g src else dijkstra g src
+let shortest_csr csr src =
+  let ws = Workspace.get () in
+  let dist = Array.make (Csr.n csr) unreachable in
+  Csr.sssp csr (Workspace.scratch ws) ~src ~dist;
+  dist
+
+(* Below this vertex count the one-shot CSR conversion costs about as
+   much as it saves; repeated-sweep callers (best response, APSP, eval)
+   hold a [Csr.t] directly instead of paying the conversion per query. *)
+let csr_threshold = 256
+
+let shortest g src =
+  if Digraph.n g >= csr_threshold then shortest_csr (Csr.of_digraph g) src
+  else if all_unit_lengths g then bfs g src
+  else dijkstra g src
 
 let distance g u v = (shortest g u).(v)
 

@@ -18,7 +18,16 @@ val dijkstra : Digraph.t -> int -> int array
 
 val shortest : Digraph.t -> int -> int array
 (** [shortest g src] dispatches to {!bfs} when every edge of [g] has length
-    1, to {!dijkstra} otherwise. *)
+    1, to {!dijkstra} otherwise.  Large graphs take a CSR fast path: one
+    {!Csr.of_digraph} snapshot, then a flat-array sweep through this
+    domain's pooled {!Workspace} scratch.  Distances are identical on
+    every path. *)
+
+val shortest_csr : Csr.t -> int -> int array
+(** [shortest_csr csr src] is a fresh distance row computed by the CSR
+    kernel ({!Csr.sssp}) with this domain's pooled scratch.  Callers
+    running many sweeps over one graph should prefer this (build the
+    snapshot once) over repeated {!shortest} calls. *)
 
 val all_unit_lengths : Digraph.t -> bool
 (** Whether every edge of the graph has length 1.  O(1): the graph keeps

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Regression gate on the flat-CSR kernels and pooled workspaces
+# (DESIGN.md section 11).  Two checks against a bench --json report:
+#
+#   1. Every entry of the "kernels" section must report
+#      results_match = true — the CSR sweep, the CSR APSP, and the
+#      pooled best-response enumeration are bit-identical to their
+#      list-graph references.
+#   2. The evaluation hot path must hold its speedup over the recorded
+#      pre-CSR baseline (BENCH_1.json): micro ns_per_run of
+#      "best_response/exact (n=40,k=2)" at least KERNELS_BR_FLOOR
+#      (default 2) times faster, and "dynamics/one round (n=40,k=2)" at
+#      least KERNELS_DYN_FLOOR (default 1.5) times faster.  Raise or
+#      lower the floors by env var when a runner generation proves
+#      slower or noisier than the machine that wrote the baseline.
+#
+# Usage: scripts/check_kernels.sh bench/results/BENCH_smoke.json [BASELINE.json]
+set -eu
+
+json=${1:?usage: check_kernels.sh BENCH.json [BASELINE.json]}
+baseline=${2:-BENCH_1.json}
+br_floor=${KERNELS_BR_FLOOR:-2}
+dyn_floor=${KERNELS_DYN_FLOOR:-1.5}
+
+[ -f "$json" ] || { echo "check_kernels: $json not found" >&2; exit 1; }
+[ -f "$baseline" ] || { echo "check_kernels: baseline $baseline not found" >&2; exit 1; }
+
+# --- 1. differential bits on the kernels section -----------------------
+awk '
+  /"kernels"/ && /\[/ { section = 1; next }
+  section && /\]/ { section = 0 }
+  section && /"results_match"/ {
+    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    sp = $0; sub(/.*"speedup": /, "", sp); sub(/[,}].*/, "", sp)
+    match_ok = ($0 ~ /"results_match": true/)
+    printf "  %-44s %8.2fx  %s\n", name, sp, match_ok ? "match" : "MISMATCH"
+    checked++
+    if (!match_ok) { bad++ }
+  }
+  END {
+    if (checked == 0) { print "check_kernels: no kernels entries found" > "/dev/stderr"; exit 1 }
+    if (bad > 0) { exit 1 }
+  }
+' "$json"
+
+# --- 2. hot-path floors vs the recorded baseline -----------------------
+micro_ns() {
+  awk -v want="$2" '
+    /"micro"/ && /\[/ { section = 1; next }
+    section && /\]/ { section = 0 }
+    section && /"ns_per_run"/ {
+      name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      if (name == want) {
+        ns = $0; sub(/.*"ns_per_run": /, "", ns); sub(/[,}].*/, "", ns)
+        print ns
+        exit
+      }
+    }
+  ' "$1"
+}
+
+gate() {
+  bench_name=$1; floor=$2
+  base=$(micro_ns "$baseline" "$bench_name")
+  cur=$(micro_ns "$json" "$bench_name")
+  [ -n "$base" ] || { echo "check_kernels: $bench_name missing from $baseline" >&2; exit 1; }
+  [ -n "$cur" ] || { echo "check_kernels: $bench_name missing from $json" >&2; exit 1; }
+  awk -v base="$base" -v cur="$cur" -v floor="$floor" -v name="$bench_name" '
+    BEGIN {
+      sp = base / cur
+      printf "  %-44s %8.2fx vs baseline (floor %sx)\n", name, sp, floor
+      if (sp + 0 < floor + 0) {
+        printf "check_kernels: %s below %sx floor (%.1f -> %.1f ns)\n", name, floor, base, cur > "/dev/stderr"
+        exit 1
+      }
+    }
+  '
+}
+
+gate "best_response/exact (n=40,k=2)" "$br_floor"
+gate "dynamics/one round (n=40,k=2)" "$dyn_floor"
+
+echo "check_kernels: ok"

@@ -7,6 +7,7 @@ let () =
       ("digraph", Test_digraph.suite);
       ("heap", Test_heap.suite);
       ("paths", Test_paths.suite);
+      ("csr", Test_csr.suite);
       ("scc", Test_scc.suite);
       ("traversal", Test_traversal.suite);
       ("graph-metrics", Test_graph_metrics.suite);

@@ -1,0 +1,201 @@
+module D = Bbc_graph.Digraph
+module P = Bbc_graph.Paths
+module Csr = Bbc_graph.Csr
+module W = Bbc_graph.Workspace
+module G = Bbc_graph.Generators
+module SM = Bbc_prng.Splitmix
+
+(* Random digraph with arbitrary lengths (including 0) and isolated
+   vertices — the shapes the kernels must agree with the list-graph
+   reference on. *)
+let random_weighted rng ~n ~max_len =
+  let g = D.create n in
+  for u = 0 to n - 1 do
+    if SM.int rng 4 > 0 then begin
+      let deg = 1 + SM.int rng 3 in
+      for _ = 1 to deg do
+        let v = SM.int rng n in
+        if v <> u then D.add_edge g u v (SM.int rng (max_len + 1))
+      done
+    end
+  done;
+  g
+
+let fresh_sweep csr src =
+  let dist = Array.make (Csr.n csr) Csr.unreachable in
+  Csr.sssp csr (Csr.create_scratch ()) ~src ~dist;
+  dist
+
+let test_bfs_matches_reference () =
+  let rng = SM.create 2024 in
+  for _ = 1 to 30 do
+    let n = 5 + SM.int rng 40 in
+    let g = G.random_k_out rng ~n ~k:(1 + SM.int rng 3) in
+    let csr = Csr.of_digraph g in
+    Alcotest.(check bool) "unit graph detected" true (Csr.unit_lengths csr);
+    let src = SM.int rng n in
+    Alcotest.(check (array int)) "bfs = Paths.bfs" (P.bfs g src) (fresh_sweep csr src)
+  done
+
+let test_dijkstra_matches_reference () =
+  let rng = SM.create 7777 in
+  for _ = 1 to 30 do
+    let n = 2 + SM.int rng 40 in
+    let g = random_weighted rng ~n ~max_len:4 in
+    let csr = Csr.of_digraph g in
+    let src = SM.int rng n in
+    let dist = Array.make n Csr.unreachable in
+    Csr.dijkstra csr (Csr.create_scratch ()) ~src ~dist;
+    Alcotest.(check (array int)) "dijkstra = Paths.dijkstra" (P.dijkstra g src) dist
+  done
+
+let test_sssp_dispatch_zero_lengths () =
+  (* Zero-length edges force the Dijkstra path even though BFS-shaped. *)
+  let g = D.of_edges 4 [ (0, 1, 0); (1, 2, 0); (2, 3, 2) ] in
+  let csr = Csr.of_digraph g in
+  Alcotest.(check bool) "not unit" false (Csr.unit_lengths csr);
+  Alcotest.(check (array int)) "sssp" [| 0; 0; 0; 2 |] (fresh_sweep csr 0)
+
+let test_disconnected () =
+  let g = D.create 5 in
+  D.add_edge g 0 1 1;
+  let csr = Csr.of_digraph g in
+  let d = fresh_sweep csr 0 in
+  Alcotest.(check int) "reached" 1 d.(1);
+  Alcotest.(check int) "isolated" Csr.unreachable d.(3)
+
+let test_skip_matches_removed () =
+  let rng = SM.create 31 in
+  for _ = 1 to 20 do
+    let n = 3 + SM.int rng 20 in
+    let g = random_weighted rng ~n ~max_len:3 in
+    let u = SM.int rng n in
+    let src = SM.int rng n in
+    let pruned = D.copy g in
+    List.iter (fun (v, _) -> D.remove_edge pruned u v) (D.out_edges g u);
+    Alcotest.(check (array int))
+      "of_digraph ~skip = sweep of pruned graph"
+      (fresh_sweep (Csr.of_digraph pruned) src)
+      (fresh_sweep (Csr.of_digraph ~skip:u g) src)
+  done
+
+let test_builder_matches_of_digraph () =
+  let rng = SM.create 404 in
+  for _ = 1 to 20 do
+    let n = 2 + SM.int rng 25 in
+    let g = random_weighted rng ~n ~max_len:3 in
+    let m = List.length (D.edges g) in
+    (* Overestimate capacity on purpose: [finish] must shrink. *)
+    let b = Csr.builder ~n ~m:(m + 5) in
+    for u = 0 to n - 1 do
+      List.iter (fun (v, len) -> Csr.add b u v len) (D.out_edges g u)
+    done;
+    let built = Csr.finish b in
+    Alcotest.(check int) "edge count" m (Csr.edge_count built);
+    let src = SM.int rng n in
+    Alcotest.(check (array int))
+      "same distances" (fresh_sweep (Csr.of_digraph g) src) (fresh_sweep built src)
+  done
+
+let test_builder_rejects_unsorted () =
+  let b = Csr.builder ~n:3 ~m:2 in
+  Csr.add b 1 0 1;
+  Alcotest.check_raises "descending source" (Invalid_argument "Csr.add: sources must be non-decreasing")
+    (fun () -> Csr.add b 0 1 1)
+
+let test_buffer_reuse_with_reset () =
+  (* One scratch + one buffer across every source of many graphs: after
+     [reset] the buffer must behave exactly like a fresh allocation. *)
+  let rng = SM.create 555 in
+  let scratch = Csr.create_scratch () in
+  let buf = ref [||] in
+  for _ = 1 to 10 do
+    let n = 2 + SM.int rng 30 in
+    let g = random_weighted rng ~n ~max_len:4 in
+    let csr = Csr.of_digraph g in
+    if Array.length !buf < n then buf := Array.make n Csr.unreachable;
+    for src = 0 to n - 1 do
+      Csr.sssp csr scratch ~src ~dist:!buf;
+      let expect = P.shortest g src in
+      for v = 0 to n - 1 do
+        if !buf.(v) <> expect.(v) then
+          Alcotest.failf "reused buffer diverges at src=%d v=%d" src v
+      done;
+      Csr.reset scratch !buf
+    done;
+    Array.iteri
+      (fun i d ->
+        if d <> Csr.unreachable then Alcotest.failf "reset left entry %d dirty" i)
+      !buf
+  done
+
+let test_apsp_matches_floyd_warshall () =
+  let rng = SM.create 97 in
+  for _ = 1 to 10 do
+    let n = 2 + SM.int rng 25 in
+    let g = random_weighted rng ~n ~max_len:3 in
+    let sweep = Bbc_graph.Apsp.matrix (Bbc_graph.Apsp.compute g) in
+    let oracle = Bbc_graph.Apsp.matrix (Bbc_graph.Apsp.floyd_warshall g) in
+    Array.iteri
+      (fun i row -> Alcotest.(check (array int)) (Printf.sprintf "row %d" i) oracle.(i) row)
+      sweep
+  done
+
+let test_shortest_csr_fast_path () =
+  (* Above the dispatch threshold, [Paths.shortest] goes through the CSR
+     kernels; the answers must not change. *)
+  let rng = SM.create 12 in
+  let n = 300 in
+  let g = G.random_k_out rng ~n ~k:2 in
+  let src = 17 in
+  Alcotest.(check (array int)) "fast path = bfs" (P.bfs g src) (P.shortest g src);
+  Alcotest.(check (array int)) "explicit csr entry" (P.bfs g src) (P.shortest_csr (Csr.of_digraph g) src)
+
+let test_workspace_rows_clean () =
+  let ws = W.get () in
+  let r1 = W.acquire ws 16 in
+  Array.iteri
+    (fun i d -> if d <> Csr.unreachable then Alcotest.failf "fresh row dirty at %d" i)
+    r1;
+  r1.(3) <- 42;
+  W.release ws r1;
+  let r2 = W.acquire ws 16 in
+  Alcotest.(check int) "recycled row is clean" Csr.unreachable r2.(3);
+  W.release ws r2;
+  Alcotest.(check bool) "pool retains rows" true (W.pooled ws >= 1)
+
+let test_pooled_best_response_jobs_invariant () =
+  (* Pooled rows + per-domain workspaces: the parallel from-scratch
+     stability scan (which runs pooled Best_response enumerations on
+     every domain) must agree with the sequential one, and repeated
+     Eval fan-outs must agree across job counts. *)
+  let rng = SM.create 808 in
+  for _ = 1 to 8 do
+    let n = 12 in
+    let inst = Bbc.Instance.uniform ~n ~k:2 in
+    let c = Bbc.Config.of_graph (G.random_k_out rng ~n ~k:2) in
+    let seq = Bbc.Stability.is_stable ~jobs:1 ~incremental:false inst c in
+    let par = Bbc.Stability.is_stable ~jobs:4 ~incremental:false inst c in
+    Alcotest.(check bool) "stability verdict jobs-invariant" seq par;
+    Alcotest.(check (array int))
+      "all_costs jobs-invariant"
+      (Bbc.Eval.all_costs ~jobs:1 inst c)
+      (Bbc.Eval.all_costs ~jobs:4 inst c)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "bfs matches reference" `Quick test_bfs_matches_reference;
+    Alcotest.test_case "dijkstra matches reference" `Quick test_dijkstra_matches_reference;
+    Alcotest.test_case "zero lengths dispatch" `Quick test_sssp_dispatch_zero_lengths;
+    Alcotest.test_case "disconnected graphs" `Quick test_disconnected;
+    Alcotest.test_case "skip = removed out-edges" `Quick test_skip_matches_removed;
+    Alcotest.test_case "builder matches of_digraph" `Quick test_builder_matches_of_digraph;
+    Alcotest.test_case "builder rejects unsorted" `Quick test_builder_rejects_unsorted;
+    Alcotest.test_case "buffer reuse with reset" `Quick test_buffer_reuse_with_reset;
+    Alcotest.test_case "apsp matches floyd-warshall" `Quick test_apsp_matches_floyd_warshall;
+    Alcotest.test_case "shortest csr fast path" `Quick test_shortest_csr_fast_path;
+    Alcotest.test_case "workspace rows stay clean" `Quick test_workspace_rows_clean;
+    Alcotest.test_case "pooled best response jobs-invariant" `Quick
+      test_pooled_best_response_jobs_invariant;
+  ]
