@@ -16,6 +16,7 @@ check:
 	  > bench/results/bench_smoke.log 2>&1 && \
 	grep -q '"obs_overhead"' bench/results/BENCH_smoke.json && \
 	grep -q '"incremental"' bench/results/BENCH_smoke.json && \
+	grep -q '"bigbench"' bench/results/BENCH_smoke.json && \
 	grep -q '"server"' bench/results/BENCH_smoke.json && \
 	echo "check: ok (smoke bench in bench/results/)" || \
 	{ cat bench/results/bench_smoke.log; exit 1; }
@@ -25,12 +26,14 @@ check:
 # observability overhead within budget, incremental engine faster than
 # the oracle and bit-identical to it, CSR kernels bit-identical to the
 # list-graph references and the hot path holding its floors over the
-# BENCH_1 baseline — and the serving-layer soak (10k concurrent
-# requests, zero protocol errors, graceful drain).
+# BENCH_1 baseline, the large-n engine's equivalence bits and ns/node
+# ceiling — and the serving-layer soak (10k concurrent requests, zero
+# protocol errors, graceful drain).
 ci: check
 	scripts/check_obs_overhead.sh bench/results/BENCH_smoke.json
 	scripts/check_incremental.sh bench/results/BENCH_smoke.json
 	scripts/check_kernels.sh bench/results/BENCH_smoke.json
+	scripts/check_bigbench.sh bench/results/BENCH_smoke.json
 	scripts/check_server.sh
 
 build:

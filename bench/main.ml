@@ -478,21 +478,25 @@ type overhead = {
 }
 
 (* Uninstrumented [Eval.all_costs]: same CSR snapshot, pooled rows and
-   contiguous chunking — no span, no counter. *)
+   chunk-range fan-out (one row acquire per chunk, as the library does)
+   — no span, no counter. *)
 let plain_all_costs inst config =
   let n = Bbc.Instance.n inst in
   let jobs = Bbc_parallel.jobs_for ~threshold:64 n in
   let csr = Bbc.Config.to_csr inst config in
   let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
-  Bbc_parallel.parallel_init ~jobs ~chunk n (fun u ->
+  let costs = Array.make n 0 in
+  Bbc_parallel.parallel_for_chunks ~jobs ~chunk 0 n (fun lo hi ->
       let ws = Bbc_graph.Workspace.get () in
       let scratch = Bbc_graph.Workspace.scratch ws in
       let row = Bbc_graph.Workspace.acquire ws n in
-      Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
-      let c = Bbc.Eval.cost_of_distances inst u row in
-      Bbc_graph.Csr.reset scratch row;
-      Bbc_graph.Workspace.release_clean ws row;
-      c)
+      for u = lo to hi - 1 do
+        Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
+        costs.(u) <- Bbc.Eval.cost_of_distances inst u row;
+        Bbc_graph.Csr.reset scratch row
+      done;
+      Bbc_graph.Workspace.release_clean ws row);
+  costs
 
 (* Uninstrumented [Apsp.compute] (same CSR sweeps and chunking). *)
 let plain_apsp g =
@@ -513,6 +517,10 @@ let plain_apsp g =
    where best-of-N on each side independently is not. *)
 let time_pair ~reps base inst =
   let time f =
+    (* Settle the heap first: otherwise a major slice triggered by the
+       previous runner's garbage lands inside this runner's window, and
+       the GC debt shows up as phantom overhead on whoever runs second. *)
+    Gc.full_major ();
     let t0 = Unix.gettimeofday () in
     ignore (Sys.opaque_identity (f ()));
     Unix.gettimeofday () -. t0
@@ -577,6 +585,133 @@ let print_overheads overheads =
       Format.fprintf fmt "  %-44s base %8.4fs  instrumented %8.4fs  overhead %+5.1f%%@."
         o.ov_name o.base_s o.inst_s (100.0 *. ((o.inst_s /. o.base_s) -. 1.0)))
     overheads;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Large-n engine: the streaming CSR builders and the landmark
+   social-cost estimator.  Two sub-sections: small-n equivalence bits
+   (streaming builder bit-identical to the Digraph route; estimator
+   exact at a full sample) and scale rows (build ns/node, allocated
+   words/node, landmark-sweep time and the estimate itself) up to
+   n = 10^5.  scripts/check_bigbench.sh gates on both. *)
+
+type bigbench_equiv = {
+  be_family : string;
+  be_streaming_matches : bool;  (** streaming CSR = of_digraph CSR, bit for bit *)
+  be_estimator_exact : bool;  (** L = n estimate equals [Eval.social_cost] *)
+}
+
+type bigbench_row = {
+  bb_family : string;
+  bb_n : int;
+  bb_k : int;
+  bb_landmarks : int;
+  bb_build_s : float;
+  bb_build_ns_per_node : float;
+  bb_words_per_node : float;  (** words allocated per node during the build *)
+  bb_sweep_s : float;
+  bb_value : float;
+  bb_bound : float;
+  bb_exact : bool;
+  bb_completed : bool;
+}
+
+let bigbench_equivalence () =
+  List.map
+    (fun name ->
+      let n = 60 and k = 2 and seed = 3 in
+      let fam = Option.get (Bbc.Gen_instance.family_of_name name) in
+      let inst, csr = Bbc.Gen_instance.streaming fam ~n ~k ~seed in
+      let rcsr = Bbc.Gen_instance.streaming_reference_csr fam ~n ~k ~seed in
+      let rinst, config = Bbc.Gen_instance.streaming_reference fam ~n ~k ~seed in
+      let exact = Bbc.Eval.social_cost rinst config in
+      let e =
+        Bbc.Approx.social_cost ~landmarks:(Bbc.Instance.n inst) ~seed:1 inst csr
+      in
+      {
+        be_family = name;
+        be_streaming_matches =
+          Bbc_graph.Csr.equal csr rcsr
+          && Bbc_graph.Csr.equal csr (Bbc.Config.to_csr rinst config);
+        be_estimator_exact =
+          e.Bbc.Approx.exact && e.Bbc.Approx.value = float_of_int exact;
+      })
+    Bbc.Catalog.streaming_names
+
+let bigbench_scale_rows () =
+  let row (family, n, k, landmarks) =
+    let fam = Option.get (Bbc.Gen_instance.family_of_name family) in
+    match
+      Gc.full_major ();
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      let inst, csr = Bbc.Gen_instance.streaming fam ~n ~k ~seed:1 in
+      let t1 = Unix.gettimeofday () in
+      let a1 = Gc.allocated_bytes () in
+      let t2 = Unix.gettimeofday () in
+      let e = Bbc.Approx.social_cost ~landmarks ~seed:1 inst csr in
+      let t3 = Unix.gettimeofday () in
+      (t1 -. t0, (a1 -. a0) /. 8.0, t3 -. t2, e)
+    with
+    | build_s, words, sweep_s, e ->
+        {
+          bb_family = family;
+          bb_n = n;
+          bb_k = k;
+          bb_landmarks = e.Bbc.Approx.landmarks;
+          bb_build_s = build_s;
+          bb_build_ns_per_node = build_s *. 1e9 /. float_of_int n;
+          bb_words_per_node = words /. float_of_int n;
+          bb_sweep_s = sweep_s;
+          bb_value = e.Bbc.Approx.value;
+          bb_bound = e.Bbc.Approx.bound;
+          bb_exact = e.Bbc.Approx.exact;
+          bb_completed = true;
+        }
+    | exception exn ->
+        Format.fprintf fmt "  bigbench %s n=%d failed: %s@." family n
+          (Printexc.to_string exn);
+        {
+          bb_family = family;
+          bb_n = n;
+          bb_k = k;
+          bb_landmarks = landmarks;
+          bb_build_s = 0.0;
+          bb_build_ns_per_node = 0.0;
+          bb_words_per_node = 0.0;
+          bb_sweep_s = 0.0;
+          bb_value = 0.0;
+          bb_bound = 0.0;
+          bb_exact = false;
+          bb_completed = false;
+        }
+  in
+  List.map row
+    [
+      ("ring", 10_000, 1, 32);
+      ("circulant", 10_000, 3, 32);
+      ("random", 10_000, 2, 32);
+      ("random", 100_000, 2, 64);
+    ]
+
+let print_bigbench equiv rows =
+  Format.fprintf fmt "@.%s@.Large-n engine (streaming build + landmark estimate)@."
+    (String.make 72 '=');
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-12s streaming=of_digraph %b  L=n exact %b%s@."
+        e.be_family e.be_streaming_matches e.be_estimator_exact
+        (if e.be_streaming_matches && e.be_estimator_exact then "" else "  [MISMATCH]"))
+    equiv;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  %-10s n=%-7d build %7.1f ms (%6.0f ns/node, %5.1f w/node)  sweep %8.1f ms (L=%d)  cost %.6g +- %.3g%s@."
+        r.bb_family r.bb_n (r.bb_build_s *. 1e3) r.bb_build_ns_per_node
+        r.bb_words_per_node (r.bb_sweep_s *. 1e3) r.bb_landmarks r.bb_value
+        r.bb_bound
+        (if r.bb_completed then "" else "  [FAILED]"))
+    rows;
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
@@ -672,7 +807,7 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~servers =
+let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench ~servers =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -736,6 +871,33 @@ let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~servers =
         (if i = List.length overheads - 1 then "" else ","))
     overheads;
   out "  ],\n";
+  let equiv, scale = bigbench in
+  out "  \"bigbench\": {\n";
+  out "    \"equivalence\": [\n";
+  List.iteri
+    (fun i e ->
+      out
+        "      {\"family\": %S, \"streaming_matches_digraph\": %b, \
+         \"estimator_exact_at_full_sample\": %b}%s\n"
+        e.be_family e.be_streaming_matches e.be_estimator_exact
+        (if i = List.length equiv - 1 then "" else ","))
+    equiv;
+  out "    ],\n";
+  out "    \"scale\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "      {\"family\": %S, \"n\": %d, \"k\": %d, \"landmarks\": %d, \
+         \"build_s\": %.6f, \"build_ns_per_node\": %.1f, \
+         \"words_per_node\": %.1f, \"sweep_s\": %.6f, \"estimate\": %.1f, \
+         \"bound\": %.1f, \"exact\": %b, \"completed\": %b}%s\n"
+        r.bb_family r.bb_n r.bb_k r.bb_landmarks r.bb_build_s
+        r.bb_build_ns_per_node r.bb_words_per_node r.bb_sweep_s r.bb_value
+        r.bb_bound r.bb_exact r.bb_completed
+        (if i = List.length scale - 1 then "" else ","))
+    scale;
+  out "    ]\n";
+  out "  },\n";
   out "  \"server\": [\n";
   List.iteri
     (fun i (name, (s : Bbc_server.Loadgen.summary)) ->
@@ -839,9 +1001,13 @@ let () =
       print_incr_speedups incr;
       let overheads = overhead_benchmarks () in
       print_overheads overheads;
+      let bigbench = (bigbench_equivalence (), bigbench_scale_rows ()) in
+      (let equiv, scale = bigbench in
+       print_bigbench equiv scale);
       let servers = server_benchmarks ~full in
       print_servers servers;
-      write_json ~path ~micro:!micro ~kernels ~speedups ~incr ~overheads ~servers);
+      write_json ~path ~micro:!micro ~kernels ~speedups ~incr ~overheads ~bigbench
+        ~servers);
   Bbc_obs.drain ();
   Option.iter close_out trace_oc;
   if !metrics_arg then Bbc_obs.pp_summary fmt;

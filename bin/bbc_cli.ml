@@ -10,6 +10,7 @@
      save/load   serialize constructions to the bbc text/JSON formats
      convert     validate + re-emit an instance/config file (text <-> JSON)
      serve       long-running game-analysis daemon (line-delimited JSON)
+     bigbench    large-n streaming build + landmark social-cost estimate
 
    Observability: --metrics prints the Bbc_obs summary on exit and
    --trace-out FILE writes the structured JSONL event stream; both are
@@ -504,6 +505,113 @@ let serve_cmd =
         (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ socket_opt $ stdio
        $ queue_opt $ batch_opt $ sessions_opt))
 
+let bigbench_cmd =
+  let family_arg =
+    let doc =
+      "Streaming family: " ^ String.concat ", " Bbc.Catalog.streaming_names ^ "."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let landmarks_opt =
+    Arg.(
+      value & opt int 64
+      & info [ "landmarks" ] ~docv:"L"
+          ~doc:
+            "Landmark sources for the social-cost estimate ($(docv) >= n runs \
+             the exact sweep).")
+  in
+  let rounds_opt =
+    Arg.(
+      value & opt int 0
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:
+            "Sampled best-response rounds to run after the estimate (0 = \
+             none).  This materializes the per-node strategy arrays, so keep \
+             n moderate.")
+  in
+  let sample_opt =
+    Arg.(
+      value & opt int 8
+      & info [ "sample" ] ~docv:"S"
+          ~doc:"Candidate targets sampled per activation when --rounds > 0.")
+  in
+  let timings_opt =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:
+            "Also print wall-clock build/sweep timings and allocation rates \
+             (off by default so the output stays reproducible).")
+  in
+  let run () () obs family n k seed landmarks rounds sample objective timings =
+    let params = { Bbc.Catalog.default_params with n; k; seed } in
+    (* Time the streaming build itself: allocation delta over the catalog
+       call is the builder's footprint (CSR arrays + instance). *)
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    match Bbc.Catalog.build_streaming family params with
+    | Error e -> `Error (false, e)
+    | Ok (instance, csr) ->
+        let t1 = Unix.gettimeofday () in
+        let a1 = Gc.allocated_bytes () in
+        with_obs obs @@ fun () ->
+        let nn = Bbc.Instance.n instance in
+        Format.fprintf fmt "family:    %s (n=%d, k=%d, seed=%d)@." family nn k seed;
+        Format.fprintf fmt "edges:     %d@." (Bbc_graph.Csr.edge_count csr);
+        if timings then
+          Format.fprintf fmt "build:     %.1f ms  (%.0f ns/node, %.1f words/node allocated)@."
+            ((t1 -. t0) *. 1e3)
+            ((t1 -. t0) *. 1e9 /. float_of_int nn)
+            ((a1 -. a0) /. 8.0 /. float_of_int nn);
+        let t2 = Unix.gettimeofday () in
+        let e = Bbc.Approx.social_cost ~objective ~landmarks ~seed instance csr in
+        let t3 = Unix.gettimeofday () in
+        Format.fprintf fmt "landmarks: %d of %d@." e.Bbc.Approx.landmarks nn;
+        if e.Bbc.Approx.exact then
+          Format.fprintf fmt "social cost (%a): %.0f (exact)@." Bbc.Objective.pp
+            objective e.Bbc.Approx.value
+        else
+          Format.fprintf fmt "social cost (%a): %.1f +- %.1f (estimated)@."
+            Bbc.Objective.pp objective e.Bbc.Approx.value e.Bbc.Approx.bound;
+        if timings then
+          Format.fprintf fmt "sweep:     %.1f ms  (%.2f ms/landmark)@."
+            ((t3 -. t2) *. 1e3)
+            ((t3 -. t2) *. 1e3 /. float_of_int (max 1 e.Bbc.Approx.landmarks));
+        if rounds > 0 then begin
+          match Bbc.Catalog.build_streaming_reference family params with
+          | Error e -> `Error (false, e)
+          | Ok (instance, config) ->
+              let outcome =
+                Bbc.Dynamics.run ~objective
+                  ~policy:(Bbc.Dynamics.Sampled_best_response { sample; seed })
+                  ~scheduler:Bbc.Dynamics.Round_robin ~max_rounds:rounds instance
+                  config
+              in
+              Format.fprintf fmt "dynamics:  %a@." Bbc.Dynamics.pp_outcome outcome;
+              let final = Bbc.Dynamics.final_config outcome in
+              let fcsr = Bbc.Config.to_csr instance final in
+              let e = Bbc.Approx.social_cost ~objective ~landmarks ~seed instance fcsr in
+              if e.Bbc.Approx.exact then
+                Format.fprintf fmt "final social cost: %.0f (exact)@." e.Bbc.Approx.value
+              else
+                Format.fprintf fmt "final social cost: %.1f +- %.1f (estimated)@."
+                  e.Bbc.Approx.value e.Bbc.Approx.bound;
+              `Ok ()
+        end
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bigbench"
+       ~doc:
+         "Build a large streaming instance straight into a CSR snapshot and \
+          estimate its social cost from landmark sweeps (optionally followed \
+          by sampled best-response rounds).")
+    Term.(
+      ret
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ family_arg $ n_opt
+       $ k_opt $ seed_opt $ landmarks_opt $ rounds_opt $ sample_opt $ objective_opt
+       $ timings_opt))
+
 let () =
   let doc = "Bounded Budget Connection (BBC) games laboratory" in
   let info = Cmd.info "bbc" ~version:"1.0.0" ~doc in
@@ -521,4 +629,5 @@ let () =
             load_cmd;
             convert_cmd;
             serve_cmd;
+            bigbench_cmd;
           ]))

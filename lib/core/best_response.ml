@@ -26,15 +26,24 @@ type rows = {
   owned : bool;
 }
 
-let scratch_rows instance config u =
+(* With [?csr] (a shared full snapshot of the {e current} profile,
+   trusted to equal [Config.to_csr instance config]), the G_{-u} rows
+   come from [~ban:u] sweeps of that shared snapshot — no per-node CSR
+   build at all, which is what keeps parallel stability scans off the
+   allocator. *)
+let scratch_rows ?csr instance config u =
   let ws = Workspace.get () in
-  let csr = Config.to_csr ~skip:u instance config in
   let n = Instance.n instance in
+  let snap, ban =
+    match csr with
+    | Some full -> (full, u)
+    | None -> (Config.to_csr ~skip:u instance config, -1)
+  in
   {
     fetch =
       (fun v ->
         let row = Workspace.acquire ws n in
-        Csr.sssp csr (Workspace.scratch ws) ~src:v ~dist:row;
+        Csr.sssp ~ban snap (Workspace.scratch ws) ~src:v ~dist:row;
         row);
     cache = Array.make n None;
     owned = true;
@@ -164,9 +173,13 @@ let obs_enumerations = Bbc_obs.counter "best_response.enumerations"
 (* DFS over affordable subsets of candidates.  [on_subset strategy_rev cost]
    is called for every feasible subset (including the empty one); it
    returns [true] to abort the search early. *)
-let dfs_enumerate ~objective instance u ~rows ~on_subset =
+let dfs_enumerate ?candidates ~objective instance u ~rows ~on_subset =
   let ws = Workspace.get () in
-  let candidates = Array.of_list (candidate_targets instance u) in
+  let candidates =
+    match candidates with
+    | Some c -> c
+    | None -> Array.of_list (candidate_targets instance u)
+  in
   let ncand = Array.length candidates in
   let costs = Array.map (fun v -> Instance.cost instance u v) candidates in
   (* Cheapest candidate among j..ncand-1: O(1) "is this subset a DFS
@@ -236,7 +249,7 @@ let analytic_enumerate ~objective ctx instance u ~on_subset =
   Bbc_obs.incr obs_enumerations;
   Bbc_obs.add obs_subsets !subsets
 
-let enumerate ?(objective = Objective.Sum) ?ctx instance config u ~on_subset =
+let enumerate ?(objective = Objective.Sum) ?ctx ?csr instance config u ~on_subset =
   match ctx with
   | Some c ->
       Incr.ensure c config;
@@ -247,21 +260,22 @@ let enumerate ?(objective = Objective.Sum) ?ctx instance config u ~on_subset =
         Incr.with_masked c u (fun () ->
             dfs_enumerate ~objective instance u ~rows:(masked_rows c instance) ~on_subset)
   | None ->
-      dfs_enumerate ~objective instance u ~rows:(scratch_rows instance config u) ~on_subset
+      dfs_enumerate ~objective instance u ~rows:(scratch_rows ?csr instance config u)
+        ~on_subset
 
-let exact ?objective ?ctx instance config u =
+let exact ?objective ?ctx ?csr instance config u =
   let best = ref { strategy = []; cost = max_int } in
-  enumerate ?objective ?ctx instance config u ~on_subset:(fun chosen cost ->
+  enumerate ?objective ?ctx ?csr instance config u ~on_subset:(fun chosen cost ->
       if cost < !best.cost then best := { strategy = List.rev chosen; cost };
       false);
   { !best with strategy = List.sort compare !best.strategy }
 
-let best_cost ?objective ?ctx instance config u =
-  (exact ?objective ?ctx instance config u).cost
+let best_cost ?objective ?ctx ?csr instance config u =
+  (exact ?objective ?ctx ?csr instance config u).cost
 
-let all_best ?objective ?ctx instance config u =
+let all_best ?objective ?ctx ?csr instance config u =
   let best = ref max_int and acc = ref [] in
-  enumerate ?objective ?ctx instance config u ~on_subset:(fun chosen cost ->
+  enumerate ?objective ?ctx ?csr instance config u ~on_subset:(fun chosen cost ->
       if cost < !best then begin
         best := cost;
         acc := [ List.sort compare chosen ]
@@ -270,22 +284,53 @@ let all_best ?objective ?ctx instance config u =
       false);
   List.rev_map (fun strategy -> { strategy; cost = !best }) !acc
 
-let improving ?objective ?ctx instance config u =
-  let current =
-    match ctx with
-    | Some c ->
-        Incr.ensure c config;
-        Incr.node_cost ?objective c u
-    | None -> Eval.node_cost ?objective instance config u
-  in
+let current_cost ?objective ?ctx ?csr instance config u =
+  match ctx with
+  | Some c ->
+      Incr.ensure c config;
+      Incr.node_cost ?objective c u
+  | None -> (
+      match csr with
+      | Some full -> Eval.csr_node_cost ?objective instance full u
+      | None -> Eval.node_cost ?objective instance config u)
+
+let improving ?objective ?ctx ?csr instance config u =
+  let current = current_cost ?objective ?ctx ?csr instance config u in
   let found = ref None in
-  enumerate ?objective ?ctx instance config u ~on_subset:(fun chosen cost ->
+  enumerate ?objective ?ctx ?csr instance config u ~on_subset:(fun chosen cost ->
       if cost < current then begin
         found := Some { strategy = List.sort compare chosen; cost };
         true
       end
       else false);
   !found
+
+(* Sampled best response: the exact DFS restricted to a random subset of
+   the candidate targets.  Scoring stays exact (real G_{-u} rows, real
+   merged costs), only the candidate pool shrinks — so the returned
+   deviation's cost is trustworthy, and the final strict comparison
+   against the node's exact current cost guarantees that a returned
+   deviation is genuinely improving.  With [sample >= #candidates] this
+   is exactly {!exact} filtered to improving results. *)
+let sampled ?(objective = Objective.Sum) ?csr ~rng ~sample instance config u =
+  let all = Array.of_list (candidate_targets instance u) in
+  let candidates =
+    if sample >= Array.length all then all
+    else
+      Bbc_prng.Splitmix.sample_without_replacement rng sample (Array.length all)
+      |> List.map (Array.get all)
+      |> Array.of_list
+  in
+  let current = current_cost ~objective ?csr instance config u in
+  let best = ref { strategy = []; cost = max_int } in
+  dfs_enumerate ~candidates ~objective instance u
+    ~rows:(scratch_rows ?csr instance config u)
+    ~on_subset:(fun chosen cost ->
+      if cost < !best.cost then best := { strategy = chosen; cost };
+      false);
+  if !best.cost < current then
+    Some { strategy = List.sort compare !best.strategy; cost = !best.cost }
+  else None
 
 let greedy_rows ~objective instance u ~rows =
   let ws = Workspace.get () in
@@ -329,7 +374,7 @@ let greedy_rows ~objective instance u ~rows =
       in
       grow [] (Instance.budget instance u) base (eval base))
 
-let greedy ?(objective = Objective.Sum) ?ctx instance config u =
+let greedy ?(objective = Objective.Sum) ?ctx ?csr instance config u =
   match ctx with
   | Some c ->
       Incr.ensure c config;
@@ -338,4 +383,4 @@ let greedy ?(objective = Objective.Sum) ?ctx instance config u =
       else
         Incr.with_masked c u (fun () ->
             greedy_rows ~objective instance u ~rows:(masked_rows c instance))
-  | None -> greedy_rows ~objective instance u ~rows:(scratch_rows instance config u)
+  | None -> greedy_rows ~objective instance u ~rows:(scratch_rows ?csr instance config u)

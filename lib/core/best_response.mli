@@ -17,7 +17,18 @@
     per-candidate from-scratch searches; results are bit-identical (same
     costs, same DFS visiting order, same tie-breaking), only faster.
     Contexts are mutable single-domain state — do not share one across
-    {!Bbc_parallel} workers. *)
+    {!Bbc_parallel} workers.
+
+    Every function also takes an optional shared snapshot ([?csr]),
+    trusted to equal [Config.to_csr instance config] — the {e full}
+    current profile, nothing skipped.  With it, the [G_{-u}] rows come
+    from [~ban:u] sweeps of that one immutable snapshot instead of
+    building a per-node [G_{-u}] CSR, and the node's current cost is
+    evaluated against it too.  Results are bit-identical; the point is
+    that parallel fan-outs (stability scans, dynamics improving scans)
+    share one read-only snapshot and stop contending on allocation.
+    [csr] is only consulted when no [ctx] is given (a context carries
+    its own distance engines). *)
 
 type result = {
   strategy : int list;  (** An optimal link set (sorted). *)
@@ -28,29 +39,78 @@ val candidate_targets : Instance.t -> int -> int list
 (** Targets [v <> u] with [cost(u,v) <= budget(u)], increasing. *)
 
 val exact :
-  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result
+  ?objective:Objective.t ->
+  ?ctx:Incr.ctx ->
+  ?csr:Bbc_graph.Csr.t ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  result
 (** Optimal strategy for [u], all other strategies fixed.  Deterministic:
     among optima, the first in the DFS order over increasing targets
     (subset-minimal first). *)
 
 val best_cost :
-  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> int
+  ?objective:Objective.t ->
+  ?ctx:Incr.ctx ->
+  ?csr:Bbc_graph.Csr.t ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  int
 (** Cost of {!exact} without materializing the strategy. *)
 
 val all_best :
-  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result list
+  ?objective:Objective.t ->
+  ?ctx:Incr.ctx ->
+  ?csr:Bbc_graph.Csr.t ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  result list
 (** Every optimal strategy (all achieve the same [cost]), in DFS order.
     Used when enumerating equilibrium multiplicity; can be exponentially
     many for large budgets. *)
 
 val improving :
-  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result option
+  ?objective:Objective.t ->
+  ?ctx:Incr.ctx ->
+  ?csr:Bbc_graph.Csr.t ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  result option
 (** [Some r] with [r.cost] strictly below [u]'s current cost if a strictly
     improving deviation exists, else [None].  Unlike {!exact}, exits as
     soon as any improvement is found (the returned deviation is improving
     but not necessarily optimal). *)
 
+val sampled :
+  ?objective:Objective.t ->
+  ?csr:Bbc_graph.Csr.t ->
+  rng:Bbc_prng.Splitmix.t ->
+  sample:int ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  result option
+(** Sampled best response for large instances: the exact DFS restricted
+    to [sample] candidate targets drawn uniformly without replacement
+    (deterministic given [rng]'s state).  Scoring is exact, so the
+    result is trustworthy where it looks: [Some r] only when [r.cost]
+    is {e strictly} below [u]'s exact current cost — a returned
+    deviation is always genuinely improving — and [None] means no
+    improvement exists {e within the sampled pool} (a full improving
+    deviation may still exist outside it).  With [sample] at least the
+    candidate count, identical to {!exact} filtered to improvements. *)
+
 val greedy :
-  ?objective:Objective.t -> ?ctx:Incr.ctx -> Instance.t -> Config.t -> int -> result
+  ?objective:Objective.t ->
+  ?ctx:Incr.ctx ->
+  ?csr:Bbc_graph.Csr.t ->
+  Instance.t ->
+  Config.t ->
+  int ->
+  result
 (** Heuristic for large instances: repeatedly add the affordable link with
     the largest cost reduction.  Not guaranteed optimal. *)

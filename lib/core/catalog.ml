@@ -43,3 +43,18 @@ let build name { n; k; h; l; seed } =
     | "empty" -> Ok (Instance.uniform ~n ~k, Config.empty n)
     | other -> Error (Printf.sprintf "unknown construction %S" other)
   with Invalid_argument m -> Error m
+
+let streaming_names = List.map fst Gen_instance.family_names
+
+let with_family name params f =
+  match Gen_instance.family_of_name name with
+  | None -> Error (Printf.sprintf "unknown streaming family %S" name)
+  | Some fam -> ( try Ok (f fam params) with Invalid_argument m -> Error m)
+
+let build_streaming name params =
+  with_family name params (fun fam { n; k; seed; _ } ->
+      Gen_instance.streaming fam ~n ~k ~seed)
+
+let build_streaming_reference name params =
+  with_family name params (fun fam { n; k; seed; _ } ->
+      Gen_instance.streaming_reference fam ~n ~k ~seed)

@@ -20,3 +20,16 @@ val names : string list
 val build : string -> params -> (Instance.t * Config.t, string) result
 (** Build a named construction; [Error] names the unknown construction
     or reports an invalid parameter combination. *)
+
+val streaming_names : string list
+(** The large-n streaming families ({!Gen_instance.family_names}):
+    ring, tree, willows, circulant, random.  [h] and [l] are ignored by
+    these (the willows solve their own tail length from [n]). *)
+
+val build_streaming : string -> params -> (Instance.t * Bbc_graph.Csr.t, string) result
+(** Build a streaming family straight into a CSR snapshot
+    ({!Gen_instance.streaming}). *)
+
+val build_streaming_reference : string -> params -> (Instance.t * Config.t, string) result
+(** The same family materialized as a configuration — the small-n
+    differential oracle ({!Gen_instance.streaming_reference}). *)

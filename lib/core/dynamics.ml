@@ -6,7 +6,10 @@ type scheduler =
   | Random_order of int
   | Max_cost_first
 
-type move_policy = Exact_best_response | First_improvement
+type move_policy =
+  | Exact_best_response
+  | First_improvement
+  | Sampled_best_response of { sample : int; seed : int }
 
 type step = {
   index : int;
@@ -81,8 +84,21 @@ end
    With an incremental context ([?ctx]) the enumerations reuse
    delta-repaired SSSPs and the current cost comes from the version-keyed
    cache; the decisions are identical. *)
-let activate ?objective ?ctx ?known_improving ~policy instance config node =
+let activate ?objective ?ctx ?rng ?known_improving ~policy instance config node =
   match policy with
+  | Sampled_best_response { sample; _ } -> (
+      match known_improving with
+      | Some None -> (config, false)
+      | _ -> (
+          (* Large-n path: one full snapshot of the current profile, so
+             the candidate sweeps and the current-cost check never touch
+             the list-based digraph.  [Best_response.sampled] only ever
+             returns strict improvements, so the move is adopted as is. *)
+          let csr = Config.to_csr instance config in
+          let rng = Option.get rng in
+          match Best_response.sampled ?objective ~csr ~rng ~sample instance config node with
+          | None -> (config, false)
+          | Some r -> (Config.with_strategy config node r.strategy, true)))
   | First_improvement -> (
       let improving =
         match known_improving with
@@ -189,7 +205,14 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ?incremental ~schedu
   (* One incremental context for the whole walk: every activation's
      enumeration shares the delta-repaired SSSPs.  The context is
      single-domain state, so all ctx paths below are sequential. *)
-  let ctx = if Incr.resolve incremental then Some (Incr.create instance config0) else None in
+  let ctx =
+    match policy with
+    (* The sampled policy exists for instances far past the incremental
+       engine's sweet spot; skip the context rather than warm caches that
+       the activations never read. *)
+    | Sampled_best_response _ -> None
+    | _ -> if Incr.resolve incremental then Some (Incr.create instance config0) else None
+  in
   let node_cost config node =
     match ctx with
     | Some c ->
@@ -198,6 +221,13 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ?incremental ~schedu
     | None -> Eval.node_cost ?objective instance config node
   in
   let rng = match scheduler with Random_order seed -> Some (Splitmix.create seed) | _ -> None in
+  (* One generator for the whole walk's candidate sampling, so a run is
+     replayable from (scheduler, policy) seeds alone. *)
+  let brng =
+    match policy with
+    | Sampled_best_response { seed; _ } -> Some (Splitmix.create seed)
+    | _ -> None
+  in
   let emit ~prev index round node moved config =
     Bbc_obs.incr obs_activations;
     if moved then begin
@@ -257,9 +287,10 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ?incremental ~schedu
                     Array.init n (fun u ->
                         Best_response.improving ?objective ?ctx instance config u)
                 | None ->
+                    let csr = Config.to_csr instance config in
                     Bbc_parallel.parallel_init
                       ~jobs:(Bbc_parallel.jobs_for ~threshold:64 n) n
-                      (fun u -> Best_response.improving ?objective instance config u)
+                      (fun u -> Best_response.improving ?objective ~csr instance config u)
               in
               let unstable =
                 List.filter (fun u -> Option.is_some improving.(u)) (List.init n Fun.id)
@@ -277,8 +308,8 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ?incremental ~schedu
                     |> Option.get
                   in
                   let config', moved =
-                    activate ?objective ?ctx ~known_improving:improving.(node) ~policy
-                      instance config node
+                    activate ?objective ?ctx ?rng:brng ~known_improving:improving.(node)
+                      ~policy instance config node
                   in
                   emit ~prev:config step step node moved config';
                   go config' (step + 1) (deviations + if moved then 1 else 0))
@@ -307,7 +338,9 @@ let run ?objective ?(policy = Exact_best_response) ?on_step ?incremental ~schedu
               let config = ref config and changed = ref 0 and steps = ref steps in
               Array.iter
                 (fun node ->
-                  let config', moved = activate ?objective ?ctx ~policy instance !config node in
+                  let config', moved =
+                    activate ?objective ?ctx ?rng:brng ~policy instance !config node
+                  in
                   emit ~prev:!config !steps round node moved config';
                   incr steps;
                   if moved then incr changed;

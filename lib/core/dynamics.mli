@@ -30,6 +30,17 @@ type move_policy =
   | First_improvement
       (** The node takes the first strictly improving strategy found (in
           DFS order) — the cheaper step many deployed systems use. *)
+  | Sampled_best_response of { sample : int; seed : int }
+      (** Large-n step: the node optimizes over [sample] candidate
+          targets drawn without replacement from one walk-wide generator
+          seeded with [seed] ({!Best_response.sampled}), and moves only
+          on a strict improvement against its exact current cost —
+          adopted deviations are always genuine.  A node may sit still
+          even though an improvement exists outside its sample, so
+          [Converged] means "no sampled improvement in a full pass", not
+          a verified NE; the walk is replayable bit-for-bit from the
+          seeds.  Runs without the incremental engine (it targets sizes
+          past that engine's sweet spot). *)
 
 type step = {
   index : int;  (** 0-based global step counter (activations). *)

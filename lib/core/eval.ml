@@ -45,6 +45,52 @@ let cost_of_distances ?(objective = Objective.Sum) instance u dist =
       done;
       !acc
 
+(* The same fold over a compact int32 row (see csr.mli): the large-n
+   estimator keeps distances 4 bytes wide, so the per-landmark cost fold
+   reads the Bigarray directly instead of widening the whole row. *)
+let cost_of_distances32 ?(objective = Objective.Sum) instance u
+    (dist : Bbc_graph.Csr.dist32) =
+  let n = Instance.n instance in
+  let m = Instance.penalty instance in
+  let inf = Bbc_graph.Csr.unreachable32 in
+  match objective with
+  | Objective.Sum -> (
+      match Instance.weight_row instance u with
+      | None ->
+          let acc = ref 0 in
+          for v = 0 to n - 1 do
+            if v <> u then begin
+              let d = Bigarray.Array1.unsafe_get dist v in
+              acc := !acc + (if d = inf then m else Int32.to_int d)
+            end
+          done;
+          !acc
+      | Some wrow ->
+          let acc = ref 0 in
+          for v = 0 to n - 1 do
+            if v <> u then begin
+              let w = wrow.(v) in
+              if w > 0 then begin
+                let d = Bigarray.Array1.unsafe_get dist v in
+                acc := !acc + (w * if d = inf then m else Int32.to_int d)
+              end
+            end
+          done;
+          !acc)
+  | Objective.Max ->
+      let acc = ref 0 in
+      for v = 0 to n - 1 do
+        if v <> u then begin
+          let w = Instance.weight instance u v in
+          if w > 0 then begin
+            let d = Bigarray.Array1.unsafe_get dist v in
+            let d = if d = inf then m else Int32.to_int d in
+            if w * d > !acc then acc := w * d
+          end
+        end
+      done;
+      !acc
+
 let node_cost ?objective ?graph instance config u =
   let g = match graph with Some g -> g | None -> Config.to_graph instance config in
   cost_of_distances ?objective instance u (Paths.shortest g u)
@@ -75,19 +121,34 @@ let csr_node_cost ?objective instance csr u =
   Bbc_graph.Workspace.release_clean ws row;
   c
 
+(* Costs of sources [lo, hi) under the shared snapshot into [out].
+   Workers share the flat CSR read-only; each chunk acquires one pooled
+   row and one scratch, sweeps its whole source range through them, and
+   releases once — so per-sweep overhead (pool bookkeeping, the obs
+   counter) is paid per chunk, not per node, and parallel domains never
+   meet on the allocator. *)
+let chunk_costs ?objective instance csr out lo hi =
+  let ws = Bbc_graph.Workspace.get () in
+  let scratch = Bbc_graph.Workspace.scratch ws in
+  let row = Bbc_graph.Workspace.acquire ws (Instance.n instance) in
+  for u = lo to hi - 1 do
+    Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
+    out.(u) <- cost_of_distances ?objective instance u row;
+    Bbc_graph.Csr.reset scratch row
+  done;
+  Bbc_graph.Workspace.release_clean ws row;
+  Bbc_obs.add obs_sssp (hi - lo)
+
 let all_costs ?objective ?jobs instance config =
   let n = Instance.n instance in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
   Bbc_obs.with_span "eval.all_costs"
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
-      (* Workers share one flat CSR snapshot read-only; all per-sweep
-         state (distance row, queue, heap) comes from the per-domain
-         workspace pool, so the fan-out no longer hammers the shared
-         minor heap with per-node distance arrays. *)
       let csr = Config.to_csr instance config in
-      Bbc_parallel.parallel_init ~jobs ~chunk:(contiguous_chunk ~jobs n) n (fun u ->
-          Bbc_obs.incr obs_sssp;
-          csr_node_cost ?objective instance csr u))
+      let out = Array.make n 0 in
+      Bbc_parallel.parallel_for_chunks ~jobs ~chunk:(contiguous_chunk ~jobs n) 0 n
+        (chunk_costs ?objective instance csr out);
+      out)
 
 let social_cost ?objective ?jobs instance config =
   let n = Instance.n instance in
@@ -95,9 +156,22 @@ let social_cost ?objective ?jobs instance config =
   Bbc_obs.with_span "eval.social_cost"
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
       let csr = Config.to_csr instance config in
-      Bbc_parallel.parallel_reduce ~jobs
-        ~chunk:(contiguous_chunk ~jobs n)
-        ~neutral:0 ~combine:( + ) 0 n
-        (fun u ->
-          Bbc_obs.incr obs_sssp;
-          csr_node_cost ?objective instance csr u))
+      (* Chunk-indexed partial sums folded in order: same total as the
+         sequential fold, whatever the scheduling. *)
+      let chunk = contiguous_chunk ~jobs n in
+      let nchunks = if n = 0 then 0 else 1 + ((n - 1) / chunk) in
+      let partial = Array.make (max nchunks 1) 0 in
+      Bbc_parallel.parallel_for_chunks ~jobs ~chunk 0 n (fun lo hi ->
+          let ws = Bbc_graph.Workspace.get () in
+          let scratch = Bbc_graph.Workspace.scratch ws in
+          let row = Bbc_graph.Workspace.acquire ws n in
+          let acc = ref 0 in
+          for u = lo to hi - 1 do
+            Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
+            acc := !acc + cost_of_distances ?objective instance u row;
+            Bbc_graph.Csr.reset scratch row
+          done;
+          Bbc_graph.Workspace.release_clean ws row;
+          Bbc_obs.add obs_sssp (hi - lo);
+          partial.(lo / chunk) <- !acc);
+      Array.fold_left ( + ) 0 partial)

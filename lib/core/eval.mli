@@ -36,3 +36,17 @@ val cost_of_distances :
 (** [cost_of_distances instance u dist] folds a precomputed distance array
     (with {!Bbc_graph.Paths.unreachable} marking no-path) into [u]'s cost.
     Exposed for the best-response enumerator. *)
+
+val cost_of_distances32 :
+  ?objective:Objective.t -> Instance.t -> int -> Bbc_graph.Csr.dist32 -> int
+(** {!cost_of_distances} over a compact int32 row
+    ({!Bbc_graph.Csr.unreachable32} marking no-path) — the fold used by
+    the large-n landmark estimator. *)
+
+val csr_node_cost : ?objective:Objective.t -> Instance.t -> Bbc_graph.Csr.t -> int -> int
+(** [csr_node_cost instance csr u] is [u]'s cost under a prebuilt CSR
+    snapshot of the realized graph (trusted to equal
+    [Config.to_csr instance config]): one pooled allocation-free sweep
+    plus the cost fold.  The snapshot-reusing counterpart of
+    {!node_cost} for callers that evaluate many nodes against one
+    profile. *)

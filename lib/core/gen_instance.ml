@@ -37,6 +37,177 @@ let metric_lengths rng ~n ~k ?span () =
   in
   Instance.general ~weight ~cost:(ones n) ~length ~budget:(Array.make n k) ()
 
+(* ------------------------------------------------------------------ *)
+(* Streaming paper families.
+
+   Each family enumerates its strategy rows in ascending source order
+   with ascending targets, which is exactly the order [Config.to_csr]
+   emits (configs store sorted strategies) — so the rows can be fed
+   straight into the ascending-source [Csr.builder] without ever
+   materializing the list-based [Digraph].  The same enumerator also
+   drives the small-n reference paths ([streaming_reference*]), so
+   streaming and reference construction consume identical randomness
+   and must agree bit for bit. *)
+
+type family = Ring | Tree | Willows_family | Circulant | Random_k
+
+let family_names =
+  [
+    ("ring", Ring);
+    ("tree", Tree);
+    ("willows", Willows_family);
+    ("circulant", Circulant);
+    ("random", Random_k);
+  ]
+
+let family_of_name name = List.assoc_opt name family_names
+
+(* A resolved family: exact node/edge counts (the builder preallocates),
+   the uniform budget, and the row enumerator.  [plan] is cheap; the
+   enumerator re-derives its randomness from [seed] on every call, so
+   invoking it several times (stream once, reference once) yields the
+   same rows. *)
+type plan = {
+  p_n : int;
+  p_m : int;
+  p_k : int;
+  p_iter : (int -> int list -> unit) -> unit;
+}
+
+let willows_plan ~n ~k =
+  (* Fixed height 2, budget k' = max 2 k; the tail length l is solved so
+     the willows fit in n nodes (every node has out-degree exactly k'). *)
+  let wk = max 2 k in
+  let h = 2 in
+  let t_size = Willows.tree_size { Willows.k = wk; h; l = 0 } in
+  let leaves = wk * wk in
+  let internal = (t_size - 1) / wk in
+  if n / wk < t_size then
+    invalid_arg
+      (Printf.sprintf "Gen_instance: willows(k=%d, h=%d) needs n >= %d" wk h (wk * t_size));
+  let l = ((n / wk) - t_size) / leaves in
+  let p = { Willows.k = wk; h; l } in
+  let section = Willows.section_size p in
+  let size = Willows.size p in
+  let iter f =
+    let all_roots = Willows.roots p in
+    for i = 0 to wk - 1 do
+      let base = i * section in
+      let rows = Array.make section [] in
+      for t = 0 to internal - 1 do
+        rows.(t) <- List.init wk (fun c -> base + (wk * t) + c + 1)
+      done;
+      let own_root = Willows.root p i in
+      let pattern_a = List.filter (fun r -> r <> own_root) all_roots in
+      let excluded_b = Willows.root p ((i + 1) mod wk) in
+      let pattern_b = List.filter (fun r -> r <> excluded_b) all_roots in
+      for j = 0 to leaves - 1 do
+        let chain d =
+          if d = 0 then base + internal + j else base + t_size + (j * l) + (d - 1)
+        in
+        for d = 0 to l do
+          let local = chain d - base in
+          if d = l then rows.(local) <- all_roots
+          else begin
+            let pat = if (l - 1 - d) mod 2 = 0 then pattern_a else pattern_b in
+            rows.(local) <- chain (d + 1) :: pat
+          end
+        done
+      done;
+      Array.iteri (fun local row -> f (base + local) (List.sort_uniq compare row)) rows
+    done
+  in
+  { p_n = size; p_m = size * wk; p_k = wk; p_iter = iter }
+
+let plan family ~n ~k ~seed =
+  if n < 2 then invalid_arg "Gen_instance: streaming families need n >= 2";
+  if k < 1 then invalid_arg "Gen_instance: streaming families need k >= 1";
+  match family with
+  | Ring ->
+      {
+        p_n = n;
+        p_m = n;
+        p_k = 1;
+        p_iter =
+          (fun f ->
+            for u = 0 to n - 1 do
+              f u [ (u + 1) mod n ]
+            done);
+      }
+  | Tree ->
+      (* k-ary BFS-order tree: children of [u] are [k*u + 1 .. k*u + k]. *)
+      {
+        p_n = n;
+        p_m = n - 1;
+        p_k = k;
+        p_iter =
+          (fun f ->
+            for u = 0 to n - 1 do
+              let lo = (k * u) + 1 in
+              let row = if lo >= n then [] else List.init (min k (n - lo)) (fun c -> lo + c) in
+              f u row
+            done);
+      }
+  | Willows_family -> willows_plan ~n ~k
+  | Circulant ->
+      if k > n - 1 then invalid_arg "Gen_instance: circulant needs k <= n - 1";
+      (* Same offset distribution as [Cayley.random_circulant]. *)
+      let offsets =
+        SM.sample_without_replacement (SM.create seed) k (n - 1) |> List.map (fun o -> o + 1)
+      in
+      {
+        p_n = n;
+        p_m = n * k;
+        p_k = k;
+        p_iter =
+          (fun f ->
+            for u = 0 to n - 1 do
+              f u (List.sort compare (List.map (fun o -> (u + o) mod n) offsets))
+            done);
+      }
+  | Random_k ->
+      if k > n - 1 then invalid_arg "Gen_instance: random needs k <= n - 1";
+      (* Same per-node draw as [Generators.random_k_out]: k distinct
+         targets from [0, n-1), shifted to skip u. *)
+      {
+        p_n = n;
+        p_m = n * k;
+        p_k = k;
+        p_iter =
+          (fun f ->
+            let rng = SM.create seed in
+            for u = 0 to n - 1 do
+              let row =
+                SM.sample_without_replacement rng k (n - 1)
+                |> List.map (fun t -> if t >= u then t + 1 else t)
+              in
+              f u (List.sort compare row)
+            done);
+      }
+
+let streaming family ~n ~k ~seed =
+  let p = plan family ~n ~k ~seed in
+  let inst = Instance.uniform ~n:p.p_n ~k:p.p_k in
+  let b = Bbc_graph.Csr.builder ~n:p.p_n ~m:p.p_m in
+  p.p_iter (fun u row -> List.iter (fun v -> Bbc_graph.Csr.add b u v 1) row);
+  (inst, Bbc_graph.Csr.finish b)
+
+let streaming_reference family ~n ~k ~seed =
+  let p = plan family ~n ~k ~seed in
+  let inst = Instance.uniform ~n:p.p_n ~k:p.p_k in
+  let strategies = Array.make p.p_n [] in
+  p.p_iter (fun u row -> strategies.(u) <- row);
+  (inst, Config.of_lists p.p_n strategies)
+
+let streaming_reference_csr family ~n ~k ~seed =
+  let p = plan family ~n ~k ~seed in
+  let g = Bbc_graph.Digraph.create p.p_n in
+  p.p_iter (fun u row ->
+      (* Adjacency lists prepend, so insert reversed: [iter_out] (hence
+         [Csr.of_digraph]) then yields the row in emission order. *)
+      List.iter (fun v -> Bbc_graph.Digraph.add_edge g u v 1) (List.rev row));
+  Bbc_graph.Csr.of_digraph g
+
 let perturbed_uniform rng ~n ~k ~flips =
   let weight = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0 else 1)) in
   for _ = 1 to flips do

@@ -40,3 +40,55 @@ val perturbed_uniform :
 (** The uniform game with [flips] random preference entries doubled —
     the smallest step off the uniform island, used to probe how quickly
     equilibrium existence degrades. *)
+
+(** {1 Streaming paper families}
+
+    Large-n constructions of the paper's structural families — uniform
+    instances with a deterministic (or seeded) strategy profile — built
+    {e directly} into a flat {!Bbc_graph.Csr.t} via the ascending-source
+    builder, never materializing the list-based [Digraph] or an
+    [n * n] matrix.  Every family emits rows in ascending source order
+    with ascending targets, the exact order [Config.to_csr] uses, so
+    {!streaming} is bit-identical to realizing {!streaming_reference}
+    (and to [Csr.of_digraph] of the same rows: {!streaming_reference_csr}).
+
+    Families ([n] is a size {e budget}; the willows round down to the
+    nearest complete shape):
+    - [Ring]: the directed n-cycle, budget 1 (Proposition "ring is the
+      cheap NE" family).
+    - [Tree]: the k-ary BFS-order tree on n nodes (children of [u] are
+      [k*u + 1 .. k*u + k]).
+    - [Willows_family]: the paper's Forest-of-Willows with height 2,
+      budget [max 2 k], tail length solved so the construction fits in
+      [n] nodes.  A topology generator, not an equilibrium certificate:
+      like {!Willows.build} at height 2, the profile is only a Nash
+      equilibrium for short tails (small [n]) — at scale it makes a
+      structured workload with genuine improving deviations for the
+      sampled dynamics to find.
+    - [Circulant]: the Cayley graph of Z_n with [k] seeded random
+      offsets (same offset distribution as [Cayley.random_circulant]).
+    - [Random_k]: each node links to [k] seeded-random distinct targets
+      (same per-node draw as [Generators.random_k_out]). *)
+
+type family = Ring | Tree | Willows_family | Circulant | Random_k
+
+val family_names : (string * family) list
+(** CLI-facing names: ring, tree, willows, circulant, random. *)
+
+val family_of_name : string -> family option
+
+val streaming :
+  family -> n:int -> k:int -> seed:int -> Instance.t * Bbc_graph.Csr.t
+(** The large-n path: instance plus realized CSR snapshot, streamed.
+    Raises [Invalid_argument] on infeasible parameters (n < 2, k < 1,
+    degree over n - 1, willows that don't fit). *)
+
+val streaming_reference :
+  family -> n:int -> k:int -> seed:int -> Instance.t * Config.t
+(** Small-n oracle: the same rows materialized as a [Config.t] (usable
+    with every exact engine).  [Config.to_csr] of it equals {!streaming}'s
+    snapshot bit for bit. *)
+
+val streaming_reference_csr : family -> n:int -> k:int -> seed:int -> Bbc_graph.Csr.t
+(** Small-n oracle for the builder itself: the same rows pushed through
+    [Digraph] + [Csr.of_digraph] — the equivalence gate's reference. *)

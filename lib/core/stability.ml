@@ -47,14 +47,18 @@ let find_deviation ?objective ?jobs ?ctx ?incremental instance config =
           scan 0
       | None ->
           (* [parallel_find_first] returns the lowest-index hit, so the reported
-             deviation is the same node the sequential scan would find. *)
+             deviation is the same node the sequential scan would find.  All
+             workers share one immutable full snapshot ([~ban] sweeps give
+             each node its G_{-u} rows), so the fan-out builds no per-node
+             graphs and the domains stay off the shared allocator. *)
+          let csr = Config.to_csr instance config in
           Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
-              match Best_response.improving ?objective instance config u with
+              match Best_response.improving ?objective ~csr instance config u with
               | Some better ->
                   Some
                     {
                       node = u;
-                      current_cost = Eval.node_cost ?objective instance config u;
+                      current_cost = Eval.csr_node_cost ?objective instance csr u;
                       better;
                     }
               | None -> None))
@@ -74,17 +78,26 @@ let is_stable ?objective ?jobs ?ctx ?incremental instance config =
       in
       scan 0
   | None ->
+      let csr = Config.to_csr instance config in
       not
         (Bbc_parallel.parallel_exists ~jobs 0 n (fun u ->
-             Option.is_some (Best_response.improving ?objective instance config u)))
+             Option.is_some (Best_response.improving ?objective ~csr instance config u)))
 
 let nodes_stable ?objective ?ctx ?incremental instance config nodes =
   Config.feasible instance config
   &&
-  let ctx = use_ctx ?ctx ?incremental instance config Incr.create in
-  List.for_all
-    (fun u -> Option.is_none (Best_response.improving ?objective ?ctx instance config u))
-    nodes
+  match use_ctx ?ctx ?incremental instance config Incr.create with
+  | Some ctx ->
+      List.for_all
+        (fun u ->
+          Option.is_none (Best_response.improving ?objective ~ctx instance config u))
+        nodes
+  | None ->
+      let csr = Config.to_csr instance config in
+      List.for_all
+        (fun u ->
+          Option.is_none (Best_response.improving ?objective ~csr instance config u))
+        nodes
 
 let is_stable_parallel ?objective ?domains instance config =
   let jobs =
@@ -102,8 +115,9 @@ let unstable_nodes ?objective ?jobs ?ctx ?incremental instance config =
         Array.init n (fun u ->
             Option.is_some (Best_response.improving ?objective ~ctx instance config u))
     | None ->
+        let csr = Config.to_csr instance config in
         Bbc_parallel.parallel_init ~jobs n (fun u ->
-            Option.is_some (Best_response.improving ?objective instance config u))
+            Option.is_some (Best_response.improving ?objective ~csr instance config u))
   in
   List.filter (fun u -> unstable.(u)) (List.init n Fun.id)
 
@@ -119,9 +133,10 @@ let stability_gap ?objective ?jobs ?ctx ?incremental instance config =
       done;
       !gap
   | None ->
+      let csr = Config.to_csr instance config in
       let costs = Eval.all_costs ?objective ~jobs instance config in
       Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:max 0 n (fun u ->
-          costs.(u) - Best_response.best_cost ?objective instance config u)
+          costs.(u) - Best_response.best_cost ?objective ~csr instance config u)
 
 let pp_deviation fmt d =
   Format.fprintf fmt "node %d: cost %d -> %d via [%a]" d.node d.current_cost

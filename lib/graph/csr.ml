@@ -12,6 +12,10 @@ let n t = t.n
 let edge_count t = t.offsets.(t.n)
 let unit_lengths t = t.unit_lengths
 
+let equal a b =
+  a.n = b.n && a.unit_lengths = b.unit_lengths && a.offsets = b.offsets
+  && a.targets = b.targets && a.lengths = b.lengths
+
 (* ------------------------------------------------------------------ *)
 (* Construction.                                                       *)
 
@@ -102,7 +106,12 @@ let reset s dist =
   done;
   s.ntouched <- 0
 
-let bfs t s ~src ~dist =
+(* [ban] excludes one vertex's out-edges from the traversal: sweeping
+   the full snapshot with [~ban:u] from any source computes exactly the
+   distances of the [G_{-u}] sub-snapshot ([of_digraph ~skip:u]) — the
+   best-response shape — without building a per-node CSR. *)
+
+let bfs ?(ban = -1) t s ~src ~dist =
   ensure s t.n;
   let queue = s.queue in
   let cap = Array.length queue in
@@ -114,19 +123,21 @@ let bfs t s ~src ~dist =
   while !head <> !tail do
     let u = queue.(!head) in
     head := (!head + 1) mod cap;
-    let du = dist.(u) + 1 in
-    for e = offsets.(u) to offsets.(u + 1) - 1 do
-      let v = targets.(e) in
-      if dist.(v) = unreachable then begin
-        dist.(v) <- du;
-        touch s v;
-        queue.(!tail) <- v;
-        tail := (!tail + 1) mod cap
-      end
-    done
+    if u <> ban then begin
+      let du = dist.(u) + 1 in
+      for e = offsets.(u) to offsets.(u + 1) - 1 do
+        let v = targets.(e) in
+        if dist.(v) = unreachable then begin
+          dist.(v) <- du;
+          touch s v;
+          queue.(!tail) <- v;
+          tail := (!tail + 1) mod cap
+        end
+      done
+    end
   done
 
-let dijkstra t s ~src ~dist =
+let dijkstra ?(ban = -1) t s ~src ~dist =
   ensure s t.n;
   let heap = s.heap in
   Binary_heap.clear heap;
@@ -140,7 +151,7 @@ let dijkstra t s ~src ~dist =
     | None -> continue := false
     | Some (d, u) ->
         (* Lazy deletion: skip entries that were superseded. *)
-        if d = dist.(u) then
+        if d = dist.(u) && u <> ban then
           for e = offsets.(u) to offsets.(u + 1) - 1 do
             let v = targets.(e) in
             let nd = d + lengths.(e) in
@@ -152,5 +163,93 @@ let dijkstra t s ~src ~dist =
           done
   done
 
-let sssp t s ~src ~dist =
-  if t.unit_lengths then bfs t s ~src ~dist else dijkstra t s ~src ~dist
+let sssp ?ban t s ~src ~dist =
+  if t.unit_lengths then bfs ?ban t s ~src ~dist else dijkstra ?ban t s ~src ~dist
+
+(* ------------------------------------------------------------------ *)
+(* Compact int32 rows.
+
+   Same kernels, distances stored in an int32 Bigarray — half the
+   resident footprint of a boxed-free [int array] row on 64-bit, which
+   is what lets an n = 10^5 landmark sweep keep several rows in cache.
+   [unreachable32] ([Int32.max_int]) is the clean sentinel; any real
+   distance reaching it is an overflow and raises. *)
+
+type dist32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let unreachable32 = Int32.max_int
+
+(* The sentinel as an int, for overflow checks in 63-bit arithmetic. *)
+let inf32 = Int32.to_int Int32.max_int
+
+let create_dist32 n =
+  let a = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout n in
+  Bigarray.Array1.fill a unreachable32;
+  a
+
+let fill32 (dist : dist32) = Bigarray.Array1.fill dist unreachable32
+
+let reset32 s (dist : dist32) =
+  for i = 0 to s.ntouched - 1 do
+    Bigarray.Array1.unsafe_set dist s.touched.(i) unreachable32
+  done;
+  s.ntouched <- 0
+
+let bfs32 ?(ban = -1) t s ~src ~(dist : dist32) =
+  ensure s t.n;
+  if t.n >= inf32 then invalid_arg "Csr.bfs32: hop distance could overflow int32";
+  let queue = s.queue in
+  let cap = Array.length queue in
+  let offsets = t.offsets and targets = t.targets in
+  Bigarray.Array1.unsafe_set dist src 0l;
+  touch s src;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head <> !tail do
+    let u = queue.(!head) in
+    head := (!head + 1) mod cap;
+    if u <> ban then begin
+      let du = Int32.add (Bigarray.Array1.unsafe_get dist u) 1l in
+      for e = offsets.(u) to offsets.(u + 1) - 1 do
+        let v = targets.(e) in
+        if Bigarray.Array1.unsafe_get dist v = unreachable32 then begin
+          Bigarray.Array1.unsafe_set dist v du;
+          touch s v;
+          queue.(!tail) <- v;
+          tail := (!tail + 1) mod cap
+        end
+      done
+    end
+  done
+
+let dijkstra32 ?(ban = -1) t s ~src ~(dist : dist32) =
+  ensure s t.n;
+  let heap = s.heap in
+  Binary_heap.clear heap;
+  let offsets = t.offsets and targets = t.targets and lengths = t.lengths in
+  Bigarray.Array1.unsafe_set dist src 0l;
+  touch s src;
+  Binary_heap.push heap 0 src;
+  let continue = ref true in
+  while !continue do
+    match Binary_heap.pop heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if d = Int32.to_int (Bigarray.Array1.unsafe_get dist u) && u <> ban then
+          for e = offsets.(u) to offsets.(u + 1) - 1 do
+            let v = targets.(e) in
+            let nd = d + lengths.(e) in
+            (* The heap carries int distances, so [nd] is exact; it only
+               has to fit the row.  >= keeps the sentinel unambiguous. *)
+            if nd >= inf32 then
+              invalid_arg "Csr.dijkstra32: distance overflows int32";
+            if nd < Int32.to_int (Bigarray.Array1.unsafe_get dist v) then begin
+              if Bigarray.Array1.unsafe_get dist v = unreachable32 then touch s v;
+              Bigarray.Array1.unsafe_set dist v (Int32.of_int nd);
+              Binary_heap.push heap nd v
+            end
+          done
+  done
+
+let sssp32 ?ban t s ~src ~dist =
+  if t.unit_lengths then bfs32 ?ban t s ~src ~dist else dijkstra32 ?ban t s ~src ~dist

@@ -39,6 +39,11 @@ val unit_lengths : t -> bool
 (** Whether every edge has length 1 (recorded at build time; {!sssp}
     dispatches BFS vs Dijkstra on it). *)
 
+val equal : t -> t -> bool
+(** Structural equality of the packed arrays — bit-identical layout,
+    not just graph isomorphism.  Used to check that streaming builders
+    reproduce {!of_digraph} exactly. *)
+
 val of_digraph : ?skip:int -> Digraph.t -> t
 (** Snapshot of [g]; with [~skip:u], the out-edges of [u] are left out
     (the best-response [G_{-u}] shape) — [u] keeps its vertex slot with
@@ -70,14 +75,18 @@ val create_scratch : unit -> scratch
 (** An empty scratch; grows on first use to the graph's size and is
     reused (allocation-free) afterwards. *)
 
-val bfs : t -> scratch -> src:int -> dist:int array -> unit
+val bfs : ?ban:int -> t -> scratch -> src:int -> dist:int array -> unit
 (** Hop-count distances from [src] into [dist] (must be clean, length
-    [n]).  Edge lengths are ignored — exact for unit-length graphs. *)
+    [n]).  Edge lengths are ignored — exact for unit-length graphs.
+    With [~ban:u], the out-edges of [u] are not traversed: distances
+    equal those in the [G_{-u}] snapshot ([of_digraph ~skip:u]) without
+    building a per-node CSR. *)
 
-val dijkstra : t -> scratch -> src:int -> dist:int array -> unit
-(** Length-weighted distances from [src] into [dist] (must be clean). *)
+val dijkstra : ?ban:int -> t -> scratch -> src:int -> dist:int array -> unit
+(** Length-weighted distances from [src] into [dist] (must be clean).
+    [ban] as in {!bfs}. *)
 
-val sssp : t -> scratch -> src:int -> dist:int array -> unit
+val sssp : ?ban:int -> t -> scratch -> src:int -> dist:int array -> unit
 (** {!bfs} when {!unit_lengths}, {!dijkstra} otherwise — the CSR
     counterpart of [Paths.shortest]. *)
 
@@ -85,3 +94,33 @@ val reset : scratch -> int array -> unit
 (** Restore a distance buffer to all-{!unreachable} by clearing exactly
     the entries the {e most recent} sweep through this scratch wrote:
     O(visited), not O(n). *)
+
+(** {1 Compact int32 rows}
+
+    The same kernels over distance rows stored as an int32 [Bigarray] —
+    4 bytes per entry instead of 8, halving the resident footprint of a
+    sweep at n = 10^5.  The sentinel is {!unreachable32}; a computed
+    distance that does not fit below it raises [Invalid_argument]
+    (hop-count sweeps check once up front, weighted sweeps check per
+    relaxation). *)
+
+type dist32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val unreachable32 : int32
+(** Sentinel distance for int32 rows ([Int32.max_int]). *)
+
+val create_dist32 : int -> dist32
+(** A fresh clean row: every entry {!unreachable32}. *)
+
+val fill32 : dist32 -> unit
+(** Restore a row to clean with one O(n) fill (the int32 analogue of
+    [Array.fill _ _ _ unreachable]). *)
+
+val bfs32 : ?ban:int -> t -> scratch -> src:int -> dist:dist32 -> unit
+val dijkstra32 : ?ban:int -> t -> scratch -> src:int -> dist:dist32 -> unit
+
+val sssp32 : ?ban:int -> t -> scratch -> src:int -> dist:dist32 -> unit
+(** {!bfs32} when {!unit_lengths}, {!dijkstra32} otherwise. *)
+
+val reset32 : scratch -> dist32 -> unit
+(** {!reset} for int32 rows: O(visited) restore to clean. *)

@@ -235,6 +235,29 @@ let parallel_for ?jobs ?chunk lo hi f =
         end)
   end
 
+let parallel_for_chunks ?jobs ?chunk lo hi f =
+  let jobs = resolve_jobs jobs in
+  if hi <= lo then ()
+  else if jobs = 1 then f lo hi
+  else begin
+    let chunk = chunk_size ?chunk ~jobs lo hi in
+    let nchunks = 1 + ((hi - lo - 1) / chunk) in
+    let next = Atomic.make 0 in
+    let participants = Atomic.make 0 in
+    run ~jobs (fun () ->
+        if Atomic.fetch_and_add participants 1 < jobs then begin
+          let continue = ref true in
+          while !continue do
+            let c = Atomic.fetch_and_add next 1 in
+            if c >= nchunks then continue := false
+            else begin
+              let start = lo + (c * chunk) in
+              f start (min hi (start + chunk))
+            end
+          done
+        end)
+  end
+
 let parallel_init ?jobs ?chunk n f =
   if n < 0 then invalid_arg "Bbc_parallel.parallel_init: negative length";
   if n = 0 then [||]

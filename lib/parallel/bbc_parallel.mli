@@ -65,6 +65,14 @@ val parallel_for : ?jobs:int -> ?chunk:int -> int -> int -> (int -> unit) -> uni
     chunks per job).  [f] must be safe to call concurrently on distinct
     indices. *)
 
+val parallel_for_chunks : ?jobs:int -> ?chunk:int -> int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunks lo hi f] covers [lo, hi) with disjoint chunk
+    ranges and runs [f start stop] once per chunk ([start <= i < stop]).
+    Unlike {!parallel_for}, the callee sees the whole chunk, so it can
+    amortize per-slice setup — acquire a workspace row once, sweep the
+    chunk, release once — instead of paying it per index.  With
+    [jobs = 1] the whole range arrives as a single chunk. *)
+
 val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init].  [f 0] is evaluated first on the caller (to
     seed the array), the rest in parallel. *)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Regression gate on the large-n engine (BENCH_*.json "bigbench" section):
+#   - every small-n equivalence bit must hold (streaming builder
+#     bit-identical to the Digraph route; landmark estimator exact at a
+#     full sample) for every streaming family;
+#   - the streaming build must stay under the ns/node ceiling at n = 10^4
+#     (default 5000 ns/node, override with BIGBENCH_NS_PER_NODE_BUDGET);
+#   - the n = 10^5 row must be present and completed (the landmark
+#     estimate ran to a value without error).
+#
+# Usage: scripts/check_bigbench.sh bench/results/BENCH_smoke.json
+set -eu
+
+json=${1:?usage: check_bigbench.sh BENCH.json}
+budget=${BIGBENCH_NS_PER_NODE_BUDGET:-5000}
+
+[ -f "$json" ] || { echo "check_bigbench: $json not found" >&2; exit 1; }
+
+# The writer emits one object per line (bench/main.ml write_json), so a
+# line-oriented scan is reliable without a JSON parser.
+awk -v budget="$budget" '
+  /"bigbench"/ { bb = 1; next }
+  bb && /"equivalence"/ { section = "equiv"; next }
+  bb && /"scale"/ { section = "scale"; next }
+  bb && /\]/ { section = "" }
+  bb && section == "" && /^  \}/ { bb = 0 }
+
+  section == "equiv" && /"family"/ {
+    name = $0; sub(/.*"family": "/, "", name); sub(/".*/, "", name)
+    ok = ($0 ~ /"streaming_matches_digraph": true/ && $0 ~ /"estimator_exact_at_full_sample": true/)
+    printf "  equivalence %-12s %s\n", name, ok ? "ok" : "MISMATCH"
+    equiv_checked++
+    if (!ok) bad++
+  }
+
+  section == "scale" && /"family"/ {
+    name = $0; sub(/.*"family": "/, "", name); sub(/".*/, "", name)
+    n = $0; sub(/.*"n": /, "", n); sub(/[,}].*/, "", n)
+    ns = $0; sub(/.*"build_ns_per_node": /, "", ns); sub(/[,}].*/, "", ns)
+    completed = ($0 ~ /"completed": true/)
+    printf "  scale %-10s n=%-7d %8.1f ns/node (budget %s)%s\n", \
+      name, n, ns, budget, completed ? "" : "  [INCOMPLETE]"
+    if (!completed) bad++
+    if (n + 0 == 10000) {
+      ceiling_checked++
+      if (ns + 0 > budget + 0) { printf "  ^ over ns/node budget\n"; bad++ }
+    }
+    if (n + 0 >= 100000 && completed) big_done++
+  }
+
+  END {
+    if (equiv_checked == 0) { print "check_bigbench: no equivalence entries found" > "/dev/stderr"; exit 1 }
+    if (ceiling_checked == 0) { print "check_bigbench: no n=10^4 scale rows found" > "/dev/stderr"; exit 1 }
+    if (big_done == 0) { print "check_bigbench: no completed n>=10^5 row" > "/dev/stderr"; exit 1 }
+    if (bad > 0) { printf "check_bigbench: %d check%s failed\n", bad, bad == 1 ? "" : "s" > "/dev/stderr"; exit 1 }
+    print "check_bigbench: ok"
+  }
+' "$json"

@@ -92,6 +92,8 @@ every counter is deterministic (the domain pool is never engaged).
     pool.runs                                       0
     pool.tasks                                      0
     stability.is_stable                             0
+    workspace.acquires                              1
+    workspace.row_allocs                            1
   gauges
     pool.workers                                    0
   histograms
@@ -125,23 +127,25 @@ pruned count for a 4-node ring enumeration):
     exhaustive.profiles                           111
     exhaustive.pruned_prefixes                      0
     incr.analytic_costs                           199
-    incr.contexts                                 111
-    incr.cost_cache_hits                            0
-    incr.cost_cache_misses                        137
+    incr.contexts                                   1
+    incr.cost_cache_hits                           87
+    incr.cost_cache_misses                         50
     incr.masks                                      0
-    incr.moves                                      0
+    incr.moves                                    144
     incr.threshold_rows                             0
-    incremental.full_sssp                         271
-    incremental.repairs                             0
-    incremental.repairs_noop                        0
+    incremental.full_sssp                           4
+    incremental.repairs                           190
+    incremental.repairs_noop                      216
     pool.runs                                       0
     pool.tasks                                      0
     stability.is_stable                           111
+    workspace.acquires                              1
+    workspace.row_allocs                            1
   gauges
     pool.workers                                    0
   histograms
     name                                    count       mean      p~max
-    incremental.repair_touched                  0          -          -
+    incremental.repair_touched                190 <T> <T>
     pool.wait_ns                                0          -          -
 
 --trace-out writes a JSONL event stream.  The text --trace and the
@@ -222,3 +226,38 @@ request, deterministic session ids and stats:
   {"id":"7","error":{"code":"unknown_method","message":"unknown method \"oops\""}}
   {"id":"8","error":{"code":"unknown_session","message":"no session \"nope\""}}
   {"id":"9","ok":{"sessions":1,"queue_depth":0,"served":{"cost":3,"gen":1,"ping":1,"stable":1,"step_dynamics":1},"errors":1,"timeouts":0,"overloaded":0,"rejected":1,"batches":8}}
+
+The large-n path: stream a family straight into a CSR snapshot and
+estimate the social cost from landmark sweeps.  With landmarks >= n the
+estimator degenerates to the exact sweep; --jobs 1 pins the bound's
+float accumulation order.
+
+  $ bbc_cli bigbench ring -n 40 -k 1 --landmarks 40
+  family:    ring (n=40, k=1, seed=1)
+  edges:     40
+  landmarks: 40 of 40
+  social cost (sum): 31200 (exact)
+
+  $ bbc_cli bigbench random -n 200 -k 2 --seed 5 --landmarks 150 --jobs 1
+  family:    random (n=200, k=2, seed=5)
+  edges:     400
+  landmarks: 150 of 200
+  social cost (sum): 8738981.3 +- 37589.2 (estimated)
+
+Sampled best-response rounds ride along after the estimate (the walk is
+replayable from the seeds; every adopted deviation is a genuine strict
+improvement):
+
+  $ bbc_cli bigbench tree -n 100 -k 2 --landmarks 100 --rounds 2 --sample 3
+  family:    tree (n=100, k=2, seed=1)
+  edges:     99
+  landmarks: 100 of 100
+  social cost (sum): 3769479 (exact)
+  dynamics:  exhausted (rounds=2 steps=200 deviations=129)
+  final social cost: 171568 (exact)
+
+Unknown families are rejected with the catalog's vocabulary:
+
+  $ bbc_cli bigbench nosuch -n 10
+  bbc: unknown streaming family "nosuch"
+  [124]

@@ -44,5 +44,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("incremental", Test_incremental.suite);
+      ("bigbench", Test_bigbench.suite);
       ("server", Test_server.suite);
     ]
