@@ -27,14 +27,17 @@ check:
 # the oracle and bit-identical to it, CSR kernels bit-identical to the
 # list-graph references and the hot path holding its floors over the
 # BENCH_1 baseline, the large-n engine's equivalence bits and ns/node
-# ceiling — and the serving-layer soak (10k concurrent requests, zero
-# protocol errors, graceful drain).
+# ceiling — the serving-layer soak (10k concurrent requests, zero
+# protocol errors, graceful drain), and the differential-fuzzing gate
+# (every engine pair mismatch-free under a fixed seed, plus the
+# selfcheck planted bug caught and shrunk to n <= 8).
 ci: check
 	scripts/check_obs_overhead.sh bench/results/BENCH_smoke.json
 	scripts/check_incremental.sh bench/results/BENCH_smoke.json
 	scripts/check_kernels.sh bench/results/BENCH_smoke.json
 	scripts/check_bigbench.sh bench/results/BENCH_smoke.json
 	scripts/check_server.sh
+	scripts/check_fuzz.sh
 
 build:
 	dune build @all

@@ -124,11 +124,22 @@ let ablation_benchmarks () =
       fun () ->
         let inst, config = Lazy.force willows_fixture in
         ignore (Bbc.Stability.is_stable inst config) );
-    ( "ablation/stability sequential (n=126)",
+    (* Stability engines on the same fixture, labelled by engine.  The
+       old pair compared `is_stable` (incremental engine, default on)
+       against `is_stable_parallel ~domains:4` (from-scratch) and called
+       them "sequential" vs "4 domains" — an engine confound, not a
+       domain-count ablation.  Only the last two differ by domain count
+       alone (both from-scratch over the shared CSR snapshot, one node
+       per chunk pull). *)
+    ( "ablation/stability incremental (n=126)",
       fun () ->
         let inst, config = Lazy.force big_willows_fixture in
         ignore (Bbc.Stability.is_stable inst config) );
-    ( "ablation/stability 4 domains (n=126)",
+    ( "ablation/stability from-scratch 1 domain (n=126)",
+      fun () ->
+        let inst, config = Lazy.force big_willows_fixture in
+        ignore (Bbc.Stability.is_stable ~jobs:1 ~incremental:false inst config) );
+    ( "ablation/stability from-scratch 4 domains (n=126)",
       fun () ->
         let inst, config = Lazy.force big_willows_fixture in
         ignore (Bbc.Stability.is_stable_parallel ~domains:4 inst config) );

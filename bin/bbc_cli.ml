@@ -11,6 +11,7 @@
      convert     validate + re-emit an instance/config file (text <-> JSON)
      serve       long-running game-analysis daemon (line-delimited JSON)
      bigbench    large-n streaming build + landmark social-cost estimate
+     fuzz        differential fuzzing of every engine pair, with shrinking
 
    Observability: --metrics prints the Bbc_obs summary on exit and
    --trace-out FILE writes the structured JSONL event stream; both are
@@ -612,6 +613,104 @@ let bigbench_cmd =
        $ k_opt $ seed_opt $ landmarks_opt $ rounds_opt $ sample_opt $ objective_opt
        $ timings_opt))
 
+let fuzz_cmd =
+  let suite_opt =
+    let doc =
+      "Differential suite to run: all (= csr, incr, br, server), or one of "
+      ^ String.concat ", " Bbc_fuzz.Diff.suite_names
+      ^ ".  selfcheck is expected to fail: it fuzzes a deliberately broken \
+         test-only oracle to prove the harness finds and shrinks planted bugs."
+    in
+    Arg.(value & opt string "all" & info [ "suite" ] ~docv:"NAME" ~doc)
+  in
+  let count_opt =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Generated cases per property.")
+  in
+  let shrink_opt =
+    Arg.(
+      value & opt int 1000
+      & info [ "max-shrink-steps" ] ~docv:"N"
+          ~doc:"Property evaluations allowed while shrinking a failure.")
+  in
+  let run () () obs suite seed count max_shrink_steps =
+    if count < 1 || max_shrink_steps < 0 then
+      `Error (true, "--count must be positive and --max-shrink-steps non-negative")
+    else
+      match Bbc_fuzz.Diff.expand_suites suite with
+      | Error e -> `Error (false, e)
+      | Ok names ->
+          with_obs obs @@ fun () ->
+          let opts = { Bbc_fuzz.Diff.seed; count; max_shrink_steps } in
+          let failures = ref 0 in
+          let total_props = ref 0 in
+          let total_cases = ref 0 and total_discards = ref 0 in
+          let rec go = function
+            | [] -> `Ok ()
+            | name :: rest -> (
+                match Bbc_fuzz.Diff.run_suite opts name with
+                | Error e -> `Error (false, e)
+                | Ok reports ->
+                    Format.fprintf fmt "suite %s@." name;
+                    List.iter
+                      (fun (r : Bbc_fuzz.Diff.prop_report) ->
+                        incr total_props;
+                        total_cases := !total_cases + r.stats.Bbc_fuzz.Runner.cases;
+                        total_discards :=
+                          !total_discards + r.stats.Bbc_fuzz.Runner.discards;
+                        match r.failure with
+                        | None ->
+                            Format.fprintf fmt "  %-20s %d cases, %d discards: ok@."
+                              r.name r.stats.Bbc_fuzz.Runner.cases
+                              r.stats.Bbc_fuzz.Runner.discards
+                        | Some f ->
+                            incr failures;
+                            Format.fprintf fmt
+                              "  %-20s FAIL at case %d (%d shrink steps)@." r.name
+                              f.case f.steps_used;
+                            Format.fprintf fmt "    mismatch: %s@." f.message;
+                            Format.fprintf fmt "    shrunk instance n = %d@."
+                              (Bbc.Instance.n f.instance);
+                            Format.fprintf fmt "    instance: %s@."
+                              (Bbc.Json.to_string
+                                 (Bbc.Codec.instance_to_json f.instance));
+                            Option.iter
+                              (fun c ->
+                                Format.fprintf fmt "    config: %s@."
+                                  (Bbc.Json.to_string (Bbc.Codec.config_to_json c)))
+                              f.config;
+                            if f.detail <> "" then
+                              Format.fprintf fmt "    input: %s@." f.detail;
+                            Format.fprintf fmt
+                              "    replay: bbc fuzz --suite %s --seed %d --count %d@."
+                              r.suite seed count)
+                      reports;
+                    go rest)
+          in
+          let result = go names in
+          (match result with
+          | `Ok () ->
+              Format.fprintf fmt
+                "fuzz: %d properties, %d cases, %d discards, %d failures@."
+                !total_props !total_cases !total_discards !failures
+          | `Error _ -> ());
+          if !failures > 0 then `Error (false, "fuzzing found mismatches")
+          else result
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz every engine pair (list-graph vs CSR, scratch vs \
+          incremental, exact vs exhaustive best response, server vs direct \
+          calls) with structured generators and integrated shrinking; \
+          mismatches are shrunk to minimal instances and printed as \
+          bbc-convert-loadable JSON.")
+    Term.(
+      ret
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ suite_opt
+       $ seed_opt $ count_opt $ shrink_opt))
+
 let () =
   let doc = "Bounded Budget Connection (BBC) games laboratory" in
   let info = Cmd.info "bbc" ~version:"1.0.0" ~doc in
@@ -630,4 +729,5 @@ let () =
             convert_cmd;
             serve_cmd;
             bigbench_cmd;
+            fuzz_cmd;
           ]))

@@ -11,6 +11,17 @@ let parallel_threshold = 64
 
 let resolve_jobs ?jobs n = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n
 
+(* One node per chunk pull.  A best-response check runs a full DFS over
+   strategy space against the pooled CSR rows, so per-node work is both
+   heavy (microseconds to milliseconds) and uneven (it depends on the
+   node's budget and candidate set).  The pool's default chunking
+   (~range/8 per job) leaves stragglers holding several expensive nodes
+   and delays [parallel_find_first]/[parallel_exists] early abort to
+   chunk granularity; one-node chunks cost a single fetch-add per node —
+   noise next to the check itself — and give node-granular balance and
+   abort. *)
+let br_chunk = 1
+
 let obs_stable_checks = Bbc_obs.counter "stability.is_stable"
 
 (* The incremental engine replaces the parallel from-scratch scan with a
@@ -52,7 +63,7 @@ let find_deviation ?objective ?jobs ?ctx ?incremental instance config =
              each node its G_{-u} rows), so the fan-out builds no per-node
              graphs and the domains stay off the shared allocator. *)
           let csr = Config.to_csr instance config in
-          Bbc_parallel.parallel_find_first ~jobs 0 n (fun u ->
+          Bbc_parallel.parallel_find_first ~jobs ~chunk:br_chunk 0 n (fun u ->
               match Best_response.improving ?objective ~csr instance config u with
               | Some better ->
                   Some
@@ -80,7 +91,7 @@ let is_stable ?objective ?jobs ?ctx ?incremental instance config =
   | None ->
       let csr = Config.to_csr instance config in
       not
-        (Bbc_parallel.parallel_exists ~jobs 0 n (fun u ->
+        (Bbc_parallel.parallel_exists ~jobs ~chunk:br_chunk 0 n (fun u ->
              Option.is_some (Best_response.improving ?objective ~csr instance config u)))
 
 let nodes_stable ?objective ?ctx ?incremental instance config nodes =
@@ -116,7 +127,7 @@ let unstable_nodes ?objective ?jobs ?ctx ?incremental instance config =
             Option.is_some (Best_response.improving ?objective ~ctx instance config u))
     | None ->
         let csr = Config.to_csr instance config in
-        Bbc_parallel.parallel_init ~jobs n (fun u ->
+        Bbc_parallel.parallel_init ~jobs ~chunk:br_chunk n (fun u ->
             Option.is_some (Best_response.improving ?objective ~csr instance config u))
   in
   List.filter (fun u -> unstable.(u)) (List.init n Fun.id)
@@ -135,7 +146,8 @@ let stability_gap ?objective ?jobs ?ctx ?incremental instance config =
   | None ->
       let csr = Config.to_csr instance config in
       let costs = Eval.all_costs ?objective ~jobs instance config in
-      Bbc_parallel.parallel_reduce ~jobs ~neutral:0 ~combine:max 0 n (fun u ->
+      Bbc_parallel.parallel_reduce ~jobs ~chunk:br_chunk ~neutral:0 ~combine:max 0 n
+        (fun u ->
           costs.(u) - Best_response.best_cost ?objective ~csr instance config u)
 
 let pp_deviation fmt d =

@@ -1,0 +1,630 @@
+(* Differential suites; see diff.mli for the engine-pair matrix. *)
+
+module I = Bbc.Instance
+module C = Bbc.Config
+module E = Bbc.Eval
+module BR = Bbc.Best_response
+module Json = Bbc.Json
+module Csr = Bbc_graph.Csr
+module P = Bbc_graph.Paths
+module Apsp = Bbc_graph.Apsp
+
+type options = { seed : int; count : int; max_shrink_steps : int }
+
+type failure_report = {
+  prop : string;
+  case : int;
+  steps_used : int;
+  message : string;
+  instance : I.t;
+  config : C.t option;
+  detail : string;
+}
+
+type prop_report = {
+  suite : string;
+  name : string;
+  prop_seed : int;
+  stats : Runner.stats;
+  failure : failure_report option;
+}
+
+(* A property packed with its generator and a renderer that extracts
+   the (instance, config, extra-detail) view of a counterexample. *)
+type packed =
+  | Packed : {
+      name : string;
+      gen : 'a Gen.t;
+      prop : 'a -> (unit, string) result;
+      render : 'a -> I.t * C.t option * string;
+    }
+      -> packed
+
+let ok = Ok ()
+let failf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let rec check_all f = function
+  | [] -> ok
+  | x :: rest -> ( match f x with Ok () -> check_all f rest | e -> e)
+
+let nodes inst = List.init (I.n inst) Fun.id
+
+let array_mismatch a b =
+  if Array.length a <> Array.length b then Some (-1)
+  else
+    let rec go i =
+      if i >= Array.length a then None
+      else if a.(i) <> b.(i) then Some i
+      else go (i + 1)
+    in
+    go 0
+
+let moves_to_string ms =
+  String.concat " "
+    (List.map
+       (fun (u, s) ->
+         Printf.sprintf "%d<-[%s]" u (String.concat ";" (List.map string_of_int s)))
+       ms)
+
+(* ---------------------------------------------------------------- *)
+(* Suite csr: list-graph reference vs flat CSR kernels.              *)
+
+let ic_csr = Domain_gen.instance_config ~max_n:10 ()
+
+let prop_paths_vs_csr (inst, cfg) =
+  let g = C.to_graph inst cfg in
+  let csr = C.to_csr inst cfg in
+  check_all
+    (fun src ->
+      let ref_row = P.shortest g src in
+      let csr_row = P.shortest_csr csr src in
+      match array_mismatch ref_row csr_row with
+      | None -> ok
+      | Some v ->
+          failf "src %d: Paths.shortest and CSR sweep disagree at node %d" src v)
+    (nodes inst)
+
+let prop_apsp_vs_floyd (inst, cfg) =
+  let g = C.to_graph inst cfg in
+  let fast = Apsp.compute g in
+  let oracle = Apsp.floyd_warshall g in
+  check_all
+    (fun u ->
+      check_all
+        (fun v ->
+          if Apsp.distance fast u v = Apsp.distance oracle u v then ok
+          else failf "apsp (%d, %d): compute <> floyd_warshall" u v)
+        (nodes inst))
+    (nodes inst)
+
+let prop_ban_vs_skip (inst, cfg) =
+  let n = I.n inst in
+  let full = C.to_csr inst cfg in
+  let scratch = Csr.create_scratch () in
+  let dist = Array.make n Csr.unreachable in
+  check_all
+    (fun u ->
+      let skipped = C.to_csr ~skip:u inst cfg in
+      check_all
+        (fun src ->
+          Csr.sssp ~ban:u full scratch ~src ~dist;
+          let banned = Array.copy dist in
+          Csr.reset scratch dist;
+          let reference = P.shortest_csr skipped src in
+          match array_mismatch banned reference with
+          | None -> ok
+          | Some v ->
+              failf "ban:%d src %d: ~ban sweep and ~skip snapshot disagree at %d"
+                u src v)
+        (nodes inst))
+    (nodes inst)
+
+let prop_int32_rows (inst, cfg) =
+  let n = I.n inst in
+  let csr = C.to_csr inst cfg in
+  let scratch = Csr.create_scratch () in
+  let dist32 = Csr.create_dist32 n in
+  check_all
+    (fun src ->
+      let reference = P.shortest_csr csr src in
+      Csr.sssp32 csr scratch ~src ~dist:dist32 ;
+      let r =
+        check_all
+          (fun v ->
+            let d32 = Bigarray.Array1.get dist32 v in
+            let widened =
+              if Int32.equal d32 Csr.unreachable32 then Csr.unreachable
+              else Int32.to_int d32
+            in
+            if widened = reference.(v) then ok
+            else failf "src %d: int32 row disagrees with int row at %d" src v)
+          (nodes inst)
+      in
+      Csr.reset32 scratch dist32;
+      r)
+    (nodes inst)
+
+let csr_suite =
+  let render (inst, cfg) = (inst, Some cfg, "") in
+  [
+    Packed { name = "paths_vs_csr"; gen = ic_csr; prop = prop_paths_vs_csr; render };
+    Packed { name = "apsp_vs_floyd"; gen = ic_csr; prop = prop_apsp_vs_floyd; render };
+    Packed { name = "ban_vs_skip"; gen = ic_csr; prop = prop_ban_vs_skip; render };
+    Packed { name = "int32_rows"; gen = ic_csr; prop = prop_int32_rows; render };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Suite incr: scratch Eval vs incremental contexts under deltas.    *)
+
+let icm =
+  let open Gen in
+  let* inst, cfg = Domain_gen.instance_config ~max_n:8 () in
+  let+ ms = Domain_gen.moves inst in
+  (inst, cfg, ms)
+
+let costs_agree ~what inst cfg ctx =
+  let incr_costs = Bbc.Incr.all_costs ctx in
+  let scratch = E.all_costs ~jobs:1 inst cfg in
+  match array_mismatch incr_costs scratch with
+  | None -> ok
+  | Some v -> failf "%s: Incr and Eval costs disagree at node %d" what v
+
+let prop_incr_vs_scratch (inst, cfg0, ms) =
+  let ctx = Bbc.Incr.create inst cfg0 in
+  match costs_agree ~what:"initial" inst cfg0 ctx with
+  | Error _ as e -> e
+  | Ok () ->
+      let cfg = ref cfg0 in
+      let step = ref 0 in
+      check_all
+        (fun (u, s) ->
+          Bbc.Incr.apply_move ctx u s;
+          cfg := C.with_strategy !cfg u s;
+          incr step;
+          costs_agree ~what:(Printf.sprintf "after move %d" !step) inst !cfg ctx)
+        ms
+
+let prop_masked_roundtrip (inst, cfg0, ms) =
+  let ctx = Bbc.Incr.create inst cfg0 in
+  let cfg = ref cfg0 in
+  List.iter
+    (fun (u, s) ->
+      Bbc.Incr.apply_move ctx u s;
+      cfg := C.with_strategy !cfg u s)
+    ms;
+  check_all
+    (fun u ->
+      let before = Bbc.Incr.all_costs ctx in
+      let inside =
+        Bbc.Incr.with_masked ctx u (fun () ->
+            let skipped = C.to_csr ~skip:u inst !cfg in
+            check_all
+              (fun src ->
+                let masked = Bbc.Incr.masked_row ctx src in
+                let reference = P.shortest_csr skipped src in
+                match array_mismatch masked reference with
+                | None -> ok
+                | Some v ->
+                    failf "mask %d src %d: masked_row and ~skip disagree at %d"
+                      u src v)
+              (nodes inst))
+      in
+      match inside with
+      | Error _ as e -> e
+      | Ok () -> (
+          let after = Bbc.Incr.all_costs ctx in
+          match array_mismatch before after with
+          | None -> ok
+          | Some v -> failf "mask %d: undo changed node %d's cost" u v))
+    (nodes inst)
+
+let deviation_to_string = function
+  | None -> "stable"
+  | Some (d : Bbc.Stability.deviation) ->
+      Printf.sprintf "node %d: %d -> %d via [%s]" d.node d.current_cost
+        d.better.BR.cost
+        (String.concat ";" (List.map string_of_int d.better.BR.strategy))
+
+let prop_stability_engines (inst, cfg0, ms) =
+  let cfg = List.fold_left (fun c (u, s) -> C.with_strategy c u s) cfg0 ms in
+  let inc = Bbc.Stability.find_deviation ~incremental:true inst cfg in
+  let scr = Bbc.Stability.find_deviation ~incremental:false ~jobs:1 inst cfg in
+  let same =
+    match (inc, scr) with
+    | None, None -> true
+    | Some a, Some b ->
+        a.Bbc.Stability.node = b.Bbc.Stability.node
+        && a.current_cost = b.current_cost
+        && a.better.BR.cost = b.better.BR.cost
+        && a.better.BR.strategy = b.better.BR.strategy
+    | _ -> false
+  in
+  if same then ok
+  else
+    failf "find_deviation: incremental says %S, from-scratch says %S"
+      (deviation_to_string inc) (deviation_to_string scr)
+
+let incr_suite =
+  let render (inst, cfg, ms) = (inst, Some cfg, moves_to_string ms) in
+  [
+    Packed { name = "incr_vs_scratch"; gen = icm; prop = prop_incr_vs_scratch; render };
+    Packed
+      { name = "masked_roundtrip"; gen = icm; prop = prop_masked_roundtrip; render };
+    Packed
+      { name = "stability_engines"; gen = icm; prop = prop_stability_engines; render };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Suite br: exact best response vs exhaustive enumeration.          *)
+
+let ic_tiny = Domain_gen.instance_config ~max_n:6 ()
+
+let prop_br_vs_exhaustive (inst, cfg) =
+  check_all
+    (fun u ->
+      let r = BR.exact inst cfg u in
+      let brute =
+        List.fold_left
+          (fun acc s ->
+            min acc (E.node_cost inst (C.with_strategy cfg u s) u))
+          max_int
+          (Bbc.Exhaustive.all_strategies inst u)
+      in
+      if r.BR.cost <> brute then
+        failf "node %d: exact says %d, exhaustive says %d" u r.BR.cost brute
+      else
+        let realized = E.node_cost inst (C.with_strategy cfg u r.BR.strategy) u in
+        if realized <> r.BR.cost then
+          failf "node %d: reported strategy realizes %d, not %d" u realized
+            r.BR.cost
+        else ok)
+    (nodes inst)
+
+let prop_br_variants (inst, cfg) =
+  let csr = C.to_csr inst cfg in
+  let ctx = Bbc.Incr.create inst cfg in
+  check_all
+    (fun u ->
+      let plain = BR.exact inst cfg u in
+      let with_csr = BR.exact ~csr inst cfg u in
+      let with_ctx = BR.exact ~ctx inst cfg u in
+      if
+        plain.BR.cost = with_csr.BR.cost
+        && plain.BR.strategy = with_csr.BR.strategy
+        && plain.BR.cost = with_ctx.BR.cost
+        && plain.BR.strategy = with_ctx.BR.strategy
+      then ok
+      else
+        failf "node %d: exact/?csr/?ctx disagree (%d, %d, %d)" u plain.BR.cost
+          with_csr.BR.cost with_ctx.BR.cost)
+    (nodes inst)
+
+let prop_improving_iff (inst, cfg) =
+  check_all
+    (fun u ->
+      let current = E.node_cost inst cfg u in
+      let brute_best =
+        List.fold_left
+          (fun acc s ->
+            min acc (E.node_cost inst (C.with_strategy cfg u s) u))
+          max_int
+          (Bbc.Exhaustive.all_strategies inst u)
+      in
+      match BR.improving inst cfg u with
+      | Some r ->
+          if r.BR.cost >= current then
+            failf "node %d: 'improving' result %d not below current %d" u
+              r.BR.cost current
+          else if brute_best >= current then
+            failf "node %d: improving found but exhaustive optimum %d >= %d" u
+              brute_best current
+          else ok
+      | None ->
+          if brute_best < current then
+            failf "node %d: improvement %d < %d exists but improving = None" u
+              brute_best current
+          else ok)
+    (nodes inst)
+
+let br_suite =
+  let render (inst, cfg) = (inst, Some cfg, "") in
+  [
+    Packed
+      { name = "br_vs_exhaustive"; gen = ic_tiny; prop = prop_br_vs_exhaustive; render };
+    Packed { name = "br_variants"; gen = ic_tiny; prop = prop_br_variants; render };
+    Packed
+      { name = "improving_iff"; gen = ic_tiny; prop = prop_improving_iff; render };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Suite server: in-process engine vs direct scratch-engine calls.   *)
+
+let icp =
+  let open Gen in
+  let* inst, cfg = Domain_gen.instance_config ~max_n:7 () in
+  let+ ops = Domain_gen.program inst in
+  (inst, cfg, ops)
+
+(* The mirror replicates a session's walk counters with from-scratch
+   engines only; the server side runs its incremental context, so every
+   comparison crosses the engine boundary too. *)
+type mirror = {
+  inst : I.t;
+  mutable cfg : C.t;
+  mutable walk_index : int;
+  mutable walk_quiet : int;
+  mutable walk_deviations : int;
+}
+
+let mirror_node_cost m u = E.node_cost m.inst m.cfg u
+
+let mirror_walk_step m =
+  let n = I.n m.inst in
+  let node = m.walk_index mod n in
+  let current = mirror_node_cost m node in
+  let best = BR.exact m.inst m.cfg node in
+  let moved = best.BR.cost < current in
+  if moved then begin
+    m.cfg <- C.with_strategy m.cfg node best.BR.strategy;
+    m.walk_deviations <- m.walk_deviations + 1;
+    m.walk_quiet <- 0
+  end
+  else m.walk_quiet <- m.walk_quiet + 1;
+  m.walk_index <- m.walk_index + 1
+
+let mirror_walk_converged m =
+  let n = I.n m.inst in
+  m.walk_index mod n = 0 && m.walk_quiet >= n
+
+(* Expected "ok" payload of one operation, built with the same field
+   order as Handlers so the comparison can be on rendered JSON. *)
+let mirror_expected m (op : Domain_gen.op) =
+  match op with
+  | Domain_gen.Cost_all ->
+      let costs = E.all_costs ~jobs:1 m.inst m.cfg in
+      let social = Array.fold_left ( + ) 0 costs in
+      Bbc.Codec.costs_to_json ~objective:Bbc.Objective.Sum ~social costs
+  | Domain_gen.Cost_node u ->
+      Json.Obj [ ("node", Json.Int u); ("cost", Json.Int (mirror_node_cost m u)) ]
+  | Domain_gen.Best_response_of u ->
+      let r = BR.exact m.inst m.cfg u in
+      let current = mirror_node_cost m u in
+      Json.Obj
+        [
+          ("node", Json.Int u);
+          ("strategy", Json.List (List.map (fun v -> Json.Int v) r.BR.strategy));
+          ("cost", Json.Int r.BR.cost);
+          ("current", Json.Int current);
+          ("improving", Json.Bool (r.BR.cost < current));
+        ]
+  | Domain_gen.Stable -> (
+      match
+        Bbc.Stability.find_deviation ~incremental:false ~jobs:1 m.inst m.cfg
+      with
+      | None ->
+          Json.Obj [ ("stable", Json.Bool true); ("feasible", Json.Bool true) ]
+      | Some d ->
+          Json.Obj
+            [
+              ("stable", Json.Bool false);
+              ("feasible", Json.Bool true);
+              ( "deviation",
+                Json.Obj
+                  [
+                    ("node", Json.Int d.Bbc.Stability.node);
+                    ("current", Json.Int d.current_cost);
+                    ("cost", Json.Int d.better.BR.cost);
+                    ( "strategy",
+                      Json.List
+                        (List.map (fun v -> Json.Int v) d.better.BR.strategy) );
+                  ] );
+            ])
+  | Domain_gen.Apply_move (u, targets) ->
+      m.cfg <- C.with_strategy m.cfg u targets;
+      m.walk_quiet <- 0;
+      Json.Obj
+        [ ("applied", Json.Bool true); ("cost", Json.Int (mirror_node_cost m u)) ]
+  | Domain_gen.Step_dynamics steps ->
+      let executed = ref 0 in
+      while !executed < steps && not (mirror_walk_converged m) do
+        mirror_walk_step m;
+        incr executed
+      done;
+      let n = I.n m.inst in
+      Json.Obj
+        [
+          ("steps", Json.Int !executed);
+          ("index", Json.Int m.walk_index);
+          ("round", Json.Int (m.walk_index / n));
+          ("deviations", Json.Int m.walk_deviations);
+          ("converged", Json.Bool (mirror_walk_converged m));
+        ]
+
+let op_params session (op : Domain_gen.op) =
+  let s = ("session", Json.Str session) in
+  match op with
+  | Domain_gen.Cost_all -> ("cost", [ s ])
+  | Domain_gen.Cost_node u -> ("cost", [ s; ("node", Json.Int u) ])
+  | Domain_gen.Best_response_of u ->
+      ("best_response", [ s; ("node", Json.Int u) ])
+  | Domain_gen.Stable -> ("stable", [ s ])
+  | Domain_gen.Apply_move (u, targets) ->
+      ( "apply_move",
+        [
+          s;
+          ("node", Json.Int u);
+          ("targets", Json.List (List.map (fun v -> Json.Int v) targets));
+        ] )
+  | Domain_gen.Step_dynamics steps ->
+      ("step_dynamics", [ s; ("steps", Json.Int steps) ])
+
+(* One request through the engine's full submit/run_batch path (jobs=1,
+   so batches execute deterministically); returns the "ok" payload. *)
+let roundtrip engine ~id meth params =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Int id); ("method", Json.Str meth); ("params", Json.Obj params) ])
+  in
+  match Bbc_server.Engine.submit engine ~client:0 line with
+  | `Reply r -> failf "request %d rejected at admission: %s" id r
+  | `Queued -> (
+      match Bbc_server.Engine.run_batch engine with
+      | [ (_, response) ] -> (
+          match Json.of_string response with
+          | Error e -> failf "request %d: unparsable response (%s)" id e
+          | Ok payload -> (
+              match Json.member "ok" payload with
+              | Some v -> Ok v
+              | None -> failf "request %d: server error %s" id response))
+      | other -> failf "request %d: expected 1 response, got %d" id (List.length other))
+
+let prop_server_vs_direct (inst, cfg, ops) =
+  let config =
+    { (Bbc_server.Engine.default_config ()) with jobs = Some 1 }
+  in
+  let engine = Bbc_server.Engine.create config in
+  let load =
+    let params =
+      [
+        ("instance", Bbc.Codec.instance_to_json inst);
+        ("config", Bbc.Codec.config_to_json cfg);
+      ]
+    in
+    match roundtrip engine ~id:0 "load_instance" params with
+    | Error _ as e -> e
+    | Ok summary -> (
+        match Json.member "session" summary with
+        | Some (Json.Str id) -> Ok id
+        | _ -> failf "load_instance: no session id in %s" (Json.to_string summary))
+  in
+  match load with
+  | Error e -> Error e
+  | Ok session ->
+      let m =
+        { inst; cfg; walk_index = 0; walk_quiet = 0; walk_deviations = 0 }
+      in
+      let id = ref 0 in
+      check_all
+        (fun op ->
+          incr id;
+          let meth, params = op_params session op in
+          match roundtrip engine ~id:!id meth params with
+          | Error _ as e -> e
+          | Ok got ->
+              let expected = mirror_expected m op in
+              let got_s = Json.to_string got in
+              let expected_s = Json.to_string expected in
+              if String.equal got_s expected_s then ok
+              else
+                failf "op %d (%s): server %s, direct %s" !id
+                  (Domain_gen.ops_to_string [ op ])
+                  got_s expected_s)
+        ops
+
+let server_suite =
+  let render (inst, cfg, ops) = (inst, Some cfg, Domain_gen.ops_to_string ops) in
+  [
+    Packed
+      { name = "server_vs_direct"; gen = icp; prop = prop_server_vs_direct; render };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Suite selfcheck: a planted off-by-one the harness must catch.     *)
+
+(* Deliberately wrong oracle: social cost summed from node 1, skipping
+   node 0 — every instance where node 0 has positive cost refutes it.
+   check_fuzz.sh asserts this suite FAILS and that the counterexample
+   shrinks to n <= 8. *)
+let broken_social_cost inst cfg =
+  let total = ref 0 in
+  for u = 1 to I.n inst - 1 do
+    total := !total + E.node_cost inst cfg u
+  done;
+  !total
+
+let prop_planted_bug (inst, cfg) =
+  let reference = E.social_cost ~jobs:1 inst cfg in
+  let broken = broken_social_cost inst cfg in
+  if reference = broken then ok
+  else failf "social cost: reference %d, test oracle %d" reference broken
+
+let selfcheck_suite =
+  let render (inst, cfg) = (inst, Some cfg, "") in
+  [
+    Packed
+      {
+        name = "planted_social_cost";
+        gen = Domain_gen.instance_config ~max_n:10 ();
+        prop = prop_planted_bug;
+        render;
+      };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Registry and driver.                                              *)
+
+let suites =
+  [
+    ("csr", csr_suite);
+    ("incr", incr_suite);
+    ("br", br_suite);
+    ("server", server_suite);
+    ("selfcheck", selfcheck_suite);
+  ]
+
+let suite_names = List.map fst suites
+
+let expand_suites = function
+  | "all" -> Ok [ "csr"; "incr"; "br"; "server" ]
+  | name when List.mem_assoc name suites -> Ok [ name ]
+  | name ->
+      Error
+        (Printf.sprintf "unknown suite %S (expected all, %s)" name
+           (String.concat ", " suite_names))
+
+(* Independent deterministic seed per property: mixing the suite and
+   property names keeps a property's stream stable when its neighbours
+   are added or removed. *)
+let derive_seed base suite name = base lxor Hashtbl.hash (suite, name)
+
+let run_packed opts suite (Packed p) =
+  let prop_seed = derive_seed opts.seed suite p.name in
+  match
+    Runner.run ~count:opts.count ~max_shrink_steps:opts.max_shrink_steps
+      ~seed:prop_seed p.gen p.prop
+  with
+  | Error e -> Error (Printf.sprintf "%s/%s: %s" suite p.name e)
+  | Ok (failure, stats) ->
+      let failure =
+        Option.map
+          (fun (f : _ Runner.failure) ->
+            let instance, config, detail = p.render f.shrunk in
+            {
+              prop = p.name;
+              case = f.case;
+              steps_used = f.steps_used;
+              message = f.shrunk_error;
+              instance;
+              config;
+              detail;
+            })
+          failure
+      in
+      Ok { suite; name = p.name; prop_seed; stats; failure }
+
+let run_suite opts name =
+  match List.assoc_opt name suites with
+  | None ->
+      Error
+        (Printf.sprintf "unknown suite %S (expected %s)" name
+           (String.concat ", " suite_names))
+  | Some packed ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match run_packed opts name p with
+            | Error _ as e -> e
+            | Ok r -> go (r :: acc) rest)
+      in
+      go [] packed

@@ -1,0 +1,58 @@
+(** Differential suites: every engine pair under one generated input.
+
+    Each suite is a list of named properties over {!Domain_gen}
+    generators, executed by {!Runner.run}; a mismatch is shrunk to a
+    minimal instance and reported with the shrunk counterexample's
+    instance/configuration (printable as [bbc convert]-loadable JSON).
+
+    Engine pairs covered:
+    - [csr] — list-graph reference ([Paths], [Apsp.floyd_warshall])
+      vs flat CSR kernels, including [~ban:u] vs [~skip:u] snapshots
+      and int32 vs int rows;
+    - [incr] — scratch [Eval] vs {!Bbc.Incr} contexts under generated
+      move sequences, with [with_masked] exact-undo round-trips and
+      incremental-vs-parallel [Stability];
+    - [br] — [Best_response.exact] (and its [?csr]/[?ctx] variants)
+      vs exhaustive strategy enumeration on tiny instances;
+    - [server] — in-process [Bbc_server.Engine] request streams vs
+      direct scratch-engine calls on a mirrored session;
+    - [selfcheck] — a deliberately broken test-only oracle (social
+      cost computed skipping node 0).  Expected to FAIL: it exists to
+      prove the harness finds planted bugs and shrinks them
+      ([scripts/check_fuzz.sh] asserts the shrunk instance has
+      [n <= 8]). *)
+
+type options = {
+  seed : int;
+  count : int;  (** cases per property *)
+  max_shrink_steps : int;
+}
+
+type failure_report = {
+  prop : string;
+  case : int;  (** 0-based failing case index *)
+  steps_used : int;  (** shrink budget consumed *)
+  message : string;  (** the shrunk counterexample's mismatch *)
+  instance : Bbc.Instance.t;  (** shrunk *)
+  config : Bbc.Config.t option;  (** shrunk, when the input carries one *)
+  detail : string;  (** extra shrunk input (moves / request program) *)
+}
+
+type prop_report = {
+  suite : string;
+  name : string;
+  prop_seed : int;  (** the derived seed this property ran under *)
+  stats : Runner.stats;
+  failure : failure_report option;
+}
+
+val suite_names : string list
+(** [csr; incr; br; server; selfcheck]. *)
+
+val expand_suites : string -> (string list, string) result
+(** Resolve a [--suite] argument: a name from {!suite_names}, or [all]
+    (every suite except [selfcheck], which is expected to fail). *)
+
+val run_suite : options -> string -> (prop_report list, string) result
+(** Run every property of one suite.  [Error] only for an unknown suite
+    name or a generator discard overflow. *)

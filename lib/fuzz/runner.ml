@@ -1,0 +1,105 @@
+(* Generate / test / shrink loop; see runner.mli. *)
+
+module SM = Bbc_prng.Splitmix
+
+type stats = { cases : int; discards : int; shrink_steps : int }
+
+type 'a failure = {
+  case : int;
+  original : 'a;
+  original_error : string;
+  shrunk : 'a;
+  shrunk_error : string;
+  steps_used : int;
+}
+
+let c_cases = Bbc_obs.counter "fuzz.cases"
+let c_discards = Bbc_obs.counter "fuzz.discards"
+let c_shrink_steps = Bbc_obs.counter "fuzz.shrink_steps"
+
+(* Evaluate the property, folding exceptions into [Error].  [Discard]
+   propagates: a value that stops satisfying a precondition mid-property
+   counts as a discard, never as a failure. *)
+let eval prop x =
+  match prop x with
+  | r -> r
+  | exception Gen.Discard -> raise Gen.Discard
+  | exception e -> Error (Printexc.to_string e)
+
+(* Greedy descent: take the first child that still fails and restart
+   from it.  Every property evaluation (including on children that turn
+   out to pass or discard) consumes one step of the budget. *)
+let shrink ~max_steps prop tree err0 =
+  let steps = ref 0 in
+  let rec go tree err =
+    let rec scan cs =
+      if !steps >= max_steps then (Gen.root tree, err)
+      else
+        match cs () with
+        | Seq.Nil -> (Gen.root tree, err)
+        | Seq.Cons (c, rest) -> (
+            incr steps;
+            Bbc_obs.incr c_shrink_steps;
+            match eval prop (Gen.root c) with
+            | Error e -> go c e
+            | Ok () -> scan rest
+            | exception Gen.Discard -> scan rest)
+    in
+    scan (Gen.children tree)
+  in
+  let shrunk, shrunk_error = go tree err0 in
+  (shrunk, shrunk_error, !steps)
+
+let run ?(count = 100) ?(max_shrink_steps = 1000) ?max_discards ~seed gen prop =
+  let max_discards =
+    match max_discards with Some d -> d | None -> 10 * count
+  in
+  let rng = SM.create seed in
+  let cases = ref 0 and discards = ref 0 in
+  let rec loop () =
+    if !cases >= count then
+      Ok (None, { cases = !cases; discards = !discards; shrink_steps = 0 })
+    else if !discards > max_discards then
+      Error
+        (Printf.sprintf "gave up: %d discards over %d cases (seed %d)"
+           !discards !cases seed)
+    else
+      (* One split per case: case [i] depends only on (seed, i), not on
+         how much state earlier cases consumed. *)
+      let case_rng = SM.split rng in
+      match
+        let tree = gen case_rng in
+        (tree, eval prop (Gen.root tree))
+      with
+      | exception Gen.Discard ->
+          incr discards;
+          Bbc_obs.incr c_discards;
+          loop ()
+      | _, Ok () ->
+          incr cases;
+          Bbc_obs.incr c_cases;
+          loop ()
+      | tree, Error err ->
+          let case = !cases in
+          incr cases;
+          Bbc_obs.incr c_cases;
+          let shrunk, shrunk_error, steps_used =
+            shrink ~max_steps:max_shrink_steps prop tree err
+          in
+          Ok
+            ( Some
+                {
+                  case;
+                  original = Gen.root tree;
+                  original_error = err;
+                  shrunk;
+                  shrunk_error;
+                  steps_used;
+                },
+              {
+                cases = !cases;
+                discards = !discards;
+                shrink_steps = steps_used;
+              } )
+  in
+  loop ()

@@ -1,0 +1,44 @@
+(** Property runner: generate, test, and shrink.
+
+    A property maps a generated value to [Ok ()] or [Error reason]; an
+    exception escaping the property is treated as [Error] with the
+    exception text, and {!Gen.Discard} (from generation or the property
+    itself) skips the case.  On failure the runner walks the shrink
+    tree greedily — first child whose root still fails, recursively —
+    bounded by [max_shrink_steps] property evaluations, and reports both
+    the original and the minimal counterexample.
+
+    Runs are deterministic in [seed]: case [i] is generated from the
+    [i]-th split of the seeded state, so a failure replays from
+    [(seed, case)] alone.  Cases, discards and shrink steps are also
+    mirrored into {!Bbc_obs} counters ([fuzz.cases], [fuzz.discards],
+    [fuzz.shrink_steps]) when observability is enabled. *)
+
+type stats = {
+  cases : int;  (** properties evaluated at generated (unshrunk) roots *)
+  discards : int;  (** cases skipped via {!Gen.Discard} *)
+  shrink_steps : int;  (** property evaluations spent shrinking *)
+}
+
+type 'a failure = {
+  case : int;  (** 0-based index of the failing case *)
+  original : 'a;  (** the value as generated *)
+  original_error : string;
+  shrunk : 'a;  (** the minimal value still failing *)
+  shrunk_error : string;
+  steps_used : int;  (** shrink-step budget consumed *)
+}
+
+val run :
+  ?count:int ->
+  ?max_shrink_steps:int ->
+  ?max_discards:int ->
+  seed:int ->
+  'a Gen.t ->
+  ('a -> (unit, string) result) ->
+  ('a failure option * stats, string) result
+(** [run ~seed gen prop] evaluates [prop] on up to [count] (default 100)
+    generated values.  Returns [Ok (None, stats)] if every case passed,
+    [Ok (Some failure, stats)] on the first failure (shrunk within
+    [max_shrink_steps], default 1000), and [Error _] only if more than
+    [max_discards] (default [10 * count]) cases were discarded. *)

@@ -71,6 +71,8 @@ every counter is deterministic (the domain pool is never engaged).
     dynamics.run                                1 <T> <T>
     eval.social_cost                            1 <T> <T>
   counters
+    apsp.pivots                                     0
+    apsp.sweeps                                     0
     best_response.enumerations                      5
     best_response.subsets                          25
     dynamics.activations                            5
@@ -79,6 +81,9 @@ every counter is deterministic (the domain pool is never engaged).
     exhaustive.aborted                              0
     exhaustive.profiles                             0
     exhaustive.pruned_prefixes                      0
+    fuzz.cases                                      0
+    fuzz.discards                                   0
+    fuzz.shrink_steps                               0
     incr.analytic_costs                            20
     incr.contexts                                   1
     incr.cost_cache_hits                            0
@@ -118,6 +123,8 @@ pruned count for a 4-node ring enumeration):
     exhaustive.search                           1 <T> <T>
     eval.social_cost                            1 <T> <T>
   counters
+    apsp.pivots                                     0
+    apsp.sweeps                                     0
     best_response.enumerations                    137
     best_response.subsets                         336
     dynamics.activations                            0
@@ -126,6 +133,9 @@ pruned count for a 4-node ring enumeration):
     exhaustive.aborted                              0
     exhaustive.profiles                           111
     exhaustive.pruned_prefixes                      0
+    fuzz.cases                                      0
+    fuzz.discards                                   0
+    fuzz.shrink_steps                               0
     incr.analytic_costs                           199
     incr.contexts                                   1
     incr.cost_cache_hits                           87
@@ -260,4 +270,56 @@ Unknown families are rejected with the catalog's vocabulary:
 
   $ bbc_cli bigbench nosuch -n 10
   bbc: unknown streaming family "nosuch"
+  [124]
+
+Differential fuzzing: `bbc fuzz` drives the generator/shrinker suites
+over every engine pair.  Same seed, same budget => byte-identical
+output (property order, case counts, and any counterexample included):
+
+  $ bbc_cli fuzz --suite csr --seed 3 --count 5 > f1.txt
+  $ bbc_cli fuzz --suite csr --seed 3 --count 5 > f2.txt
+  $ diff f1.txt f2.txt
+  $ cat f1.txt
+  suite csr
+    paths_vs_csr         5 cases, 0 discards: ok
+    apsp_vs_floyd        5 cases, 0 discards: ok
+    ban_vs_skip          5 cases, 0 discards: ok
+    int32_rows           5 cases, 0 discards: ok
+  fuzz: 4 properties, 20 cases, 0 discards, 0 failures
+
+The "selfcheck" suite fuzzes a deliberately broken oracle (it drops
+node 0 from the social cost), so it must fail, shrink the mismatch to
+a minimal instance, and print the counterexample as loadable JSON plus
+a replay line:
+
+  $ bbc_cli fuzz --suite selfcheck --seed 1 --count 5 --max-shrink-steps 100
+  suite selfcheck
+    planted_social_cost  FAIL at case 0 (4 shrink steps)
+      mismatch: social cost: reference 16, test oracle 8
+      shrunk instance n = 2
+      instance: {"type":"bbc-instance","version":1,"n":2,"penalty":8,"uniform_k":1}
+      config: {"type":"bbc-config","version":1,"n":2,"strategies":[[],[]]}
+      replay: bbc fuzz --suite selfcheck --seed 1 --count 5
+  fuzz: 1 properties, 1 cases, 0 discards, 1 failures
+  bbc: fuzzing found mismatches
+  [124]
+
+The printed counterexample round-trips through `bbc convert` — the
+shrunk instance is a real document, not just a log line:
+
+  $ bbc_cli fuzz --suite selfcheck --seed 1 --count 5 --max-shrink-steps 100 > self.txt 2>/dev/null
+  [124]
+  $ sed -n 's/^ *instance: //p' self.txt > ce.json
+  $ bbc_cli convert ce.json --to text
+  bbc-instance v1
+  n 2
+  penalty 8
+  uniform 1
+  $ bbc_cli convert ce.json
+  {"type":"bbc-instance","version":1,"n":2,"penalty":8,"uniform_k":1}
+
+Unknown suites are rejected with the known vocabulary:
+
+  $ bbc_cli fuzz --suite nosuch
+  bbc: unknown suite "nosuch" (expected all, csr, incr, br, server, selfcheck)
   [124]

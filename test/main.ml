@@ -46,4 +46,5 @@ let () =
       ("incremental", Test_incremental.suite);
       ("bigbench", Test_bigbench.suite);
       ("server", Test_server.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
