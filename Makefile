@@ -27,8 +27,10 @@ check:
 # the oracle and bit-identical to it, CSR kernels bit-identical to the
 # list-graph references and the hot path holding its floors over the
 # BENCH_1 baseline, the large-n engine's equivalence bits and ns/node
-# ceiling — the serving-layer soak (10k concurrent requests, zero
-# protocol errors, graceful drain), and the differential-fuzzing gate
+# ceiling — the serving-layer soak (64 TCP connections x 50k requests
+# on 1-worker and 4-worker daemons, zero errors, cross-shard
+# consistency, graceful drains, multi-core speedup floor), and the
+# differential-fuzzing gate
 # (every engine pair mismatch-free under a fixed seed, plus the
 # selfcheck planted bug caught and shrunk to n <= 8).
 ci: check

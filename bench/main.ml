@@ -726,60 +726,116 @@ let print_bigbench equiv rows =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
-(* Serving layer: an in-process daemon on a private socket, hammered by
-   the closed-loop load generator (the same code as tools/bbc_loadgen),
-   single- and multi-client.  Each scenario reports throughput and
-   latency quantiles; the generator's consistency cross-check (identical
-   read-only queries must get byte-identical answers under concurrency)
+(* Serving layer: a real `bbc serve --tcp` daemon spawned as a child
+   process (the bench has live domains, so forking in-process is off
+   the table — create_process is fork+exec, which is safe), hammered by
+   the event-loop load generator over TCP at 1 worker and N workers.
+   The 1-vs-N throughput ratio is the sharding speedup the CI soak gate
+   asserts; the generator's consistency cross-check (identical
+   read-only queries must get byte-identical answers, across shards)
    rides along as the correctness bit. *)
 
+(* The CLI binary sits next to the bench in the build tree
+   (_build/default/{bench,bin}); BBC_CLI overrides for odd layouts. *)
+let cli_binary () =
+  match Sys.getenv_opt "BBC_CLI" with
+  | Some p -> p
+  | None ->
+      let root = Filename.dirname (Filename.dirname Sys.executable_name) in
+      Filename.concat (Filename.concat root "bin") "bbc_cli.exe"
+
+(* Spawn `bbc serve --tcp 127.0.0.1:0 --workers W` and parse the
+   resolved ephemeral port from its "listening on tcp:HOST:PORT"
+   stdout line. *)
+let start_server ~workers =
+  let exe = cli_binary () in
+  if not (Sys.file_exists exe) then Error (exe ^ " not built")
+  else begin
+    let out_r, out_w = Unix.pipe ~cloexec:false () in
+    let pid =
+      Unix.create_process exe
+        [| exe; "serve"; "--tcp"; "127.0.0.1:0"; "--workers"; string_of_int workers |]
+        Unix.stdin out_w Unix.stderr
+    in
+    Unix.close out_w;
+    let ic = Unix.in_channel_of_descr out_r in
+    match input_line ic with
+    | line -> (
+        let prefix = "listening on tcp:" in
+        let plen = String.length prefix in
+        if String.length line > plen && String.sub line 0 plen = prefix then
+          match
+            Bbc_server.Net.parse_tcp
+              (String.sub line plen (String.length line - plen))
+          with
+          | Ok (host, port) -> Ok (pid, ic, Bbc_server.Net.Tcp (host, port))
+          | Error e ->
+              ignore (Unix.waitpid [] pid);
+              Error ("unparseable listening line: " ^ e)
+        else begin
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+          ignore (Unix.waitpid [] pid);
+          Error ("unexpected server output: " ^ line)
+        end)
+    | exception End_of_file ->
+        ignore (Unix.waitpid [] pid);
+        Error "server exited before listening"
+  end
+
+let stop_server (pid, ic, endpoint) =
+  (match Bbc_server.Loadgen.request_shutdown ~endpoint with
+  | Ok () -> ()
+  | Error _ -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ()));
+  let ok = match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false in
+  close_in_noerr ic;
+  ok
+
 let server_benchmarks ~full =
-  let socket =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "bbc-bench-%d.sock" (Unix.getpid ()))
-  in
-  let ready = Atomic.make false in
-  let srv =
-    Thread.create
-      (fun () ->
-        Bbc_server.Server.run
-          ~on_ready:(fun () -> Atomic.set ready true)
-          ~engine:(Bbc_server.Engine.default_config ())
-          (Bbc_server.Server.Socket socket))
-      ()
-  in
-  while not (Atomic.get ready) do
-    Thread.yield ()
-  done;
-  let requests = if full then 5000 else 1500 in
-  let results =
-    List.filter_map
-      (fun clients ->
-        match
-          Bbc_server.Loadgen.run ~socket ~clients ~requests ~name:"ring" ~n:24 ()
-        with
-        | Ok s -> Some (Printf.sprintf "serve/ring(n=24) %d client%s" clients
-                          (if clients = 1 then "" else "s"), s)
-        | Error e ->
-            Format.fprintf fmt "  serve bench (%d clients) failed: %s@." clients e;
-            None)
-      [ 1; 4 ]
-  in
-  (match Bbc_server.Loadgen.request_shutdown ~socket with Ok () | Error _ -> ());
-  Thread.join srv;
-  results
+  let total = if full then 20_000 else 5_000 in
+  let conns = 64 and sessions = 8 in
+  List.filter_map
+    (fun workers ->
+      match start_server ~workers with
+      | Error e ->
+          Format.fprintf fmt "  serve bench (workers=%d): %s@." workers e;
+          None
+      | Ok ((_, _, endpoint) as srv) -> (
+          let r =
+            Bbc_server.Loadgen.run ~endpoint ~conns ~total ~sessions ~name:"ring"
+              ~n:24 ()
+          in
+          let clean = stop_server srv in
+          match r with
+          | Ok s ->
+              if not clean then
+                Format.fprintf fmt
+                  "  serve bench (workers=%d): unclean server exit@." workers;
+              Some
+                ( Printf.sprintf "serve/tcp ring(n=24) workers=%d conns=%d" workers
+                    conns,
+                  workers,
+                  s )
+          | Error e ->
+              Format.fprintf fmt "  serve bench (workers=%d) failed: %s@." workers e;
+              None))
+    [ 1; 4 ]
 
 let print_servers entries =
-  Format.fprintf fmt "@.%s@.Serving layer (bbc serve + load generator, in-process)@."
+  Format.fprintf fmt "@.%s@.Serving layer (bbc serve --tcp, sharded workers, TCP loadgen)@."
     (String.make 72 '=');
   List.iter
-    (fun (name, (s : Bbc_server.Loadgen.summary)) ->
+    (fun (name, _, (s : Bbc_server.Loadgen.summary)) ->
       Format.fprintf fmt
-        "  %-34s %8.0f req/s  p50 %6.3f ms  p99 %6.3f ms  errors %d%s@." name
+        "  %-40s %8.0f req/s  p50 %6.3f ms  p99 %6.3f ms  errors %d%s@." name
         s.req_per_s s.p50_ms s.p99_ms
         (s.errors + s.protocol_errors)
         (if s.consistent then "" else "  [INCONSISTENT]"))
     entries;
+  (match entries with
+  | [ (_, _, one); (_, _, many) ] when one.req_per_s > 0.0 ->
+      Format.fprintf fmt "  sharding speedup: %.2fx@."
+        (many.req_per_s /. one.req_per_s)
+  | _ -> ());
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
@@ -911,13 +967,14 @@ let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench ~serve
   out "  },\n";
   out "  \"server\": [\n";
   List.iteri
-    (fun i (name, (s : Bbc_server.Loadgen.summary)) ->
+    (fun i (name, workers, (s : Bbc_server.Loadgen.summary)) ->
       out
-        "    {\"name\": %S, \"clients\": %d, \"requests\": %d, \
-         \"req_per_s\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \
-         \"errors\": %d, \"protocol_errors\": %d, \"consistent\": %b}%s\n"
-        name s.clients s.requests s.req_per_s s.p50_ms s.p99_ms s.errors
-        s.protocol_errors s.consistent
+        "    {\"name\": %S, \"workers\": %d, \"conns\": %d, \"sessions\": %d, \
+         \"requests\": %d, \"req_per_s\": %.1f, \"p50_ms\": %.4f, \
+         \"p99_ms\": %.4f, \"errors\": %d, \"protocol_errors\": %d, \
+         \"consistent\": %b}%s\n"
+        name workers s.conns s.sessions s.requests s.req_per_s s.p50_ms s.p99_ms
+        s.errors s.protocol_errors s.consistent
         (if i = List.length servers - 1 then "" else ","))
     servers;
   out "  ]\n";

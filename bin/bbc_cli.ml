@@ -443,68 +443,108 @@ let serve_cmd =
   let socket_opt =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on this Unix-domain socket.")
   in
+  let tcp_opt =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on this TCP endpoint (port 0 binds an ephemeral port; the resolved endpoint is printed on a 'listening' line).  May be combined with --socket to serve both.")
+  in
   let stdio =
     Arg.(value & flag & info [ "stdio" ] ~doc:"Serve one implicit connection on stdin/stdout instead of a socket (testing).")
   in
+  let workers_opt =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc:"Worker processes.  1 (the default) serves in-process; N > 1 forks N workers, each with its own engine and session store, and routes every request to the worker owning its session (hash sharding), so distinct sessions execute truly in parallel.")
+  in
   let queue_opt =
-    Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N" ~doc:"Admission-queue bound; requests beyond it are rejected with an overloaded error (backpressure).")
+    Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N" ~doc:"Admission-queue bound; requests beyond it are rejected with an overloaded error (backpressure).  With --workers N the bound applies per worker.")
   in
   let batch_opt =
     Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc:"Max requests executed per scheduler batch.")
   in
   let sessions_opt =
-    Arg.(value & opt int 1024 & info [ "max-sessions" ] ~docv:"N" ~doc:"Live-session bound.")
+    Arg.(value & opt int 1024 & info [ "max-sessions" ] ~docv:"N" ~doc:"Live-session bound (per worker with --workers N).")
   in
-  let run () () obs socket stdio queue batch sessions =
-    match (socket, stdio) with
-    | None, false -> `Error (true, "either --socket PATH or --stdio is required")
-    | Some _, true -> `Error (true, "--socket and --stdio are mutually exclusive")
-    | _ ->
-        if queue < 1 || batch < 1 || sessions < 1 then
-          `Error (true, "--queue, --batch and --max-sessions must be positive")
+  let run () () obs socket tcp stdio workers queue batch sessions =
+    if stdio && (socket <> None || tcp <> None) then
+      `Error (true, "--stdio is mutually exclusive with --socket/--tcp")
+    else if stdio && workers <> 1 then
+      `Error (true, "--stdio serves in-process; --workers requires a socket or TCP listener")
+    else if (not stdio) && socket = None && tcp = None then
+      `Error (true, "a listener is required: --socket PATH, --tcp HOST:PORT, or --stdio")
+    else if workers < 1 then `Error (true, "--workers must be >= 1")
+    else if queue < 1 || batch < 1 || sessions < 1 then
+      `Error (true, "--queue, --batch and --max-sessions must be positive")
+    else begin
+      (* The daemon always runs with observability on: the stats
+         endpoint and latency histograms are part of the service.
+         --metrics/--trace-out only control where the data goes on
+         exit. *)
+      Bbc_obs.enable ();
+      let oc = Option.map open_out obs.trace_out in
+      Option.iter (fun oc -> Bbc_obs.add_sink (Bbc_obs.jsonl_sink oc)) oc;
+      let engine =
+        {
+          (Bbc_server.Engine.default_config ()) with
+          Bbc_server.Engine.queue_cap = queue;
+          max_batch = batch;
+          session_cap = sessions;
+        }
+      in
+      let serve () =
+        if stdio then Bbc_server.Server.run ~engine Bbc_server.Server.Stdio
         else begin
-          (* The daemon always runs with observability on: the stats
-             endpoint and latency histograms are part of the service.
-             --metrics/--trace-out only control where the data goes on
-             exit. *)
-          Bbc_obs.enable ();
-          let oc = Option.map open_out obs.trace_out in
-          Option.iter (fun oc -> Bbc_obs.add_sink (Bbc_obs.jsonl_sink oc)) oc;
-          let engine =
-            {
-              (Bbc_server.Engine.default_config ()) with
-              Bbc_server.Engine.queue_cap = queue;
-              max_batch = batch;
-              session_cap = sessions;
-            }
+          let listeners =
+            (match socket with
+            | Some path -> [ Bbc_server.Net.listen_unix path ]
+            | None -> [])
+            @
+            match tcp with
+            | Some spec -> (
+                match Bbc_server.Net.parse_tcp spec with
+                | Ok (host, port) ->
+                    [ Bbc_server.Net.listen_tcp ~host ~port () ]
+                | Error e -> failwith ("--tcp: " ^ e))
+            | None -> []
           in
-          let mode =
-            if stdio then Bbc_server.Server.Stdio
-            else Bbc_server.Server.Socket (Option.get socket)
+          (* Scripts and the bench harness parse these lines to learn
+             ephemeral ports; keep the format stable. *)
+          let announce () =
+            List.iter
+              (fun (l : Bbc_server.Net.listener) ->
+                Printf.printf "listening on %s\n%!"
+                  (Bbc_server.Net.endpoint_to_string l.l_endpoint))
+              listeners
           in
-          match
-            Fun.protect
-              ~finally:(fun () ->
-                Bbc_obs.drain ();
-                Option.iter close_out oc;
-                if obs.metrics then Bbc_obs.pp_summary fmt;
-                Bbc_obs.clear_sinks ())
-              (fun () -> Bbc_server.Server.run ~engine mode)
-          with
-          | () -> `Ok ()
-          | exception Failure msg -> `Error (false, msg)
+          if workers = 1 then
+            Bbc_server.Server.run ~on_ready:announce ~engine
+              (Bbc_server.Server.Listen listeners)
+          else
+            Bbc_server.Front.run
+              ~on_ready:(fun _ -> announce ())
+              ~engine ~workers listeners
         end
+      in
+      match
+        Fun.protect
+          ~finally:(fun () ->
+            Bbc_obs.drain ();
+            Option.iter close_out oc;
+            if obs.metrics then Bbc_obs.pp_summary fmt;
+            Bbc_obs.clear_sinks ())
+          serve
+      with
+      | () -> `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the game-analysis service: line-delimited JSON requests (sessions, \
-          incremental evaluation, batching, deadlines, backpressure) over a \
-          Unix-domain socket, with graceful drain on SIGINT/SIGTERM.")
+          incremental evaluation, batching, deadlines, backpressure) over \
+          Unix-domain sockets and/or TCP, optionally sharded over worker \
+          processes (--workers), with graceful drain on SIGINT/SIGTERM.")
     Term.(
       ret
-        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ socket_opt $ stdio
-       $ queue_opt $ batch_opt $ sessions_opt))
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ socket_opt
+       $ tcp_opt $ stdio $ workers_opt $ queue_opt $ batch_opt $ sessions_opt))
 
 let bigbench_cmd =
   let family_arg =

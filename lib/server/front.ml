@@ -1,0 +1,716 @@
+module Json = Bbc.Json
+
+(* One client connection.  [c_order] holds the reorder tokens of every
+   admitted-and-routed request in admission order; [c_ready] holds
+   responses that came back before their turn.  A response is released
+   to [c_outbuf] only when its token reaches the queue head, so answers
+   cross worker boundaries without ever reordering on the wire. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_inbuf : Buffer.t;
+  c_outbuf : Buffer.t;
+  mutable c_eof : bool;
+  c_order : int Queue.t;
+  c_ready : (int, string) Hashtbl.t;
+}
+
+(* A [stats] request in flight: one part per worker alive at admission
+   time, merged (field-wise sums) when the last part lands. *)
+type fanout = {
+  f_conn : int;
+  f_token : int;  (** the client-facing reorder token *)
+  f_id : Json.t;
+  mutable f_parts : Json.t list;
+  mutable f_missing : int;
+}
+
+type pend =
+  | Direct of { d_conn : int; d_id : Json.t; d_worker : int }
+  | Part of fanout * int  (** worker index *)
+
+type wstate = {
+  w_index : int;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr;
+  w_inbuf : Buffer.t;
+  w_outbuf : Buffer.t;
+  mutable w_eof : bool;
+}
+
+type t = {
+  wcfg : Engine.config;
+  workers : wstate array;
+  conns : (int, conn) Hashtbl.t;
+  pending : (int, pend) Hashtbl.t;  (** worker-token -> continuation *)
+  mutable next_conn : int;
+  mutable next_token : int;
+  mutable next_session : int;
+  mutable stopping : bool;
+  mutable respawns : int;
+  mutable bad_exits : string list;  (** non-zero worker exits during drain *)
+  interrupted : bool Atomic.t;
+  mutable shutdown_req : bool;
+}
+
+type handle = t
+
+let worker_pids t =
+  Array.to_list (Array.map (fun w -> w.w_pid) t.workers)
+
+let request_stop t = Atomic.set t.interrupted true
+
+let chunk = Bytes.create 65536
+
+(* Same per-connection bounds as the single-process transport (see
+   server.ml for the rationale). *)
+let max_line_bytes = 8 * 1024 * 1024
+let max_outbuf_bytes = 256 * 1024 * 1024
+
+(* ---------------------------------------------------------------- *)
+(* Response delivery                                                  *)
+
+let push_raw c reply =
+  Buffer.add_string c.c_outbuf reply;
+  Buffer.add_char c.c_outbuf '\n';
+  if Buffer.length c.c_outbuf > max_outbuf_bytes then begin
+    Buffer.clear c.c_outbuf;
+    c.c_eof <- true
+  end
+
+(* Release every response whose turn has come. *)
+let release c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.c_order) do
+    let tok = Queue.peek c.c_order in
+    match Hashtbl.find_opt c.c_ready tok with
+    | Some reply ->
+        ignore (Queue.pop c.c_order);
+        Hashtbl.remove c.c_ready tok;
+        push_raw c reply
+    | None -> continue := false
+  done
+
+let deliver_ready st conn_id token reply =
+  match Hashtbl.find_opt st.conns conn_id with
+  | None -> ()  (* client hung up before its response was ready *)
+  | Some c ->
+      Hashtbl.replace c.c_ready token reply;
+      release c
+
+(* ---------------------------------------------------------------- *)
+(* Stats merging                                                      *)
+
+let rec merge_values a b =
+  match (a, b) with
+  | Json.Int x, Json.Int y -> Json.Int (x + y)
+  | Json.Obj xs, Json.Obj ys -> Json.Obj (merge_fields xs ys)
+  | _ -> a
+
+and merge_fields xs ys =
+  List.map
+    (fun (k, v) ->
+      match List.assoc_opt k ys with
+      | Some w -> (k, merge_values v w)
+      | None -> (k, v))
+    xs
+  @ List.filter (fun (k, _) -> not (List.mem_assoc k xs)) ys
+
+let front_fields st =
+  [
+    ("workers", Json.Int (Array.length st.workers));
+    ("respawns", Json.Int st.respawns);
+    ("connections", Json.Int (Hashtbl.length st.conns));
+  ]
+
+let finish_fanout st f =
+  let merged =
+    List.fold_left
+      (fun acc part -> match acc with None -> Some part | Some a -> Some (merge_values a part))
+      None f.f_parts
+  in
+  let fields =
+    match merged with Some (Json.Obj l) -> l @ front_fields st | _ -> front_fields st
+  in
+  deliver_ready st f.f_conn f.f_token (Protocol.ok ~id:f.f_id (Json.Obj fields))
+
+(* ---------------------------------------------------------------- *)
+(* Pending resolution                                                 *)
+
+let resolve st token reply =
+  match Hashtbl.find_opt st.pending token with
+  | None -> ()  (* duplicate answer from a confused worker: drop *)
+  | Some p -> (
+      Hashtbl.remove st.pending token;
+      match p with
+      | Direct d -> deliver_ready st d.d_conn token reply
+      | Part (f, _) ->
+          (match Json.of_string reply with
+          | Ok v -> (
+              match Json.member "ok" v with
+              | Some part -> f.f_parts <- part :: f.f_parts
+              | None -> ())
+          | Error _ -> ());
+          f.f_missing <- f.f_missing - 1;
+          if f.f_missing = 0 then finish_fanout st f)
+
+(* A pend whose worker died: Direct gets a structured internal error;
+   a fanout part is simply counted as missing. *)
+let fail_pend st token p =
+  Hashtbl.remove st.pending token;
+  match p with
+  | Direct d ->
+      deliver_ready st d.d_conn token
+        (Protocol.error ~id:d.d_id Protocol.Internal
+           "worker died before answering; session state on its shard is lost")
+  | Part (f, _) ->
+      f.f_missing <- f.f_missing - 1;
+      if f.f_missing = 0 then finish_fanout st f
+
+(* ---------------------------------------------------------------- *)
+(* Worker lifecycle                                                   *)
+
+let write_all fd data =
+  let len = String.length data in
+  let off = ref 0 in
+  (try Unix.clear_nonblock fd with Unix.Unix_error (_, _, _) -> ());
+  try
+    while !off < len do
+      let n = Unix.write_substring fd data !off (len - !off) in
+      if n <= 0 then raise Exit;
+      off := !off + n
+    done
+  with Exit | Unix.Unix_error (_, _, _) -> ()
+
+let reap ?(timeout_s = 5.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let kill_and_wait () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (_, _, _) -> Unix.WSIGNALED Sys.sigkill
+  in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () >= deadline then kill_and_wait ()
+        else begin
+          ignore (Unix.select [] [] [] 0.01);
+          go ()
+        end
+    | _, status -> status
+    | exception Unix.Unix_error (ECHILD, _, _) -> Unix.WEXITED 0
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> Unix.WEXITED 0
+  in
+  go ()
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+(* EOF or a corrupt frame on a worker pipe: fail its in-flight
+   requests, reap it, and (outside a drain) fork a replacement onto the
+   same shard.  Sessions that lived there are gone — later requests for
+   them get [unknown_session] from the fresh engine, which is the
+   documented crash policy. *)
+let worker_died st ~listeners w =
+  if not w.w_eof then begin
+    w.w_eof <- true;
+    (try Unix.close w.w_fd with Unix.Unix_error (_, _, _) -> ());
+    Buffer.clear w.w_inbuf;
+    Buffer.clear w.w_outbuf;
+    let status = reap w.w_pid in
+    if st.stopping && status <> Unix.WEXITED 0 then
+      st.bad_exits <-
+        Printf.sprintf "worker %d (pid %d) %s" w.w_index w.w_pid
+          (status_string status)
+        :: st.bad_exits;
+    let affected =
+      Hashtbl.fold
+        (fun token p acc ->
+          match p with
+          | Direct d when d.d_worker = w.w_index -> (token, p) :: acc
+          | Part (_, wi) when wi = w.w_index -> (token, p) :: acc
+          | _ -> acc)
+        st.pending []
+    in
+    List.iter (fun (token, p) -> fail_pend st token p) affected;
+    if not st.stopping then begin
+      let close_in_child =
+        List.map (fun l -> l.Net.l_fd) listeners
+        @ Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) st.conns []
+        @ Array.fold_left
+            (fun acc o -> if o.w_eof then acc else o.w_fd :: acc)
+            [] st.workers
+      in
+      let fresh = Worker.spawn ~close_in_child ~engine:st.wcfg () in
+      w.w_pid <- fresh.Worker.w_pid;
+      w.w_fd <- fresh.Worker.w_fd;
+      w.w_eof <- false;
+      st.respawns <- st.respawns + 1
+    end
+  end
+
+let send st wi token line =
+  let w = st.workers.(wi) in
+  if w.w_eof then
+    (* Only reachable when a worker is down for good (draining): answer
+       for it rather than leave the token dangling. *)
+    resolve st token
+      (Protocol.error ~id:Json.Null Protocol.Internal "worker unavailable")
+  else Buffer.add_string w.w_outbuf (Frame.encode (Frame.Query (token, line)))
+
+let flush_worker st ~listeners w =
+  let data = Buffer.contents w.w_outbuf in
+  let len = String.length data in
+  if len > 0 then
+    match Unix.write_substring w.w_fd data 0 len with
+    | written ->
+        if written = len then Buffer.clear w.w_outbuf
+        else if written > 0 then begin
+          let rest = String.sub data written (len - written) in
+          Buffer.clear w.w_outbuf;
+          Buffer.add_string w.w_outbuf rest
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> worker_died st ~listeners w
+
+let read_worker st ~listeners w =
+  match Unix.read w.w_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> worker_died st ~listeners w
+  | n -> (
+      Buffer.add_subbytes w.w_inbuf chunk 0 n;
+      let data = Buffer.contents w.w_inbuf in
+      let len = String.length data in
+      let start = ref 0 in
+      let corrupt = ref false in
+      (try
+         while not !corrupt do
+           let nl = String.index_from data !start '\n' in
+           let line = String.sub data !start (nl - !start) in
+           start := nl + 1;
+           if line <> "" then
+             match Frame.decode line with
+             | Ok (Frame.Answer (token, reply)) -> resolve st token reply
+             | Ok (Frame.Query _ | Frame.Stop) | Error _ ->
+                 (* Protocol corruption: answers can no longer be
+                    trusted to carry the right token.  Treat the worker
+                    as dead (its pendings fail, a fresh one spawns). *)
+                 corrupt := true
+         done
+       with Not_found -> ());
+      if !corrupt then begin
+        (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+        worker_died st ~listeners w
+      end
+      else if !start > 0 then begin
+        let rest = String.sub data !start (len - !start) in
+        Buffer.clear w.w_inbuf;
+        Buffer.add_string w.w_inbuf rest
+      end)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> worker_died st ~listeners w
+
+(* ---------------------------------------------------------------- *)
+(* Admission and routing                                              *)
+
+let take_token st c =
+  let tok = st.next_token in
+  st.next_token <- tok + 1;
+  Queue.add tok c.c_order;
+  tok
+
+let fresh_token st =
+  let tok = st.next_token in
+  st.next_token <- tok + 1;
+  tok
+
+let local c token reply =
+  Hashtbl.replace c.c_ready token reply;
+  release c
+
+let route st conn_id c id wi line =
+  let tok = take_token st c in
+  Hashtbl.replace st.pending tok (Direct { d_conn = conn_id; d_id = id; d_worker = wi });
+  send st wi tok line
+
+(* Rebuild a gen/load_instance request with the front-minted session id
+   attached as the "_session" param.  Any "_session" the client sent is
+   dropped first: external clients never choose their own ids. *)
+let rewrite_with_session (req : Protocol.request) sid =
+  let fields =
+    match req.params with
+    | Json.Obj l -> List.filter (fun (k, _) -> k <> "_session") l
+    | _ -> []
+  in
+  let params = Json.Obj (fields @ [ ("_session", Json.Str sid) ]) in
+  let base = [ ("id", req.id); ("method", Json.Str req.meth); ("params", params) ] in
+  let base =
+    match req.deadline_ms with
+    | Some ms -> base @ [ ("deadline_ms", Json.Int ms) ]
+    | None -> base
+  in
+  Json.to_string (Json.Obj base)
+
+let admit st conn_id c line =
+  if String.trim line <> "" then
+    match Protocol.parse_request line with
+    | Error (id, code, msg) ->
+        (* Immediate rejections jump the reorder queue, exactly as the
+           engine's [`Reply] path does in the single-process server. *)
+        push_raw c (Protocol.error ~id code msg)
+    | Ok req -> (
+        if st.stopping then
+          push_raw c
+            (Protocol.error ~id:req.id Protocol.Shutting_down "server is draining")
+        else
+          match req.meth with
+          | "ping" ->
+              let tok = take_token st c in
+              local c tok
+                (Protocol.ok ~id:req.id (Json.Obj [ ("pong", Json.Bool true) ]))
+          | "shutdown" ->
+              st.shutdown_req <- true;
+              let tok = take_token st c in
+              local c tok
+                (Protocol.ok ~id:req.id (Json.Obj [ ("stopping", Json.Bool true) ]))
+          | "stats" -> (
+              let alive =
+                Array.fold_left
+                  (fun acc w -> if w.w_eof then acc else w.w_index :: acc)
+                  [] st.workers
+              in
+              let tok = take_token st c in
+              match alive with
+              | [] ->
+                  local c tok
+                    (Protocol.ok ~id:req.id (Json.Obj (front_fields st)))
+              | alive ->
+                  let f =
+                    {
+                      f_conn = conn_id;
+                      f_token = tok;
+                      f_id = req.id;
+                      f_parts = [];
+                      f_missing = List.length alive;
+                    }
+                  in
+                  List.iter
+                    (fun wi ->
+                      let wtok = fresh_token st in
+                      Hashtbl.replace st.pending wtok (Part (f, wi));
+                      send st wi wtok line)
+                    alive)
+          | "gen" | "load_instance" ->
+              let sid = Shard.mint st.next_session in
+              st.next_session <- st.next_session + 1;
+              let wi = Shard.of_session ~workers:(Array.length st.workers) sid in
+              route st conn_id c req.id wi (rewrite_with_session req sid)
+          | _ ->
+              (* Sessionless or malformed-session requests all hash the
+                 empty string — any single worker can answer bad_params /
+                 unknown_session correctly. *)
+              let key =
+                match Json.member "session" req.params with
+                | Some (Json.Str s) -> s
+                | _ -> ""
+              in
+              let wi = Shard.of_session ~workers:(Array.length st.workers) key in
+              route st conn_id c req.id wi line)
+
+(* ---------------------------------------------------------------- *)
+(* Client IO                                                          *)
+
+let feed_lines st conn_id c =
+  let data = Buffer.contents c.c_inbuf in
+  let len = String.length data in
+  let start = ref 0 in
+  (try
+     while true do
+       let nl = String.index_from data !start '\n' in
+       let line = String.sub data !start (nl - !start) in
+       start := nl + 1;
+       admit st conn_id c line
+     done
+   with Not_found -> ());
+  if len - !start > max_line_bytes then begin
+    Buffer.clear c.c_inbuf;
+    push_raw c
+      (Protocol.error ~id:Json.Null Protocol.Bad_request
+         (Printf.sprintf "request line exceeds %d bytes" max_line_bytes));
+    c.c_eof <- true
+  end
+  else if !start > 0 then begin
+    let rest = String.sub data !start (len - !start) in
+    Buffer.clear c.c_inbuf;
+    Buffer.add_string c.c_inbuf rest
+  end
+
+let read_client st conn_id c =
+  match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> c.c_eof <- true
+  | n ->
+      Buffer.add_subbytes c.c_inbuf chunk 0 n;
+      feed_lines st conn_id c
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> c.c_eof <- true
+
+let write_client c =
+  let data = Buffer.contents c.c_outbuf in
+  let len = String.length data in
+  if len > 0 then
+    match Unix.write_substring c.c_fd data 0 len with
+    | written ->
+        if written = len then Buffer.clear c.c_outbuf
+        else if written > 0 then begin
+          let rest = String.sub data written (len - written) in
+          Buffer.clear c.c_outbuf;
+          Buffer.add_string c.c_outbuf rest
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        Buffer.clear c.c_outbuf;
+        c.c_eof <- true
+
+let close_conn st conn_id c =
+  Hashtbl.remove st.conns conn_id;
+  try Unix.close c.c_fd with Unix.Unix_error (_, _, _) -> ()
+
+let sweep st =
+  let dead =
+    Hashtbl.fold
+      (fun conn_id c acc ->
+        if c.c_eof && Buffer.length c.c_outbuf = 0 then (conn_id, c) :: acc else acc)
+      st.conns []
+  in
+  List.iter (fun (conn_id, c) -> close_conn st conn_id c) dead
+
+(* ---------------------------------------------------------------- *)
+(* Event loop                                                         *)
+
+type slot = Slistener of Net.listener | Sclient of int * conn | Sworker of wstate
+
+let rec accept_loop st l =
+  match Net.accept l with
+  | Some fd ->
+      let conn_id = st.next_conn in
+      st.next_conn <- conn_id + 1;
+      Hashtbl.replace st.conns conn_id
+        {
+          c_fd = fd;
+          c_inbuf = Buffer.create 256;
+          c_outbuf = Buffer.create 256;
+          c_eof = false;
+          c_order = Queue.create ();
+          c_ready = Hashtbl.create 8;
+        };
+      accept_loop st l
+  | None -> ()
+
+let step st ~listeners ~timeout_ms =
+  let slots = ref [] in
+  List.iter (fun l -> slots := Slistener l :: !slots) listeners;
+  Hashtbl.iter
+    (fun conn_id c ->
+      if (not c.c_eof) || Buffer.length c.c_outbuf > 0 then
+        slots := Sclient (conn_id, c) :: !slots)
+    st.conns;
+  Array.iter (fun w -> if not w.w_eof then slots := Sworker w :: !slots) st.workers;
+  let slots = Array.of_list !slots in
+  let n = Array.length slots in
+  let fds =
+    Array.map
+      (function
+        | Slistener l -> l.Net.l_fd | Sclient (_, c) -> c.c_fd | Sworker w -> w.w_fd)
+      slots
+  in
+  let events =
+    Array.map
+      (function
+        | Slistener _ -> Poll.pollin
+        | Sclient (_, c) ->
+            (if c.c_eof then 0 else Poll.pollin)
+            lor (if Buffer.length c.c_outbuf > 0 then Poll.pollout else 0)
+        | Sworker w ->
+            Poll.pollin lor if Buffer.length w.w_outbuf > 0 then Poll.pollout else 0)
+      slots
+  in
+  let revents = Array.make n 0 in
+  (match Poll.poll ~fds ~events ~revents ~n ~timeout_ms with
+  | _ -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  Array.iteri
+    (fun i slot ->
+      let r = revents.(i) in
+      match slot with
+      | Slistener l -> if r land Poll.pollin <> 0 then accept_loop st l
+      | Sclient (conn_id, c) ->
+          if r land Poll.pollin <> 0 && not c.c_eof then read_client st conn_id c
+          else if r land Poll.pollerr <> 0 then c.c_eof <- true
+      | Sworker w ->
+          if w.w_eof then ()
+          else if r land Poll.pollin <> 0 then read_worker st ~listeners w
+          else if r land Poll.pollerr <> 0 then worker_died st ~listeners w)
+    slots;
+  (* Opportunistic flush: frames routed and responses released this
+     wake-up were not in anyone's pollout set. *)
+  Array.iter
+    (fun w ->
+      if (not w.w_eof) && Buffer.length w.w_outbuf > 0 then
+        flush_worker st ~listeners w)
+    st.workers;
+  Hashtbl.iter (fun _ c -> if Buffer.length c.c_outbuf > 0 then write_client c) st.conns;
+  sweep st
+
+let stop_wanted st = Atomic.get st.interrupted || st.shutdown_req
+
+(* ---------------------------------------------------------------- *)
+(* Drain                                                              *)
+
+let drain st listeners =
+  st.stopping <- true;
+  List.iter Net.close_listener listeners;
+  (* Resolve every outstanding token: workers keep executing and the
+     loop keeps routing their answers; nothing new is admitted. *)
+  let give_up = Unix.gettimeofday () +. 30.0 in
+  while Hashtbl.length st.pending > 0 && Unix.gettimeofday () < give_up do
+    step st ~listeners:[] ~timeout_ms:50
+  done;
+  if Hashtbl.length st.pending > 0 then begin
+    let leftovers = Hashtbl.fold (fun tok p acc -> (tok, p) :: acc) st.pending [] in
+    List.iter (fun (tok, p) -> fail_pend st tok p) leftovers
+  end;
+  (* Stop frames: each worker drains its engine, flushes, exits 0. *)
+  Array.iter
+    (fun w ->
+      if not w.w_eof then begin
+        Buffer.add_string w.w_outbuf (Frame.encode Frame.Stop);
+        write_all w.w_fd (Buffer.contents w.w_outbuf);
+        Buffer.clear w.w_outbuf;
+        (try Unix.close w.w_fd with Unix.Unix_error (_, _, _) -> ());
+        w.w_eof <- true
+      end)
+    st.workers;
+  let statuses = Array.map (fun w -> (w, reap ~timeout_s:10.0 w.w_pid)) st.workers in
+  (* Flush released responses to clients (bounded budget), then close. *)
+  let flush_deadline = Unix.gettimeofday () +. 5.0 in
+  let rec flush_clients () =
+    let waiting =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if Buffer.length c.c_outbuf > 0 && not c.c_eof then c :: acc else acc)
+        st.conns []
+    in
+    if waiting <> [] && Unix.gettimeofday () < flush_deadline then begin
+      List.iter write_client waiting;
+      let still =
+        List.exists (fun c -> Buffer.length c.c_outbuf > 0 && not c.c_eof) waiting
+      in
+      if still then begin
+        ignore (Unix.select [] [] [] 0.01);
+        flush_clients ()
+      end
+    end
+  in
+  flush_clients ();
+  Hashtbl.iter
+    (fun _ c -> try Unix.close c.c_fd with Unix.Unix_error (_, _, _) -> ())
+    st.conns;
+  Hashtbl.reset st.conns;
+  let status_bad =
+    List.filter_map
+      (fun (w, status) ->
+        if status = Unix.WEXITED 0 then None
+        else
+          Some
+            (Printf.sprintf "worker %d (pid %d) %s" w.w_index w.w_pid
+               (status_string status)))
+      (Array.to_list statuses)
+  in
+  let bad = st.bad_exits @ status_bad in
+  if bad <> [] then failwith ("unclean worker exit: " ^ String.concat "; " bad)
+
+(* ---------------------------------------------------------------- *)
+(* Entry point                                                        *)
+
+let with_signals st f =
+  let install s =
+    match
+      Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set st.interrupted true))
+    with
+    | prev -> Some prev
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let pipe =
+    match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+    | prev -> Some prev
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let old_int = install Sys.sigint and old_term = install Sys.sigterm in
+  Fun.protect f ~finally:(fun () ->
+      let restore s prev =
+        match prev with
+        | Some b -> (
+            try Sys.set_signal s b with Invalid_argument _ | Sys_error _ -> ())
+        | None -> ()
+      in
+      restore Sys.sigint old_int;
+      restore Sys.sigterm old_term;
+      restore Sys.sigpipe pipe)
+
+let run ?on_ready ~engine ~workers listeners =
+  if workers < 1 then invalid_arg "Front.run: workers must be >= 1";
+  (* One engine per worker process: parallelism comes from the shards,
+     so each worker defaults to a single-domain pool unless the caller
+     explicitly sizes within-worker jobs. *)
+  let wcfg =
+    {
+      engine with
+      Engine.assign_ids = true;
+      jobs = Some (max 1 (Option.value engine.Engine.jobs ~default:1));
+    }
+  in
+  let listener_fds = List.map (fun l -> l.Net.l_fd) listeners in
+  let ws =
+    let acc = ref [] in
+    for i = 0 to workers - 1 do
+      let close_in_child =
+        listener_fds @ List.map (fun w -> w.w_fd) !acc
+      in
+      let fresh = Worker.spawn ~close_in_child ~engine:wcfg () in
+      acc :=
+        {
+          w_index = i;
+          w_pid = fresh.Worker.w_pid;
+          w_fd = fresh.Worker.w_fd;
+          w_inbuf = Buffer.create 4096;
+          w_outbuf = Buffer.create 4096;
+          w_eof = false;
+        }
+        :: !acc
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let st =
+    {
+      wcfg;
+      workers = ws;
+      conns = Hashtbl.create 64;
+      pending = Hashtbl.create 256;
+      next_conn = 1;
+      next_token = 1;
+      next_session = 0;
+      stopping = false;
+      respawns = 0;
+      bad_exits = [];
+      interrupted = Atomic.make false;
+      shutdown_req = false;
+    }
+  in
+  with_signals st (fun () ->
+      Option.iter (fun f -> f st) on_ready;
+      while not (stop_wanted st) do
+        step st ~listeners ~timeout_ms:50
+      done;
+      drain st listeners)

@@ -1,0 +1,73 @@
+(** Sharded multi-process serving: the front tier.
+
+    [run] forks [workers] {!Worker} processes (each owning a private
+    {!Engine} — admission queue, deadline expiry, backpressure, session
+    store) and then runs a single poll(2) event loop that owns every
+    client socket: it accepts connections from the given listeners
+    (Unix-domain and/or TCP), splits request lines, and routes each
+    request to the worker chosen by {!Shard.of_session} on the
+    session id, over the framed socketpair protocol in {!Frame}.
+
+    {1 Routing}
+
+    - Session-bound requests hash their ["session"] param.
+    - [gen] / [load_instance] have no session yet, so the front mints
+      the id ({!Shard.mint} on a global counter), picks the worker from
+      its hash, and forwards the request with the id attached as the
+      ["_session"] param (workers run with [assign_ids = true]); every
+      later request for that session hashes to the same worker.
+    - [ping] and [shutdown] are answered at the front; [stats] fans out
+      to all workers and the per-worker payloads are summed field-wise
+      (plus front-tier fields: [workers], [respawns], [connections]).
+
+    {1 Guarantees}
+
+    Per connection, responses to admitted requests are released in
+    admission order even when they complete on different workers: each
+    request takes a token into the connection's reorder queue, and a
+    ready response is held until every earlier token has answered.
+    (Immediate protocol rejections — malformed JSON, draining — jump
+    that queue, exactly as the engine's [`Reply] path does in the
+    single-process transport; worker-side rejections such as overload
+    come back as ordinary answers, in order.)
+    Within one worker the engine's own guarantees are unchanged.
+
+    {1 Worker lifecycle}
+
+    A worker that dies unexpectedly is detected by EOF on its pipe; its
+    in-flight requests are answered with [internal] errors, and a fresh
+    worker is forked onto the same shard (policy: respawn, sessions
+    lost — later requests for them get [unknown_session]).  Other
+    shards are unaffected.
+
+    SIGINT/SIGTERM (or an executed [shutdown]) triggers a graceful
+    drain: listeners close, new requests are answered [shutting_down],
+    every outstanding token is resolved, workers receive a [Stop] frame
+    and are reaped, responses are flushed, and [run] returns.  Raises
+    [Failure] if a worker exits non-zero during that drain. *)
+
+type handle
+(** Control surface handed to [on_ready] (used by tests and the bench
+    harness). *)
+
+val worker_pids : handle -> int list
+(** Live worker pids, index order. *)
+
+val request_stop : handle -> unit
+(** Ask the loop to begin its graceful drain (as if signalled). *)
+
+val run :
+  ?on_ready:(handle -> unit) ->
+  engine:Engine.config ->
+  workers:int ->
+  Net.listener list ->
+  unit
+(** Serve until shutdown; blocks.  [workers >= 1].  The worker engine
+    config is [engine] with [assign_ids = true] and, when [engine.jobs]
+    is [None], [jobs = Some 1]: parallelism comes from the process
+    shards, and [N] workers each defaulting to a full domain pool would
+    oversubscribe the machine (pass an explicit [jobs] to compose
+    within-worker pools with sharding).
+
+    Must be called before the process creates any domains — [run]
+    forks. *)

@@ -8,6 +8,10 @@ type env = {
   now : unit -> int;  (** monotonic ns *)
   stats : unit -> Bbc.Json.t;  (** scheduler counters, served live *)
   request_shutdown : unit -> unit;  (** the [shutdown] endpoint's hook *)
+  assign_ids : bool;
+      (** honor the front tier's ["_session"] param on [gen] /
+          [load_instance] (sharded workers only — external clients must
+          never pick their own session ids, see {!Session.add}) *)
 }
 
 val handle :

@@ -1,19 +1,24 @@
-(** Closed-loop multi-client load generator for [bbc serve].
+(** Closed-loop load generator for [bbc serve], over Unix-domain or TCP
+    endpoints.
 
-    Opens one setup connection to create a shared session ([gen] on a
-    {!Bbc.Catalog} construction), then runs [clients] OS threads, each
-    with its own connection, issuing [requests] back-to-back read-only
-    queries (a fixed cost / best_response / stable mix over the shared
-    session).  Being closed-loop, each thread waits for a response
-    before sending the next request, so concurrency equals the client
-    count.
+    A setup connection creates [sessions] identical sessions ([gen] on
+    the same {!Bbc.Catalog} construction — on a sharded server each
+    lands on its own worker, so multiple sessions spread load over the
+    shards).  The load phase then opens [conns] concurrent connections
+    and drives them all from a {b single-threaded poll(2) event loop}
+    — one OS thread regardless of connection count, which is what lets
+    the generator hold thousands of connections open (a
+    thread-per-client design dies at a few hundred).  Each connection
+    is closed-loop: one request in flight, the next issued when the
+    response lands, so concurrency equals the connection count.
 
     Besides throughput and latency quantiles, the run cross-checks
-    {b consistency}: the shared session is never mutated, so every
-    response to the same (method, node) query — across all clients and
-    all interleavings — must be byte-identical.  Any divergence (or
-    any unparseable / misdelivered response) is a protocol error; the
-    soak gate in scripts/check_server.sh requires zero. *)
+    {b consistency}: sessions are never mutated and built identically,
+    so every response to the same (method, node) query — across all
+    connections, interleavings, and worker shards — must be
+    byte-identical.  Any divergence (or any unparseable / misdelivered
+    response) is a protocol error; the soak gate in
+    scripts/check_server.sh requires zero. *)
 
 type method_stats = {
   meth : string;
@@ -23,8 +28,9 @@ type method_stats = {
 }
 
 type summary = {
-  clients : int;
-  requests : int;  (** responses received across all clients *)
+  conns : int;
+  sessions : int;
+  requests : int;  (** responses received across all connections *)
   errors : int;  (** structured error responses *)
   protocol_errors : int;  (** unparseable/mismatched/inconsistent responses *)
   elapsed_s : float;
@@ -38,21 +44,27 @@ type summary = {
 val summary_to_json : summary -> Bbc.Json.t
 
 val run :
-  socket:string ->
-  clients:int ->
-  requests:int ->
+  endpoint:Net.endpoint ->
+  conns:int ->
+  total:int ->
+  ?sessions:int ->
   ?name:string ->
   ?n:int ->
   ?deadline_ms:int ->
+  ?duration_s:float ->
   unit ->
   (summary, string) result
-(** Run the workload: [requests] requests per client against a fresh
-    shared session built from catalog construction [name] (default
-    ["ring"]) of size [n] (default 12).  [deadline_ms], when given, is
-    attached to every request (timeout responses count as [errors],
-    not protocol errors).  [Error _] means the harness itself failed
-    (connect or session setup), not that the server misbehaved. *)
+(** Run the workload: [total] requests spread over [conns] concurrent
+    closed-loop connections against [sessions] (default 1) fresh
+    sessions built from catalog construction [name] (default ["ring"])
+    of size [n] (default 12).  [deadline_ms], when given, is attached
+    to every request (timeout responses count as [errors], not
+    protocol errors).  [duration_s] stops issuing new requests once the
+    wall clock passes it, whichever of the two budgets runs out first —
+    used by the nightly soak.  [Error _] means the harness itself
+    failed (connect or session setup), not that the server
+    misbehaved. *)
 
-val request_shutdown : socket:string -> (unit, string) result
+val request_shutdown : endpoint:Net.endpoint -> (unit, string) result
 (** Send a [shutdown] request on a fresh connection and wait for its
     acknowledgement. *)

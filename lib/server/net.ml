@@ -1,0 +1,126 @@
+type endpoint = Unix_path of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let parse_tcp spec =
+  let host, port_s =
+    match String.rindex_opt spec ':' with
+    | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+    | None -> ("", spec)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  match int_of_string_opt port_s with
+  | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+  | _ -> Error (Printf.sprintf "invalid TCP spec %S (expected HOST:PORT)" spec)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      if host = "localhost" then Unix.inet_addr_loopback
+      else
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+        | _ | (exception Not_found) ->
+            failwith (Printf.sprintf "cannot resolve host %S" host))
+
+type listener = { l_fd : Unix.file_descr; l_endpoint : endpoint }
+
+(* A socket file left by a crashed server refuses connections; a live
+   server accepts them.  Only unlink in the former case — silently
+   stealing the path from a running daemon would leave two servers, one
+   unreachable. *)
+let unix_socket_alive path =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      match Unix.connect fd (ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false)
+
+let listen_unix ?(backlog = 64) path =
+  if Sys.file_exists path then
+    if unix_socket_alive path then
+      failwith
+        (Printf.sprintf "socket %s is in use by a running server (stop it first)" path)
+    else (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (ADDR_UNIX path);
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  { l_fd = fd; l_endpoint = Unix_path path }
+
+let listen_tcp ?(backlog = 512) ~host ~port () =
+  let addr = resolve_host host in
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  let setup () =
+    Unix.setsockopt fd SO_REUSEADDR true;
+    Unix.bind fd (ADDR_INET (addr, port));
+    Unix.listen fd backlog;
+    Unix.set_nonblock fd;
+    match Unix.getsockname fd with ADDR_INET (_, bound) -> bound | _ -> port
+  in
+  match setup () with
+  | bound -> { l_fd = fd; l_endpoint = Tcp (host, bound) }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      let msg =
+        match e with
+        | Unix.Unix_error (err, _, _) ->
+            Printf.sprintf "cannot listen on %s:%d: %s" host port
+              (Unix.error_message err)
+        | Failure m -> m
+        | e -> Printexc.to_string e
+      in
+      failwith msg
+
+let set_nodelay fd =
+  try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error (_, _, _) -> ()
+
+let accept l =
+  match Unix.accept ~cloexec:true l.l_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      (match l.l_endpoint with Tcp _ -> set_nodelay fd | Unix_path _ -> ());
+      Some fd
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> None
+
+let close_listener l =
+  (try Unix.close l.l_fd with Unix.Unix_error (_, _, _) -> ());
+  match l.l_endpoint with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let connect endpoint =
+  let domain = match endpoint with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+  let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
+  let target =
+    match endpoint with
+    | Unix_path p -> Ok (Unix.ADDR_UNIX p)
+    | Tcp (host, port) -> (
+        match resolve_host host with
+        | addr -> Ok (Unix.ADDR_INET (addr, port))
+        | exception Failure m -> Error m)
+  in
+  match target with
+  | Error m ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Error m
+  | Ok addr -> (
+      match Unix.connect fd addr with
+      | () ->
+          (match endpoint with Tcp _ -> set_nodelay fd | Unix_path _ -> ());
+          Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          Error
+            (Printf.sprintf "connect %s: %s"
+               (endpoint_to_string endpoint)
+               (Unix.error_message e)))

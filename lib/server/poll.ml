@@ -1,0 +1,10 @@
+let pollin = 1
+let pollout = 2
+let pollerr = 4
+
+external poll_fds :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "bbc_poll_fds"
+
+let poll ~fds ~events ~revents ~n ~timeout_ms =
+  poll_fds fds events revents n timeout_ms

@@ -1,0 +1,38 @@
+(** Thin binding to [poll(2)] for the serving event loops.
+
+    {!Unix.select} cannot watch file descriptors numbered past
+    [FD_SETSIZE] (1024 on Linux) — a hard wall for a front tier or load
+    generator holding thousands of sockets, where the fd {e numbers}
+    themselves exceed the range.  [poll] has no such limit.
+
+    The interface is deliberately flat and allocation-free on the hot
+    path: the caller owns three parallel arrays (descriptors, interest
+    bits, result bits) plus a live count, refills the first [n] slots
+    each iteration, and reuses the arrays across calls. *)
+
+val pollin : int
+(** Interest/result bit: readable (or peer hung up — a subsequent read
+    returns 0, which is how callers detect EOF). *)
+
+val pollout : int
+(** Interest/result bit: writable. *)
+
+val pollerr : int
+(** Result-only bit: error/hangup/invalid.  Callers should treat the
+    descriptor as dead. *)
+
+val poll :
+  fds:Unix.file_descr array ->
+  events:int array ->
+  revents:int array ->
+  n:int ->
+  timeout_ms:int ->
+  int
+(** Wait until one of the first [n] descriptors matches its interest
+    bits or [timeout_ms] elapses ([0] = return immediately, [-1] =
+    block).  Writes result bits into [revents.(0..n-1)] and returns the
+    number of ready descriptors (0 on timeout — EINTR is reported as a
+    timeout).  The OCaml runtime lock is released for the duration of
+    the wait.
+
+    Raises [Invalid_argument] if [n] exceeds any array length. *)

@@ -1,0 +1,71 @@
+/* poll(2) for the serving event loops.  Unix.select is unusable past
+   FD_SETSIZE (1024): with thousands of live connections the *fd
+   numbers* exceed the fd_set range even if a single call watches only
+   a few.  The binding keeps the OCaml-side representation flat — three
+   parallel arrays (fds, interest bits, result bits) and an explicit
+   live count — so the caller can reuse buffers across iterations
+   without allocating. */
+
+#include <caml/mlvalues.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+#define BBC_POLL_IN 1
+#define BBC_POLL_OUT 2
+#define BBC_POLL_ERR 4
+
+CAMLprim value bbc_poll_fds(value vfds, value vevents, value vrevents,
+                            value vn, value vtimeout_ms)
+{
+  CAMLparam5(vfds, vevents, vrevents, vn, vtimeout_ms);
+  long n = Long_val(vn);
+  int timeout = Int_val(vtimeout_ms);
+  struct pollfd *pfds;
+  long i;
+  int ret;
+
+  if (n < 0 || n > (long)Wosize_val(vfds) || n > (long)Wosize_val(vevents)
+      || n > (long)Wosize_val(vrevents))
+    caml_invalid_argument("Bbc_server.Poll.poll: n exceeds array lengths");
+
+  pfds = malloc(n == 0 ? 1 : (size_t)n * sizeof(struct pollfd));
+  if (pfds == NULL) caml_failwith("Bbc_server.Poll.poll: out of memory");
+
+  for (i = 0; i < n; i++) {
+    long ev = Long_val(Field(vevents, i));
+    pfds[i].fd = Int_val(Field(vfds, i)); /* file_descr = int on Unix */
+    pfds[i].events = 0;
+    if (ev & BBC_POLL_IN) pfds[i].events |= POLLIN;
+    if (ev & BBC_POLL_OUT) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ret = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ret < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR) { /* treated as a timeout: no descriptor is ready */
+      for (i = 0; i < n; i++) Field(vrevents, i) = Val_long(0);
+      CAMLreturn(Val_long(0));
+    }
+    caml_failwith("Bbc_server.Poll.poll: poll(2) failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    long rv = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP)) rv |= BBC_POLL_IN;
+    if (pfds[i].revents & POLLOUT) rv |= BBC_POLL_OUT;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) rv |= BBC_POLL_ERR;
+    Field(vrevents, i) = Val_long(rv); /* int array: no write barrier needed */
+  }
+
+  free(pfds);
+  CAMLreturn(Val_long(ret));
+}

@@ -1,4 +1,4 @@
-type mode = Socket of string | Stdio
+type mode = Listen of Net.listener list | Stdio
 
 (* One live connection: a read accumulator for partial lines and a
    write buffer for responses not yet flushed (client fds are
@@ -144,9 +144,10 @@ let drain_and_flush st =
         List.exists (fun c -> Buffer.length c.outbuf > 0 && not c.eof) pending
       in
       if still then begin
-        (match
-           Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.05
-         with
+        (* Plain sleep between flush attempts: the fd set may be larger
+           than FD_SETSIZE, so waiting on writability via select is not
+           an option here. *)
+        (match Unix.select [] [] [] 0.05 with
         | _ -> ()
         | exception Unix.Unix_error (EINTR, _, _) -> ());
         flush_all ()
@@ -180,79 +181,80 @@ let with_signals st f =
       restore Sys.sigpipe pipe)
 
 (* ---------------------------------------------------------------- *)
-(* Socket mode                                                       *)
+(* Listen mode                                                       *)
 
-let accept_ready st listen_fd =
-  match Unix.accept ~cloexec:true listen_fd with
-  | fd, _ ->
-      Unix.set_nonblock fd;
+let rec accept_ready st l =
+  match Net.accept l with
+  | Some fd ->
       let client = st.next_client in
       st.next_client <- client + 1;
       Hashtbl.replace st.conns client
-        { fd; inbuf = Buffer.create 256; outbuf = Buffer.create 256; eof = false }
-  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+        { fd; inbuf = Buffer.create 256; outbuf = Buffer.create 256; eof = false };
+      accept_ready st l
+  | None -> ()
 
-(* A socket file left by a crashed server refuses connections; a live
-   server accepts them.  Only unlink in the former case — silently
-   stealing the path from a running daemon would leave two servers, one
-   unreachable. *)
-let socket_alive path =
-  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
-    (fun () ->
-      match Unix.connect fd (ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error (_, _, _) -> false)
+type slot = Slistener of Net.listener | Sconn of int * conn
 
-let run_socket ?on_ready st path =
-  if Sys.file_exists path then
-    if socket_alive path then
-      failwith
-        (Printf.sprintf "socket %s is in use by a running server (stop it first)" path)
-    else (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
-  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-  Unix.bind listen_fd (ADDR_UNIX path);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
+(* One poll(2) wake-up: accept, read, run a batch, flush.  poll rather
+   than select because "thousands of connections" crosses FD_SETSIZE —
+   select fails on any fd *number* >= 1024 no matter how few fds are
+   actually watched. *)
+let iterate st listeners =
+  let slots = ref [] in
+  List.iter (fun l -> slots := Slistener l :: !slots) listeners;
+  Hashtbl.iter
+    (fun client c ->
+      if (not c.eof) || Buffer.length c.outbuf > 0 then
+        slots := Sconn (client, c) :: !slots)
+    st.conns;
+  let slots = Array.of_list !slots in
+  let n = Array.length slots in
+  let fds =
+    Array.map (function Slistener l -> l.Net.l_fd | Sconn (_, c) -> c.fd) slots
+  in
+  let events =
+    Array.map
+      (function
+        | Slistener _ -> Poll.pollin
+        | Sconn (_, c) ->
+            (if c.eof then 0 else Poll.pollin)
+            lor if Buffer.length c.outbuf > 0 then Poll.pollout else 0)
+      slots
+  in
+  let revents = Array.make n 0 in
+  let timeout_ms = if Engine.pending st.engine > 0 then 0 else 50 in
+  (match Poll.poll ~fds ~events ~revents ~n ~timeout_ms with
+  | _ -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  Array.iteri
+    (fun i s ->
+      let r = revents.(i) in
+      match s with
+      | Slistener l -> if r land Poll.pollin <> 0 then accept_ready st l
+      | Sconn (client, c) ->
+          if r land Poll.pollin <> 0 && not c.eof then read_conn st client c
+          else if r land Poll.pollerr <> 0 then c.eof <- true)
+    slots;
+  deliver st (Engine.run_batch st.engine);
+  (* Opportunistic flush: freshly-delivered responses were not in
+     anyone's pollout set for this wake-up, and sockets are
+     non-blocking anyway — EAGAIN just leaves the buffer for the next
+     pass. *)
+  Hashtbl.iter (fun _ c -> if Buffer.length c.outbuf > 0 then write_conn c) st.conns;
+  sweep st
+
+let run_listen ?on_ready st listeners =
   Option.iter (fun f -> f ()) on_ready;
   let rec loop () =
     if stop_wanted st then ()
     else begin
-      let read_fds =
-        listen_fd
-        :: Hashtbl.fold (fun _ c acc -> if c.eof then acc else c.fd :: acc) st.conns []
-      in
-      let write_fds =
-        Hashtbl.fold
-          (fun _ c acc -> if Buffer.length c.outbuf > 0 then c.fd :: acc else acc)
-          st.conns []
-      in
-      let timeout = if Engine.pending st.engine > 0 then 0.0 else 0.05 in
-      (match Unix.select read_fds write_fds [] timeout with
-      | readable, writable, _ ->
-          if List.mem listen_fd readable then accept_ready st listen_fd;
-          Hashtbl.iter
-            (fun client c ->
-              if (not c.eof) && List.mem c.fd readable then read_conn st client c)
-            st.conns;
-          deliver st (Engine.run_batch st.engine);
-          ignore writable;
-          (* Opportunistic flush: freshly-delivered responses were not in
-             [write_fds] for this wake-up, and sockets are non-blocking
-             anyway — EAGAIN just leaves the buffer for the next pass. *)
-          Hashtbl.iter
-            (fun _ c -> if Buffer.length c.outbuf > 0 then write_conn c)
-            st.conns;
-          sweep st
-      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      iterate st listeners;
       loop ()
     end
   in
   Fun.protect loop ~finally:(fun () ->
-      (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
-      drain_and_flush st;
-      try Unix.unlink path with Unix.Unix_error (_, _, _) | Sys_error _ -> ())
+      List.iter Net.close_listener listeners;
+      drain_and_flush st)
 
 (* ---------------------------------------------------------------- *)
 (* Stdio mode                                                        *)
@@ -299,5 +301,5 @@ let run ?on_ready ~engine mode =
   in
   with_signals st (fun () ->
       match mode with
-      | Socket path -> run_socket ?on_ready st path
+      | Listen listeners -> run_listen ?on_ready st listeners
       | Stdio -> run_stdio ?on_ready st)

@@ -1,35 +1,38 @@
-(** Transport loop of [bbc serve]: a single-threaded [select] loop over
-    a Unix-domain listen socket (or stdin/stdout in {!Stdio} mode) that
-    reads line-delimited requests, admits them through {!Engine}, runs
-    one batch per iteration, and writes responses back in admission
-    order.
+(** Transport loop of [bbc serve]: a single-threaded poll(2) loop over
+    any number of listeners (Unix-domain and/or TCP — see {!Net}), or
+    stdin/stdout in {!Stdio} mode, that reads line-delimited requests,
+    admits them through {!Engine}, runs one batch per iteration, and
+    writes responses back in admission order.  (The multi-process
+    variant that shards sessions over worker processes is {!Front}.)
 
     {1 Lifecycle}
 
     SIGINT/SIGTERM (or an executed [shutdown] request) flips the loop
-    into draining: the listen socket closes, new admissions are
-    answered [shutting_down], every already-admitted request is
-    executed and its response delivered, and {!run} returns — the
-    caller then flushes metrics/trace sinks and exits 0.  In {!Stdio}
-    mode EOF on stdin triggers the same drain.
+    into draining: the listeners close, new admissions are answered
+    [shutting_down], every already-admitted request is executed and its
+    response delivered, and {!run} returns — the caller then flushes
+    metrics/trace sinks and exits 0.  In {!Stdio} mode EOF on stdin
+    triggers the same drain.
 
     The loop never blocks on computation: batches run on the
-    {!Bbc_parallel} pool via {!Engine.run_batch} between [select]
-    wake-ups, so accepting and reading stay responsive while workers
-    evaluate. *)
+    {!Bbc_parallel} pool via {!Engine.run_batch} between poll wake-ups,
+    so accepting and reading stay responsive while workers evaluate.
+    poll rather than select because select rejects any fd {e number}
+    at or above [FD_SETSIZE] (1024) — a wall the load generator's
+    "thousands of connections" target crosses immediately. *)
 
 type mode =
-  | Socket of string  (** listen on this Unix-domain socket path *)
+  | Listen of Net.listener list
+      (** serve these already-bound listeners; {!run} takes over their
+          lifecycle and closes them on exit *)
   | Stdio  (** one implicit connection on stdin/stdout (cram tests) *)
 
 val run : ?on_ready:(unit -> unit) -> engine:Engine.config -> mode -> unit
 (** Serve until shutdown; blocks.  [on_ready] fires once the transport
-    is accepting (socket bound and listening) — used by the in-process
-    bench harness to sequence the load generator.  Signal handlers for
-    SIGINT/SIGTERM are installed for the duration of the call.  A stale
-    socket file at the path (one that refuses connections) is replaced;
-    if a live server still answers on it, raises [Failure] instead of
-    stealing the path.
+    is accepting — used by the bench harness and scripts to sequence
+    the load generator (listeners are bound by the caller, so ephemeral
+    TCP ports are already resolved).  Signal handlers for SIGINT /
+    SIGTERM are installed for the duration of the call.
 
     Per-connection buffers are bounded: a request line above 8 MiB is
     answered with [bad_request] and the connection closed, and a client

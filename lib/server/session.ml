@@ -72,7 +72,7 @@ let expire_idle_locked store ~now_ns =
     List.iter (Hashtbl.remove store.tbl) stale
   end
 
-let add store ~now_ns instance config =
+let add ?id store ~now_ns instance config =
   let minted =
     locked store (fun () ->
         if Hashtbl.length store.tbl + store.reserved >= store.capacity then
@@ -80,19 +80,30 @@ let add store ~now_ns instance config =
              that never close_session cannot exhaust the budget
              forever. *)
           expire_idle_locked store ~now_ns;
-        if Hashtbl.length store.tbl + store.reserved >= store.capacity then None
-        else begin
-          let id = Printf.sprintf "s%d" store.next_id in
-          store.next_id <- store.next_id + 1;
-          store.reserved <- store.reserved + 1;
-          Some id
-        end)
+        if Hashtbl.length store.tbl + store.reserved >= store.capacity then
+          Error
+            (Printf.sprintf "session store at capacity (%d live sessions)"
+               store.capacity)
+        else
+          match id with
+          | Some id when Hashtbl.mem store.tbl id ->
+              (* Assigned ids come from the front tier's global counter
+                 and never collide; refusing (rather than replacing a
+                 live session) keeps a buggy or malicious assignment
+                 from hijacking someone else's state. *)
+              Error (Printf.sprintf "session id %S already in use" id)
+          | Some id ->
+              store.reserved <- store.reserved + 1;
+              Ok id
+          | None ->
+              let id = Printf.sprintf "s%d" store.next_id in
+              store.next_id <- store.next_id + 1;
+              store.reserved <- store.reserved + 1;
+              Ok id)
   in
   match minted with
-  | None ->
-      Error
-        (Printf.sprintf "session store at capacity (%d live sessions)" store.capacity)
-  | Some id ->
+  | Error msg -> Error msg
+  | Ok id ->
       (* Context construction (SSSP state) is the expensive part; keep
          it outside the lock so concurrent adds don't serialize on it. *)
       let ctx =

@@ -49,12 +49,22 @@ val create_store : ?capacity:int -> ?ttl_ns:int -> unit -> store
     explicit [close_session]. *)
 
 val add :
-  store -> now_ns:int -> Bbc.Instance.t -> Bbc.Config.t -> (t, string) result
+  ?id:string ->
+  store ->
+  now_ns:int ->
+  Bbc.Instance.t ->
+  Bbc.Config.t ->
+  (t, string) result
 (** Mint a fresh session (owning a new context when the incremental
     engine is enabled).  When the store is full, sessions idle longer
     than the TTL (by [last_used_ns]) are evicted first; [Error] only if
     the store is still at capacity afterwards, so abandoned sessions
-    cannot exhaust the budget forever. *)
+    cannot exhaust the budget forever.
+
+    [id] forces the session id instead of minting one — used by sharded
+    workers, where the front tier mints ids so that the {!Shard} hash
+    determines worker placement before the session exists.  [Error] if
+    the id is already live. *)
 
 val find : store -> string -> t option
 val remove : store -> string -> bool

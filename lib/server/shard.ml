@@ -1,0 +1,23 @@
+(* FNV-1a, the 64-bit variant: simple, fast, and empirically uniform
+   enough on short "s<N>" ids (test_shard checks the spread over 1k
+   ids).  Int64 arithmetic wraps, which is exactly what FNV wants. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let of_session ~workers id =
+  if workers < 1 then invalid_arg "Shard.of_session: workers must be >= 1";
+  (* Clear the sign bit before the mod so the result is non-negative. *)
+  let h = Int64.to_int (Int64.logand (fnv1a64 id) 0x3FFFFFFFFFFFFFFFL) in
+  h mod workers
+
+let mint counter = Printf.sprintf "s%d" counter

@@ -1,0 +1,36 @@
+(** Worker processes of the sharded serving tier.
+
+    {!spawn} forks a child connected to the front by a socketpair.  The
+    child runs a full {!Engine} of its own — admission queue, deadline
+    expiry at dequeue, overload backpressure, session store — over the
+    framed protocol in {!Frame}: [Q token line] in, [A token line] out,
+    answers in admission order per worker.  Tokens double as the
+    engine-side client ids, so {!Engine.run_batch}'s [(client,
+    response)] pairs need no translation.
+
+    Lifecycle: a [S] frame (or EOF — the front died) begins a graceful
+    drain: every admitted request is executed, every answer flushed,
+    and the child [_exit]s 0.  Workers ignore SIGINT/SIGTERM — a signal
+    to the process group must not kill them mid-drain; the front
+    coordinates shutdown through the pipe.
+
+    {b Fork safety}: spawn forks, so it must only be called before the
+    calling process creates any domains ({!Bbc_parallel} pools do not
+    survive fork).  The front tier never touches the pool; worker
+    engines run whatever [jobs] their config asks for, in their own
+    fresh process. *)
+
+type t = {
+  w_pid : int;
+  w_fd : Unix.file_descr;  (** front side of the socketpair, non-blocking *)
+}
+
+val spawn : ?close_in_child:Unix.file_descr list -> engine:Engine.config -> unit -> t
+(** Fork one worker (engine config taken as given — callers decide the
+    per-worker [jobs] width).  The child never returns.
+    [close_in_child] lists inherited descriptors (listeners, client
+    connections, sibling worker pipes) the child must not keep open. *)
+
+val run : engine:Engine.config -> Unix.file_descr -> 'a
+(** The child-side loop, exposed for tests that drive a worker over a
+    hand-made socketpair.  Never returns: exits the process. *)

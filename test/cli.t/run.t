@@ -237,6 +237,35 @@ request, deterministic session ids and stats:
   {"id":"8","error":{"code":"unknown_session","message":"no session \"nope\""}}
   {"id":"9","ok":{"sessions":1,"queue_depth":0,"served":{"cost":3,"gen":1,"ping":1,"stable":1,"step_dynamics":1},"errors":1,"timeouts":0,"overloaded":0,"rejected":1,"batches":8}}
 
+Listener flags are validated before anything binds: serve needs exactly
+one transport family (--stdio, or any mix of --socket/--tcp), --workers
+forks processes so it is incompatible with in-process --stdio, and a
+malformed --tcp spec is rejected up front:
+
+  $ bbc_cli serve
+  bbc: a listener is required: --socket PATH, --tcp HOST:PORT, or --stdio
+  Usage: bbc serve [OPTION]…
+  Try 'bbc serve --help' or 'bbc --help' for more information.
+  [124]
+  $ bbc_cli serve --stdio --tcp 127.0.0.1:0
+  bbc: --stdio is mutually exclusive with --socket/--tcp
+  Usage: bbc serve [OPTION]…
+  Try 'bbc serve --help' or 'bbc --help' for more information.
+  [124]
+  $ bbc_cli serve --stdio --workers 2
+  bbc: --stdio serves in-process; --workers requires a socket or TCP listener
+  Usage: bbc serve [OPTION]…
+  Try 'bbc serve --help' or 'bbc --help' for more information.
+  [124]
+  $ bbc_cli serve --tcp nonsense
+  bbc: --tcp: invalid TCP spec "nonsense" (expected HOST:PORT)
+  [124]
+  $ bbc_cli serve --socket srv.sock --workers 0
+  bbc: --workers must be >= 1
+  Usage: bbc serve [OPTION]…
+  Try 'bbc serve --help' or 'bbc --help' for more information.
+  [124]
+
 The large-n path: stream a family straight into a CSR snapshot and
 estimate the social cost from landmark sweeps.  With landmarks >= n the
 estimator degenerates to the exact sweep; --jobs 1 pins the bound's

@@ -46,5 +46,6 @@ let () =
       ("incremental", Test_incremental.suite);
       ("bigbench", Test_bigbench.suite);
       ("server", Test_server.suite);
+      ("shard", Test_shard.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,80 @@
+(* Session-id sharding (lib/server/shard.ml): the front tier routes a
+   session to worker [of_session id mod workers] forever, so the hash
+   must be a pure function of the id — identical across calls, runs,
+   and processes (which rules out the seed-randomized Hashtbl.hash) —
+   and spread ids evenly so no worker becomes the hot shard. *)
+
+module Shard = Bbc_server.Shard
+
+let test_known_values () =
+  (* FNV-1a(64) values computed independently; a change here means the
+     hash function changed, which would re-route every live session on
+     the next deploy. *)
+  Alcotest.(check int) "s0 % 4" 2 (Shard.of_session ~workers:4 "s0");
+  Alcotest.(check int) "s1 % 4" 1 (Shard.of_session ~workers:4 "s1");
+  Alcotest.(check int) "s2 % 4" 0 (Shard.of_session ~workers:4 "s2");
+  Alcotest.(check int) "alpha % 4" 3 (Shard.of_session ~workers:4 "alpha");
+  Alcotest.(check int) "\"\" % 4" 1 (Shard.of_session ~workers:4 "");
+  Alcotest.(check int) "s0 % 7" 6 (Shard.of_session ~workers:7 "s0");
+  Alcotest.(check int) "s1 % 7" 2 (Shard.of_session ~workers:7 "s1")
+
+let test_stable_across_calls () =
+  for i = 0 to 999 do
+    let id = Shard.mint i in
+    let a = Shard.of_session ~workers:5 id in
+    let b = Shard.of_session ~workers:5 id in
+    Alcotest.(check int) (Printf.sprintf "repeat %s" id) a b
+  done
+
+let test_range () =
+  List.iter
+    (fun workers ->
+      for i = 0 to 999 do
+        let s = Shard.of_session ~workers (Shard.mint i) in
+        if s < 0 || s >= workers then
+          Alcotest.failf "of_session ~workers:%d %S = %d out of range" workers
+            (Shard.mint i) s
+      done)
+    [ 1; 2; 3; 4; 8; 16 ]
+
+let test_single_worker () =
+  for i = 0 to 99 do
+    Alcotest.(check int) "one worker" 0 (Shard.of_session ~workers:1 (Shard.mint i))
+  done
+
+(* 1000 minted ids over 4 workers: expectation 250 per bucket.  The
+   front mints ids exactly like this ("s0", "s1", ...), so this is the
+   production key distribution, not a synthetic one.  A lopsided hash
+   would concentrate load on one worker process. *)
+let test_uniform () =
+  let workers = 4 in
+  let counts = Array.make workers 0 in
+  for i = 0 to 999 do
+    let s = Shard.of_session ~workers (Shard.mint i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun w c ->
+      if c < 150 || c > 350 then
+        Alcotest.failf "worker %d got %d of 1000 ids (expected ~250)" w c)
+    counts
+
+let test_mint () =
+  Alcotest.(check string) "mint 0" "s0" (Shard.mint 0);
+  Alcotest.(check string) "mint 123" "s123" (Shard.mint 123)
+
+let test_invalid_workers () =
+  Alcotest.check_raises "workers=0"
+    (Invalid_argument "Shard.of_session: workers must be >= 1") (fun () ->
+      ignore (Shard.of_session ~workers:0 "s0"))
+
+let suite =
+  [
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "stable across calls" `Quick test_stable_across_calls;
+    Alcotest.test_case "in range" `Quick test_range;
+    Alcotest.test_case "single worker" `Quick test_single_worker;
+    Alcotest.test_case "uniform over 1k minted ids" `Quick test_uniform;
+    Alcotest.test_case "mint format" `Quick test_mint;
+    Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
+  ]
