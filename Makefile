@@ -18,6 +18,7 @@ check:
 	grep -q '"incremental"' bench/results/BENCH_smoke.json && \
 	grep -q '"bigbench"' bench/results/BENCH_smoke.json && \
 	grep -q '"server"' bench/results/BENCH_smoke.json && \
+	grep -q '"campaign"' bench/results/BENCH_smoke.json && \
 	echo "check: ok (smoke bench in bench/results/)" || \
 	{ cat bench/results/bench_smoke.log; exit 1; }
 
@@ -29,7 +30,9 @@ check:
 # BENCH_1 baseline, the large-n engine's equivalence bits and ns/node
 # ceiling — the serving-layer soak (64 TCP connections x 50k requests
 # on 1-worker and 4-worker daemons, zero errors, cross-shard
-# consistency, graceful drains, multi-core speedup floor), and the
+# consistency, graceful drains, multi-core speedup floor), the
+# campaign crash-resume gate (SIGKILL mid-campaign + resume and a
+# via-server leg must all render byte-identical report.json), and the
 # differential-fuzzing gate
 # (every engine pair mismatch-free under a fixed seed, plus the
 # selfcheck planted bug caught and shrunk to n <= 8).
@@ -39,6 +42,7 @@ ci: check
 	scripts/check_kernels.sh bench/results/BENCH_smoke.json
 	scripts/check_bigbench.sh bench/results/BENCH_smoke.json
 	scripts/check_server.sh
+	scripts/check_campaign.sh
 	scripts/check_fuzz.sh
 
 build:

@@ -246,13 +246,17 @@ let speedup_benchmarks ~par_jobs =
   |> List.map run
 
 let print_speedups speedups =
-  Format.fprintf fmt "@.%s@.Sequential vs parallel (domain pool, jobs=%d)@."
+  let jobs_seen =
+    List.sort_uniq compare (List.map (fun s -> s.par_jobs) speedups)
+  in
+  Format.fprintf fmt "@.%s@.Sequential vs parallel (domain pool, jobs: %s)@."
     (String.make 72 '=')
-    (match speedups with s :: _ -> s.par_jobs | [] -> 0);
+    (String.concat ", " (List.map string_of_int jobs_seen));
   List.iter
     (fun s ->
-      Format.fprintf fmt "  %-44s seq %8.4fs  par %8.4fs  speedup %5.2fx%s@."
-        s.sp_name s.seq_s s.par_s (s.seq_s /. s.par_s)
+      Format.fprintf fmt
+        "  %-44s seq %8.4fs  par[j=%d] %8.4fs  speedup %5.2fx%s@." s.sp_name
+        s.seq_s s.par_jobs s.par_s (s.seq_s /. s.par_s)
         (if s.matches then "" else "  [MISMATCH]"))
     speedups;
   Format.pp_print_flush fmt ()
@@ -839,6 +843,144 @@ let print_servers entries =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Campaign runner: throughput (runs/s) over a fixed spec, the cost of
+   per-chunk checkpointing, and a jobs ablation alongside the
+   recommended-domains figure the JSON already carries.  Every run of
+   the same spec must render byte-identical report.json regardless of
+   jobs or chunk size — that determinism contract is asserted here, not
+   just timed. *)
+
+type campaign_bench = {
+  ca_units : int;
+  ca_checkpoint_every : int;
+  ca_overhead_pct : float;
+      (** per-chunk checkpointing vs one final chunk, at jobs=1 *)
+  ca_matches : bool;  (** report bytes identical across all runs *)
+  ca_rows : (int * float * float) list;  (** jobs, elapsed s, runs/s *)
+}
+
+let campaign_bench_spec ~units : Bbc_campaign.Spec.t =
+  {
+    name = "bench";
+    seed = 17;
+    seeds_per_point = units;
+    max_rounds = 60;
+    points =
+      [
+        {
+          generator = Bbc.Trial.Sparse { zero_pct = 50; max_weight = 3 };
+          n = 12;
+          k = 2;
+          h = 2;
+          l = 3;
+        };
+      ];
+    inits = [ Bbc.Trial.Random_start ];
+    schedulers = [ Bbc.Trial.Round_robin ];
+    policies = [ Bbc.Trial.Exact ];
+    objectives = [ Bbc.Objective.Sum ];
+  }
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_campaign_dir f =
+  let base = Filename.temp_file "bbc-bench-campaign" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  Fun.protect
+    ~finally:(fun () -> try rm_rf base with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f base)
+
+(* One fresh-directory campaign run; returns wall time and report bytes. *)
+let run_campaign ~jobs ~checkpoint_every spec =
+  with_temp_campaign_dir (fun dir ->
+      let opts =
+        {
+          Bbc_campaign.Runner.default_opts with
+          jobs = Some jobs;
+          checkpoint_every;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      match Bbc_campaign.Runner.run opts ~dir spec with
+      | Error e -> Error e
+      | Ok o ->
+          let dt = Unix.gettimeofday () -. t0 in
+          let report =
+            In_channel.with_open_bin o.report_path In_channel.input_all
+          in
+          Ok (dt, report))
+
+let campaign_benchmarks ~full =
+  let units = if full then 600 else 150 in
+  let checkpoint_every = 16 in
+  let spec = campaign_bench_spec ~units in
+  let jobs_list =
+    List.sort_uniq compare [ 1; 2; max 2 (Domain.recommended_domain_count ()) ]
+  in
+  (* Overhead baseline: same spec, jobs=1, a single final chunk — the
+     delta against checkpoint_every=16 is pure checkpoint I/O (fsync'd
+     temp-file renames). *)
+  match run_campaign ~jobs:1 ~checkpoint_every:units spec with
+  | Error e ->
+      Format.fprintf fmt "  campaign bench: %s@." e;
+      None
+  | Ok (t_single, ref_report) -> (
+      let rows =
+        List.filter_map
+          (fun jobs ->
+            match run_campaign ~jobs ~checkpoint_every spec with
+            | Error e ->
+                Format.fprintf fmt "  campaign bench (jobs=%d): %s@." jobs e;
+                None
+            | Ok (t, report) ->
+                Some (jobs, t, float_of_int units /. t, report))
+          jobs_list
+      in
+      match rows with
+      | [] -> None
+      | _ ->
+          let matches =
+            List.for_all (fun (_, _, _, r) -> String.equal r ref_report) rows
+          in
+          let t_chunked =
+            match List.find_opt (fun (j, _, _, _) -> j = 1) rows with
+            | Some (_, t, _, _) -> t
+            | None -> t_single
+          in
+          Some
+            {
+              ca_units = units;
+              ca_checkpoint_every = checkpoint_every;
+              ca_overhead_pct = 100.0 *. ((t_chunked /. t_single) -. 1.0);
+              ca_matches = matches;
+              ca_rows = List.map (fun (j, t, rps, _) -> (j, t, rps)) rows;
+            })
+
+let print_campaign = function
+  | None -> ()
+  | Some c ->
+      Format.fprintf fmt
+        "@.%s@.Campaign runner (%d units, sparse(n=12,k=2), checkpoint every \
+         %d)@."
+        (String.make 72 '=')
+        c.ca_units c.ca_checkpoint_every;
+      List.iter
+        (fun (jobs, t, rps) ->
+          Format.fprintf fmt "  jobs=%-3d %8.3fs  %8.0f runs/s@." jobs t rps)
+        c.ca_rows;
+      Format.fprintf fmt "  checkpoint overhead: %.2f%% (jobs=1)%s@."
+        c.ca_overhead_pct
+        (if c.ca_matches then "  reports identical across runs"
+         else "  [REPORTS DIFFER]");
+      Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output (BENCH_*.json); format documented in
    DESIGN.md and README.md.                                            *)
 
@@ -874,7 +1016,8 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench ~servers =
+let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench
+    ~servers ~campaign =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -977,7 +1120,24 @@ let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench ~serve
         s.errors s.protocol_errors s.consistent
         (if i = List.length servers - 1 then "" else ","))
     servers;
-  out "  ]\n";
+  out "  ],\n";
+  (match campaign with
+  | None -> out "  \"campaign\": null\n"
+  | Some c ->
+      out "  \"campaign\": {\n";
+      out "    \"units\": %d,\n" c.ca_units;
+      out "    \"checkpoint_every\": %d,\n" c.ca_checkpoint_every;
+      out "    \"checkpoint_overhead_pct\": %.2f,\n" c.ca_overhead_pct;
+      out "    \"reports_identical\": %b,\n" c.ca_matches;
+      out "    \"jobs_ablation\": [\n";
+      List.iteri
+        (fun i (jobs, t, rps) ->
+          out "      {\"jobs\": %d, \"elapsed_s\": %.6f, \"runs_per_s\": %.1f}%s\n"
+            jobs t rps
+            (if i = List.length c.ca_rows - 1 then "" else ","))
+        c.ca_rows;
+      out "    ]\n";
+      out "  }\n");
   out "}\n";
   close_out oc;
   Format.fprintf fmt "wrote %s@." path
@@ -1051,7 +1211,17 @@ let () =
   (match !json_arg with
   | None -> ()
   | Some path ->
-      let par_jobs = max 2 (Bbc_parallel.default_jobs ()) in
+      (* Per-jobs ablation: the configured pool width and the runtime's
+         recommended domain count, deduplicated when they coincide (the
+         JSON carries both figures, so regressions in either are
+         attributable). *)
+      let jobs_ablation =
+        List.sort_uniq compare
+          [
+            max 2 (Bbc_parallel.default_jobs ());
+            max 2 (Domain.recommended_domain_count ());
+          ]
+      in
       (* The seq-vs-par section measures the domain pool, so the
          incremental engine (sequential by construction) must stay out
          of the from-scratch code paths it times. *)
@@ -1060,7 +1230,10 @@ let () =
         Bbc.Incr.set_enabled false;
         Fun.protect
           ~finally:(fun () -> Bbc.Incr.set_enabled was)
-          (fun () -> speedup_benchmarks ~par_jobs)
+          (fun () ->
+            List.concat_map
+              (fun par_jobs -> speedup_benchmarks ~par_jobs)
+              jobs_ablation)
       in
       print_speedups speedups;
       let kernels = kernel_benchmarks () in
@@ -1074,8 +1247,10 @@ let () =
        print_bigbench equiv scale);
       let servers = server_benchmarks ~full in
       print_servers servers;
+      let campaign = campaign_benchmarks ~full in
+      print_campaign campaign;
       write_json ~path ~micro:!micro ~kernels ~speedups ~incr ~overheads ~bigbench
-        ~servers);
+        ~servers ~campaign);
   Bbc_obs.drain ();
   Option.iter close_out trace_oc;
   if !metrics_arg then Bbc_obs.pp_summary fmt;

@@ -1,7 +1,7 @@
 (* bbc — command-line laboratory for Bounded Budget Connection games.
 
    Subcommands:
-     experiment  run reproduction experiments (e1..e11, or all)
+     experiment  run reproduction experiments (by id, or all)
      dynamics    run a best-response walk on a generated instance
      search      exhaustively enumerate pure Nash equilibria
      verify      check stability of a named construction
@@ -12,6 +12,7 @@
      serve       long-running game-analysis daemon (line-delimited JSON)
      bigbench    large-n streaming build + landmark social-cost estimate
      fuzz        differential fuzzing of every engine pair, with shrinking
+     campaign    checkpointed Monte-Carlo sweeps (run/resume/report)
 
    Observability: --metrics prints the Bbc_obs summary on exit and
    --trace-out FILE writes the structured JSONL event stream; both are
@@ -148,9 +149,20 @@ let no_incremental_opt =
 
 (* ---------------------------------------------------------------- *)
 
+(* The advertised id range comes from the registry, so it stays honest
+   as experiments are added. *)
+let experiment_range =
+  match Bbc_experiments.Registry.all with
+  | [] -> "none"
+  | first :: rest ->
+      let last = List.fold_left (fun _ e -> e) first rest in
+      Printf.sprintf "%s..%s" first.Bbc_experiments.Registry.id
+        last.Bbc_experiments.Registry.id
+
 let experiment_cmd =
   let ids =
-    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e11); all when omitted.")
+    let doc = Printf.sprintf "Experiment ids (%s); all when omitted." experiment_range in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Larger sweeps.") in
   let run () () obs ids full =
@@ -163,7 +175,9 @@ let experiment_cmd =
     | ids -> (
         let entries = List.map Bbc_experiments.Registry.find ids in
         match List.find_opt Option.is_none entries with
-        | Some _ -> `Error (false, "unknown experiment id; use e1..e11")
+        | Some _ ->
+            `Error
+              (false, Printf.sprintf "unknown experiment id; use %s" experiment_range)
         | None ->
             with_obs obs (fun () ->
                 List.iter
@@ -656,7 +670,7 @@ let bigbench_cmd =
 let fuzz_cmd =
   let suite_opt =
     let doc =
-      "Differential suite to run: all (= csr, incr, br, server), or one of "
+      "Differential suite to run: all (= csr, incr, br, server, campaign), or one of "
       ^ String.concat ", " Bbc_fuzz.Diff.suite_names
       ^ ".  selfcheck is expected to fail: it fuzzes a deliberately broken \
          test-only oracle to prove the harness finds and shrinks planted bugs."
@@ -751,6 +765,146 @@ let fuzz_cmd =
         (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ suite_opt
        $ seed_opt $ count_opt $ shrink_opt))
 
+(* ---------------------------------------------------------------- *)
+(* Campaigns: checkpointed Monte-Carlo sweeps over the Bbc_campaign
+   runner.  --jobs is the shared pool option, so Runner sees jobs=None
+   and picks up the (possibly overridden) Bbc_parallel default. *)
+
+let campaign_out_opt =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:
+          "Campaign directory: holds the canonical spec binding, the \
+           checkpoint chunks and report.json.  A directory is bound to the \
+           first spec run in it.")
+
+let campaign_common =
+  let via_server =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "via-server" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Execute units over a running $(b,bbc serve) instead of the \
+             in-process pool: $(b,unix:PATH), $(b,tcp:HOST:PORT), or \
+             $(b,HOST:PORT).  Results are identical either way.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 256
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Units per checkpoint chunk (atomic JSONL shard).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts per unit before quarantining it.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base of the exponential retry backoff (via-server mode).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ] ~doc:"Report per-chunk progress on stderr.")
+  in
+  Term.(
+    const (fun via_server checkpoint_every retries backoff_ms progress ->
+        (via_server, checkpoint_every, retries, backoff_ms, progress))
+    $ via_server $ checkpoint_every $ retries $ backoff_ms $ progress)
+
+let exec_campaign obs spec ~out (via_server, checkpoint_every, retries, backoff_ms, progress)
+    =
+  let mode =
+    match via_server with
+    | None -> Bbc_campaign.Runner.In_process
+    | Some ep -> Bbc_campaign.Runner.Via_server ep
+  in
+  let opts =
+    { Bbc_campaign.Runner.jobs = None; checkpoint_every; retries; backoff_ms; mode }
+  in
+  let on_chunk ~done_units ~total =
+    if progress then Format.eprintf "campaign: %d/%d units@." done_units total
+  in
+  with_obs obs @@ fun () ->
+  match Bbc_campaign.Runner.run ~on_chunk opts ~dir:out spec with
+  | Error e -> `Error (false, e)
+  | Ok o ->
+      Format.fprintf fmt "campaign: %s@." spec.Bbc_campaign.Spec.name;
+      Format.fprintf fmt "units:    %d total, %d skipped, %d executed, %d quarantined@."
+        o.Bbc_campaign.Runner.total o.skipped o.executed o.quarantined;
+      Format.fprintf fmt "report:   %s@." o.report_path;
+      `Ok ()
+
+let campaign_run_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE" ~doc:"Campaign spec (JSON).")
+  in
+  let run () () obs spec_file out common =
+    match Bbc_campaign.Spec.load spec_file with
+    | Error e -> `Error (false, e)
+    | Ok spec -> exec_campaign obs spec ~out common
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run (or continue) a campaign: expand the spec grid, skip \
+          checkpointed units, execute the rest, write report.json.")
+    Term.(
+      ret
+        (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ spec_arg
+       $ campaign_out_opt $ campaign_common))
+
+let campaign_resume_cmd =
+  let run () () obs out common =
+    let spec_path = Bbc_campaign.Checkpoint.spec_path out in
+    match Bbc_campaign.Spec.load spec_path with
+    | Error e -> `Error (false, e)
+    | Ok spec -> exec_campaign obs spec ~out common
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume a campaign from its directory's own spec binding — \
+          equivalent to re-running with the original spec file.")
+    Term.(
+      ret (const run $ jobs_opt $ no_incremental_opt $ obs_opts $ campaign_out_opt
+         $ campaign_common))
+
+let campaign_report_cmd =
+  let run out =
+    match Bbc_campaign.Runner.report ~dir:out with
+    | Error e -> `Error (false, e)
+    | Ok json ->
+        print_endline (Bbc.Json.to_string json);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Recompute and print the aggregate report from the directory's \
+          checkpoints without executing anything.")
+    Term.(ret (const run $ campaign_out_opt))
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Checkpointed, resumable Monte-Carlo sweeps: a JSON spec expands to \
+          a deterministic grid of dynamics trials, executed on the domain \
+          pool or over bbc serve, with crash-safe JSONL checkpoints and a \
+          streaming aggregate report.")
+    [ campaign_run_cmd; campaign_resume_cmd; campaign_report_cmd ]
+
 let () =
   let doc = "Bounded Budget Connection (BBC) games laboratory" in
   let info = Cmd.info "bbc" ~version:"1.0.0" ~doc in
@@ -770,4 +924,5 @@ let () =
             serve_cmd;
             bigbench_cmd;
             fuzz_cmd;
+            campaign_cmd;
           ]))

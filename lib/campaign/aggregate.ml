@@ -1,0 +1,142 @@
+module Json = Bbc.Json
+module Trial = Bbc.Trial
+
+(* log2 histogram over rounds-to-convergence: bucket b counts walks
+   with floor(log2 rounds) = b (rounds <= 1 in bucket 0).  63 buckets
+   cover every OCaml int. *)
+let buckets = 63
+
+let log2_bucket v =
+  let rec go b v = if v <= 1 then b else go (b + 1) (v / 2) in
+  go 0 (max v 1)
+
+type cell = {
+  mutable runs : int;
+  mutable failed : int;
+  mutable converged : int;
+  mutable cycled : int;
+  mutable exhausted : int;
+  mutable connected : int;
+  mutable rounds_sum : int;
+  rounds_hist : int array;  (* converged walks only *)
+  mutable steps_sum : int;
+  mutable deviations_sum : int;
+  mutable sc_sum : int;
+  mutable sc_sumsq : int;
+  mutable sc_min : int;
+  mutable sc_max : int;
+}
+
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell t label =
+  match Hashtbl.find_opt t label with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          runs = 0;
+          failed = 0;
+          converged = 0;
+          cycled = 0;
+          exhausted = 0;
+          connected = 0;
+          rounds_sum = 0;
+          rounds_hist = Array.make buckets 0;
+          steps_sum = 0;
+          deviations_sum = 0;
+          sc_sum = 0;
+          sc_sumsq = 0;
+          sc_min = max_int;
+          sc_max = min_int;
+        }
+      in
+      Hashtbl.replace t label c;
+      c
+
+let add t ~label (s : Trial.summary) =
+  let c = cell t label in
+  c.runs <- c.runs + 1;
+  (match s.outcome with
+  | Trial.Converged ->
+      c.converged <- c.converged + 1;
+      let b = log2_bucket s.rounds in
+      c.rounds_hist.(b) <- c.rounds_hist.(b) + 1
+  | Trial.Cycled _ -> c.cycled <- c.cycled + 1
+  | Trial.Exhausted -> c.exhausted <- c.exhausted + 1);
+  if s.strongly_connected then c.connected <- c.connected + 1;
+  c.rounds_sum <- c.rounds_sum + s.rounds;
+  c.steps_sum <- c.steps_sum + s.steps;
+  c.deviations_sum <- c.deviations_sum + s.deviations;
+  c.sc_sum <- c.sc_sum + s.social_cost;
+  c.sc_sumsq <- c.sc_sumsq + (s.social_cost * s.social_cost);
+  if s.social_cost < c.sc_min then c.sc_min <- s.social_cost;
+  if s.social_cost > c.sc_max then c.sc_max <- s.social_cost
+
+let add_failed t ~label =
+  let c = cell t label in
+  c.failed <- c.failed + 1
+
+(* Floats appear only below — derived from the integer state, so the
+   rendering is independent of accumulation order. *)
+
+let mean_of sum n = if n = 0 then 0.0 else float_of_int sum /. float_of_int n
+
+let ci95 c =
+  if c.runs < 2 then 0.0
+  else
+    let n = float_of_int c.runs in
+    let mean = float_of_int c.sc_sum /. n in
+    let var =
+      (float_of_int c.sc_sumsq -. (n *. mean *. mean)) /. (n -. 1.0)
+    in
+    1.96 *. sqrt (Float.max var 0.0 /. n)
+
+let hist_json h =
+  let last = ref (-1) in
+  Array.iteri (fun i v -> if v > 0 then last := i) h;
+  Json.List (List.init (!last + 1) (fun i -> Json.Int h.(i)))
+
+let cell_json label c =
+  Json.Obj
+    [
+      ("label", Json.Str label);
+      ("runs", Json.Int c.runs);
+      ("failed", Json.Int c.failed);
+      ("converged", Json.Int c.converged);
+      ("cycled", Json.Int c.cycled);
+      ("exhausted", Json.Int c.exhausted);
+      ("equilibrium_rate", Json.Float (mean_of c.converged c.runs));
+      ("strongly_connected", Json.Int c.connected);
+      ("rounds_mean", Json.Float (mean_of c.rounds_sum c.runs));
+      ("rounds_log2_hist", hist_json c.rounds_hist);
+      ("steps_mean", Json.Float (mean_of c.steps_sum c.runs));
+      ("deviations_mean", Json.Float (mean_of c.deviations_sum c.runs));
+      ( "social_cost",
+        Json.Obj
+          [
+            ("mean", Json.Float (mean_of c.sc_sum c.runs));
+            ("ci95", Json.Float (ci95 c));
+            ("min", Json.Int (if c.runs = 0 then 0 else c.sc_min));
+            ("max", Json.Int (if c.runs = 0 then 0 else c.sc_max));
+          ] );
+    ]
+
+let report_json ~name ~units ~completed ~quarantined t =
+  let cells =
+    Hashtbl.fold (fun label c acc -> (label, c) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (label, c) -> cell_json label c)
+  in
+  Json.Obj
+    [
+      ("type", Json.Str "bbc-campaign-report");
+      ("version", Json.Int 1);
+      ("name", Json.Str name);
+      ("units", Json.Int units);
+      ("completed", Json.Int completed);
+      ("quarantined", Json.Int quarantined);
+      ("cells", Json.List cells);
+    ]

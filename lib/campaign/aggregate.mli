@@ -1,0 +1,24 @@
+(** Streaming, order-independent campaign statistics.
+
+    One mutable cell per trial label ({!Bbc.Trial.label} — everything
+    but the seed), updated in O(1) per completed unit; nothing per-run
+    is retained.  All state is integer-exact (sums, sums of squares,
+    counts, log2 histogram buckets); floats — means, equilibrium rates,
+    95% CIs — are derived only at render time from those integers, so
+    the JSON report is a pure function of the {e set} of completed
+    units, independent of completion order, sharding, or resume.  That
+    invariant is what makes crash-resume reports byte-identical. *)
+
+type t
+
+val create : unit -> t
+val add : t -> label:string -> Bbc.Trial.summary -> unit
+val add_failed : t -> label:string -> unit
+(** A quarantined unit: counted per cell but contributes no statistics. *)
+
+val report_json :
+  name:string -> units:int -> completed:int -> quarantined:int -> t -> Bbc.Json.t
+(** [{"type":"bbc-campaign-report","version":1,...,"cells":[...]}] with
+    cells sorted by label.  Per cell: run/outcome counts, equilibrium
+    rate, convergence-round mean + log2 histogram, step and deviation
+    means, social-cost mean±CI95/min/max, strongly-connected count. *)

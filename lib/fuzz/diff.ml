@@ -562,6 +562,209 @@ let selfcheck_suite =
   ]
 
 (* ---------------------------------------------------------------- *)
+(* Suite campaign: spec/trial codecs round-trip, and a campaign unit
+   replays the exact walk a direct Dynamics.run produces.             *)
+
+module Trial = Bbc.Trial
+module Spec = Bbc_campaign.Spec
+
+(* Random-generator trials only (no catalog/family constructions):
+   every draw is valid by construction, so codec and trace properties
+   never trip over a deliberate validation error. *)
+let trial_gen : Trial.t Gen.t =
+  let open Gen in
+  let* n = int_range 2 10 in
+  let* k = int_range 1 (min 3 (n - 1)) in
+  let* generator =
+    oneof
+      [
+        (let* zero_pct = int_range 0 90 in
+         let+ max_weight = int_range 1 5 in
+         Trial.Sparse { zero_pct; max_weight });
+        (let+ max_budget = int_range 0 4 in
+         Trial.Budgets { max_budget });
+        (let+ max_cost = int_range 1 5 in
+         Trial.Costs { max_cost });
+        (let+ span = int_range 1 5 in
+         Trial.Metric { span });
+        (let+ flips = int_range 0 5 in
+         Trial.Perturbed { flips });
+      ]
+  in
+  let* init = oneofl [ Trial.Empty; Trial.Random_start ] in
+  let* scheduler = oneofl [ Trial.Round_robin; Trial.Random_order; Trial.Max_cost_first ] in
+  let* policy =
+    oneof
+      [
+        return Trial.Exact;
+        return Trial.First_improvement;
+        (let+ s = int_range 1 4 in
+         Trial.Sampled s);
+      ]
+  in
+  let* objective = oneofl [ Bbc.Objective.Sum; Bbc.Objective.Max ] in
+  let* max_rounds = int_range 1 30 in
+  let+ seed = int_bound 10_000 in
+  {
+    Trial.generator = generator;
+    n;
+    k;
+    h = 2;
+    l = 3;
+    init;
+    scheduler;
+    policy;
+    objective;
+    max_rounds;
+    seed;
+  }
+
+let spec_gen : Spec.t Gen.t =
+  let open Gen in
+  let point_gen =
+    let* t = trial_gen in
+    return { Spec.generator = t.Trial.generator; n = t.Trial.n; k = t.Trial.k; h = 2; l = 3 }
+  in
+  let* points = list_of_size (int_range 1 3) point_gen in
+  let* seeds_per_point = int_range 1 3 in
+  let* inits = oneofl [ [ Trial.Empty ]; [ Trial.Random_start ]; [ Trial.Empty; Trial.Random_start ] ] in
+  let* schedulers =
+    oneofl [ [ Trial.Round_robin ]; [ Trial.Max_cost_first ]; [ Trial.Round_robin; Trial.Random_order ] ]
+  in
+  let* policies = oneofl [ [ Trial.Exact ]; [ Trial.First_improvement; Trial.Sampled 2 ] ] in
+  let* objectives = oneofl [ [ Bbc.Objective.Sum ]; [ Bbc.Objective.Sum; Bbc.Objective.Max ] ] in
+  let* max_rounds = int_range 1 20 in
+  let+ seed = int_bound 10_000 in
+  { Spec.name = "fuzz"; seed; seeds_per_point; max_rounds; points; inits; schedulers; policies; objectives }
+
+let prop_trial_roundtrip t =
+  let rendered = Json.to_string (Trial.to_json t) in
+  match Trial.of_json (Trial.to_json t) with
+  | Error e -> failf "trial decode failed: %s" e
+  | Ok t' ->
+      if t' <> t then failf "trial decode changed the value (%s)" rendered
+      else
+        let re = Json.to_string (Trial.to_json t') in
+        if re <> rendered then failf "trial rendering not canonical: %s vs %s" rendered re
+        else ok
+
+let prop_spec_roundtrip s =
+  let rendered = Json.to_string (Spec.to_json s) in
+  match Spec.of_json (Spec.to_json s) with
+  | Error e -> failf "spec decode failed: %s" e
+  | Ok s' ->
+      if s' <> s then failf "spec decode changed the value (%s)" rendered
+      else
+        let re = Json.to_string (Spec.to_json s') in
+        if re <> rendered then failf "spec rendering not canonical: %s vs %s" rendered re
+        else
+          (* The string path (parse + decode + validate) agrees too. *)
+          (match Spec.of_string rendered with
+          | Ok s'' when s'' = s -> ok
+          | Ok _ -> failf "of_string changed the value"
+          | Error e -> failf "of_string rejected a rendered spec: %s" e)
+
+(* A 1-unit campaign executes Spec.unit 0 through Trial.run — its
+   activation trace must be bit-identical to a direct Dynamics.run on
+   the same materialized inputs. *)
+let prop_unit_trace_vs_dynamics t =
+  let spec =
+    {
+      Spec.name = "fuzz";
+      seed = t.Trial.seed;
+      seeds_per_point = 1;
+      max_rounds = t.Trial.max_rounds;
+      points =
+        [ { Spec.generator = t.Trial.generator; n = t.Trial.n; k = t.Trial.k; h = 2; l = 3 } ];
+      inits = [ t.Trial.init ];
+      schedulers = [ t.Trial.scheduler ];
+      policies = [ t.Trial.policy ];
+      objectives = [ t.Trial.objective ];
+    }
+  in
+  let u = Spec.unit spec 0 in
+  let trace run_fn =
+    let steps = ref [] in
+    let on_step (s : Bbc.Dynamics.step) =
+      steps := (s.index, s.round, s.node, s.moved, s.strategy, s.cost_after) :: !steps
+    in
+    let r = run_fn ~on_step in
+    (r, List.rev !steps)
+  in
+  match Trial.build u with
+  | Error e -> failf "unit build failed: %s" e
+  | Ok (inst, cfg) ->
+      let direct, direct_trace =
+        trace (fun ~on_step ->
+            Bbc.Dynamics.run ~objective:u.Trial.objective ~policy:(Trial.policy_of u)
+              ~on_step ~scheduler:(Trial.scheduler_of u)
+              ~max_rounds:u.Trial.max_rounds inst cfg)
+      in
+      let via_trial, trial_trace =
+        trace (fun ~on_step ->
+            match Trial.run ~on_step u with
+            | Ok s -> s
+            | Error e -> failwith ("trial run failed: " ^ e))
+      in
+      if trial_trace <> direct_trace then
+        failf "traces differ after %d vs %d steps"
+          (List.length trial_trace) (List.length direct_trace)
+      else
+        let direct_summary =
+          let kind, (stats : Bbc.Dynamics.stats), final =
+            match direct with
+            | Bbc.Dynamics.Converged (c, s) -> (Trial.Converged, s, c)
+            | Bbc.Dynamics.Cycled { config; period; stats } ->
+                (Trial.Cycled period, stats, config)
+            | Bbc.Dynamics.Exhausted (c, s) -> (Trial.Exhausted, s, c)
+          in
+          {
+            Trial.outcome = kind;
+            rounds = stats.Bbc.Dynamics.rounds;
+            steps = stats.Bbc.Dynamics.steps;
+            deviations = stats.Bbc.Dynamics.deviations;
+            social_cost = E.social_cost ~objective:u.Trial.objective inst final;
+            strongly_connected =
+              Bbc_graph.Scc.is_strongly_connected (C.to_graph inst final);
+          }
+        in
+        if via_trial <> direct_summary then failf "summaries differ" else ok
+
+let trial_render t =
+  match Trial.build t with
+  | Ok (inst, cfg) -> (inst, Some cfg, Json.to_string (Trial.to_json t))
+  | Error _ -> (I.uniform ~n:2 ~k:1, None, Json.to_string (Trial.to_json t))
+
+let campaign_suite =
+  let spec_render s =
+    trial_render (Spec.unit s 0)
+    |> fun (inst, cfg, _) -> (inst, cfg, Json.to_string (Spec.to_json s))
+  in
+  [
+    Packed
+      {
+        name = "trial_json_roundtrip";
+        gen = trial_gen;
+        prop = prop_trial_roundtrip;
+        render = trial_render;
+      };
+    Packed
+      {
+        name = "spec_json_roundtrip";
+        gen = spec_gen;
+        prop = prop_spec_roundtrip;
+        render = spec_render;
+      };
+    Packed
+      {
+        name = "unit_vs_dynamics";
+        gen = trial_gen;
+        prop = prop_unit_trace_vs_dynamics;
+        render = trial_render;
+      };
+  ]
+
+(* ---------------------------------------------------------------- *)
 (* Registry and driver.                                              *)
 
 let suites =
@@ -570,13 +773,14 @@ let suites =
     ("incr", incr_suite);
     ("br", br_suite);
     ("server", server_suite);
+    ("campaign", campaign_suite);
     ("selfcheck", selfcheck_suite);
   ]
 
 let suite_names = List.map fst suites
 
 let expand_suites = function
-  | "all" -> Ok [ "csr"; "incr"; "br"; "server" ]
+  | "all" -> Ok [ "csr"; "incr"; "br"; "server"; "campaign" ]
   | name when List.mem_assoc name suites -> Ok [ name ]
   | name ->
       Error

@@ -16,6 +16,10 @@
       vs exhaustive strategy enumeration on tiny instances;
     - [server] — in-process [Bbc_server.Engine] request streams vs
       direct scratch-engine calls on a mirrored session;
+    - [campaign] — {!Bbc_campaign.Spec} / {!Bbc.Trial} JSON codecs
+      round-trip canonically, and a 1-unit campaign's activation trace
+      is bit-identical to a direct [Dynamics.run] on the same
+      materialized inputs;
     - [selfcheck] — a deliberately broken test-only oracle (social
       cost computed skipping node 0).  Expected to FAIL: it exists to
       prove the harness finds planted bugs and shrinks them
@@ -47,7 +51,7 @@ type prop_report = {
 }
 
 val suite_names : string list
-(** [csr; incr; br; server; selfcheck]. *)
+(** [csr; incr; br; server; campaign; selfcheck]. *)
 
 val expand_suites : string -> (string list, string) result
 (** Resolve a [--suite] argument: a name from {!suite_names}, or [all]

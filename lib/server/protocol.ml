@@ -40,6 +40,7 @@ let methods =
     "instance";
     "load_instance";
     "ping";
+    "run_unit";
     "shutdown";
     "stable";
     "stats";

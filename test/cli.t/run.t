@@ -75,6 +75,13 @@ every counter is deterministic (the domain pool is never engaged).
     apsp.sweeps                                     0
     best_response.enumerations                      5
     best_response.subsets                          25
+    campaign.chunks.written                         0
+    campaign.server.reconnects                      0
+    campaign.server.retries                         0
+    campaign.unit.retries                           0
+    campaign.units.completed                        0
+    campaign.units.quarantined                      0
+    campaign.units.skipped                          0
     dynamics.activations                            5
     dynamics.deviations                             0
     eval.sssp                                       5
@@ -127,6 +134,13 @@ pruned count for a 4-node ring enumeration):
     apsp.sweeps                                     0
     best_response.enumerations                    137
     best_response.subsets                         336
+    campaign.chunks.written                         0
+    campaign.server.reconnects                      0
+    campaign.server.retries                         0
+    campaign.unit.retries                           0
+    campaign.units.completed                        0
+    campaign.units.quarantined                      0
+    campaign.units.skipped                          0
     dynamics.activations                            0
     dynamics.deviations                             0
     eval.sssp                                       4
@@ -350,5 +364,53 @@ shrunk instance is a real document, not just a log line:
 Unknown suites are rejected with the known vocabulary:
 
   $ bbc_cli fuzz --suite nosuch
-  bbc: unknown suite "nosuch" (expected all, csr, incr, br, server, selfcheck)
+  bbc: unknown suite "nosuch" (expected all, csr, incr, br, server, campaign, selfcheck)
+  [124]
+
+The experiment id range is derived from the registry, so the error
+message stays honest as experiments are added:
+
+  $ bbc_cli experiment e99
+  bbc: unknown experiment id; use e1..e15
+  [124]
+
+Campaigns: a JSON spec expands to a deterministic Monte-Carlo grid,
+checkpointed to the --out directory.  The report is a pure function of
+the spec — reruns, resumes and re-reports all render the same bytes:
+
+  $ cat > tiny.json <<'SPEC'
+  > {"type":"bbc-campaign","name":"ring-sweep","seed":5,"seeds_per_point":3,
+  >  "max_rounds":50,
+  >  "points":[{"generator":{"kind":"catalog","name":"ring"},"n":6,"k":1}],
+  >  "inits":["empty"],"schedulers":["round-robin"]}
+  > SPEC
+  $ bbc_cli campaign run --spec tiny.json --out camp
+  campaign: ring-sweep
+  units:    3 total, 0 skipped, 3 executed, 0 quarantined
+  report:   camp/report.json
+  $ cat camp/report.json
+  {"type":"bbc-campaign-report","version":1,"name":"ring-sweep","units":3,"completed":3,"quarantined":0,"cells":[{"label":"catalog:ring(n=6,k=1,h=2,l=3)/empty/round-robin/exact/sum","runs":3,"failed":0,"converged":3,"cycled":0,"exhausted":0,"equilibrium_rate":1.0,"strongly_connected":3,"rounds_mean":3.0,"rounds_log2_hist":[0,3],"steps_mean":18.0,"deviations_mean":8.0,"social_cost":{"mean":90.0,"ci95":0.0,"min":90,"max":90}}]}
+
+Resuming a finished campaign skips every unit; `report` recomputes the
+same bytes from the checkpoints alone:
+
+  $ bbc_cli campaign resume --out camp
+  campaign: ring-sweep
+  units:    3 total, 3 skipped, 0 executed, 0 quarantined
+  report:   camp/report.json
+  $ bbc_cli campaign report --out camp | cmp - camp/report.json
+
+A campaign directory is bound to its spec — running a different spec
+into it is refused:
+
+  $ sed 's/"seed":5/"seed":6/' tiny.json > other.json
+  $ bbc_cli campaign run --spec other.json --out camp
+  bbc: camp/spec.json: campaign directory was started from a different spec; use a fresh --out
+  [124]
+
+Invalid specs are rejected with a decode error:
+
+  $ echo '{"type":"bbc-campaign","seeds_per_point":0,"points":[]}' > bad.json
+  $ bbc_cli campaign run --spec bad.json --out camp2
+  bbc: campaign: points must be non-empty
   [124]

@@ -48,4 +48,6 @@ let () =
       ("server", Test_server.suite);
       ("shard", Test_shard.suite);
       ("fuzz", Test_fuzz.suite);
+      ("campaign", Test_campaign.suite);
+      ("experiments-registry", Test_experiments.suite);
     ]
