@@ -16,6 +16,7 @@ check:
 	  > bench/results/bench_smoke.log 2>&1 && \
 	grep -q '"obs_overhead"' bench/results/BENCH_smoke.json && \
 	grep -q '"incremental"' bench/results/BENCH_smoke.json && \
+	grep -q '"msbfs"' bench/results/BENCH_smoke.json && \
 	grep -q '"bigbench"' bench/results/BENCH_smoke.json && \
 	grep -q '"server"' bench/results/BENCH_smoke.json && \
 	grep -q '"campaign"' bench/results/BENCH_smoke.json && \
@@ -27,7 +28,9 @@ check:
 # observability overhead within budget, incremental engine faster than
 # the oracle and bit-identical to it, CSR kernels bit-identical to the
 # list-graph references and the hot path holding its floors over the
-# BENCH_1 baseline, the large-n engine's equivalence bits and ns/node
+# BENCH_1 baseline, the bit-parallel batch kernels bit-identical to
+# per-source sweeps and holding their 4x apsp floor over the BENCH_2
+# pre-batching baseline, the large-n engine's equivalence bits and ns/node
 # ceiling — the serving-layer soak (64 TCP connections x 50k requests
 # on 1-worker and 4-worker daemons, zero errors, cross-shard
 # consistency, graceful drains, multi-core speedup floor), the

@@ -403,6 +403,107 @@ let print_kernels kernels =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Bit-parallel multi-source BFS ([Csr.sssp_batch]) vs the per-source
+   scalar sweeps it replaced, on the same snapshot and pooled scratch.
+   Every row carries a differential bit ([mb_matches]); the apsp row is
+   the one [scripts/check_kernels.sh] holds to the >= 4x floor against
+   BENCH_2's recorded per-source time. *)
+
+type msbfs_bench = {
+  mb_name : string;
+  mb_scalar_s : float;  (** one [Csr.sssp] per source *)
+  mb_batched_s : float;  (** [Csr.sssp_batch] windows *)
+  mb_matches : bool;
+}
+
+let msbfs_benchmarks () =
+  let module Csr = Bbc_graph.Csr in
+  let module W = Bbc_graph.Workspace in
+  let apsp_graph =
+    Bbc_graph.Generators.random_k_out (Bbc_prng.Splitmix.create 7) ~n:512 ~k:3
+  in
+  let csr = Csr.of_digraph apsp_graph in
+  let n = Csr.n csr in
+  let srcs = Array.init n Fun.id in
+  let scratch () = W.scratch (W.get ()) in
+  let fresh () = Array.init n (fun _ -> Array.make n Bbc_graph.Paths.unreachable) in
+  let scalar_matrix ?ban () =
+    let s = scratch () in
+    let dist = fresh () in
+    for src = 0 to n - 1 do
+      Csr.sssp ?ban csr s ~src ~dist:dist.(src)
+    done;
+    dist
+  in
+  let batched_matrix ?ban () =
+    let s = scratch () in
+    let dist = fresh () in
+    Csr.sssp_batch ?ban csr s ~srcs ~rows:dist;
+    dist
+  in
+  let fresh32 () = Array.init n (fun _ -> Csr.create_dist32 n) in
+  let scalar_matrix32 () =
+    let s = scratch () in
+    let dist = fresh32 () in
+    for src = 0 to n - 1 do
+      Csr.sssp32 csr s ~src ~dist:dist.(src)
+    done;
+    dist
+  in
+  let batched_matrix32 () =
+    let s = scratch () in
+    let dist = fresh32 () in
+    Csr.sssp_batch32 csr s ~srcs ~rows:dist;
+    dist
+  in
+  let inst2000 = Bbc.Instance.uniform ~n:2000 ~k:3 in
+  let cfg2000 = Bbc.Config.of_graph (Lazy.force big_graph_fixture) in
+  let ecsr = Bbc.Config.to_csr inst2000 cfg2000 in
+  let scalar_costs () =
+    Array.init (Bbc.Instance.n inst2000) (fun u ->
+        Bbc.Eval.csr_node_cost inst2000 ecsr u)
+  in
+  let batched_costs () = Bbc.Eval.all_costs ~jobs:1 inst2000 cfg2000 in
+  let run (name, reps, scalar, batched, check) =
+    let mb_matches = check () in
+    let mb_scalar_s = time_best ~reps scalar
+    and mb_batched_s = time_best ~reps batched in
+    { mb_name = name; mb_scalar_s; mb_batched_s; mb_matches }
+  in
+  List.map run
+    [
+      ( "msbfs/apsp (n=512,k=3)", 5,
+        (fun () -> ignore (scalar_matrix ())),
+        (fun () -> ignore (batched_matrix ())),
+        fun () -> scalar_matrix () = batched_matrix () );
+      ( "msbfs/ban sweep (n=512,k=3,ban=0)", 5,
+        (fun () -> ignore (scalar_matrix ~ban:0 ())),
+        (fun () -> ignore (batched_matrix ~ban:0 ())),
+        fun () -> scalar_matrix ~ban:0 () = batched_matrix ~ban:0 () );
+      ( "msbfs/apsp32 (n=512,k=3)", 5,
+        (fun () -> ignore (scalar_matrix32 ())),
+        (fun () -> ignore (batched_matrix32 ())),
+        fun () -> scalar_matrix32 () = batched_matrix32 () );
+      ( "msbfs/eval.all_costs (n=2000,k=3)", 3,
+        (fun () -> ignore (scalar_costs ())),
+        (fun () -> ignore (batched_costs ())),
+        fun () -> scalar_costs () = batched_costs () );
+    ]
+
+let print_msbfs msbfs =
+  Format.fprintf fmt "@.%s@.Multi-source bit-parallel BFS vs per-source sweeps@."
+    (String.make 72 '=');
+  List.iter
+    (fun m ->
+      Format.fprintf fmt
+        "  %-40s scalar %10.6fs  batched %10.6fs  speedup %5.2fx%s@." m.mb_name
+        m.mb_scalar_s m.mb_batched_s
+        (m.mb_scalar_s /. m.mb_batched_s)
+        (if m.mb_matches then "" else "  [MISMATCH]"))
+    msbfs;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Incremental engine (delta SSSP + cost caching) vs the from-scratch
    oracle, on the dynamics workloads where the engine matters: long
    best-response walks that mutate one strategy per step.  Each side
@@ -492,39 +593,53 @@ type overhead = {
   inst_s : float;  (** instrumented library version, observability off *)
 }
 
-(* Uninstrumented [Eval.all_costs]: same CSR snapshot, pooled rows and
-   chunk-range fan-out (one row acquire per chunk, as the library does)
-   — no span, no counter. *)
+(* Uninstrumented [Eval.all_costs]: same CSR snapshot, same pooled
+   bit-parallel [Csr.sssp_batch] windows and batch-sized chunk fan-out
+   as the library's batched path — no span, no counter.  (Must mirror
+   the library shape: timing the legacy per-source sweep here would
+   make the <3% disabled-overhead gate compare different algorithms.) *)
 let plain_all_costs inst config =
   let n = Bbc.Instance.n inst in
   let jobs = Bbc_parallel.jobs_for ~threshold:64 n in
   let csr = Bbc.Config.to_csr inst config in
-  let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
   let costs = Array.make n 0 in
-  Bbc_parallel.parallel_for_chunks ~jobs ~chunk 0 n (fun lo hi ->
+  Bbc_parallel.parallel_for_chunks ~jobs ~chunk:Bbc_graph.Csr.batch_width 0 n
+    (fun lo hi ->
       let ws = Bbc_graph.Workspace.get () in
       let scratch = Bbc_graph.Workspace.scratch ws in
-      let row = Bbc_graph.Workspace.acquire ws n in
-      for u = lo to hi - 1 do
-        Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
-        costs.(u) <- Bbc.Eval.cost_of_distances inst u row;
-        Bbc_graph.Csr.reset scratch row
+      let width = min Bbc_graph.Csr.batch_width (hi - lo) in
+      let rows = Bbc_graph.Workspace.acquire_many ws n width in
+      let pos = ref lo in
+      while !pos < hi do
+        let base = !pos in
+        let k = min width (hi - base) in
+        let srcs = Array.init k (fun i -> base + i) in
+        let rows_k = if k = width then rows else Array.sub rows 0 k in
+        Bbc_graph.Csr.sssp_batch csr scratch ~srcs ~rows:rows_k;
+        for i = 0 to k - 1 do
+          costs.(base + i) <- Bbc.Eval.cost_of_distances inst (base + i) rows.(i)
+        done;
+        Bbc_graph.Csr.reset_rows scratch ~rows:rows_k;
+        pos := base + k
       done;
-      Bbc_graph.Workspace.release_clean ws row);
+      Bbc_graph.Workspace.release_clean_many ws rows);
   costs
 
-(* Uninstrumented [Apsp.compute] (same CSR sweeps and chunking). *)
+(* Uninstrumented [Apsp.compute] (same batched CSR sweeps and
+   batch-sized chunking). *)
 let plain_apsp g =
   let n = Bbc_graph.Digraph.n g in
   let jobs = Bbc_parallel.jobs_for ~threshold:128 n in
   let csr = Bbc_graph.Csr.of_digraph g in
-  let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
-  Bbc_parallel.parallel_init ~jobs ~chunk n (fun src ->
-      let row = Array.make n Bbc_graph.Paths.unreachable in
-      Bbc_graph.Csr.sssp csr
+  let dist = Array.init n (fun _ -> Array.make n Bbc_graph.Paths.unreachable) in
+  Bbc_parallel.parallel_for_chunks ~jobs ~chunk:Bbc_graph.Csr.batch_width 0 n
+    (fun lo hi ->
+      let srcs = Array.init (hi - lo) (fun i -> lo + i) in
+      Bbc_graph.Csr.sssp_batch csr
         (Bbc_graph.Workspace.scratch (Bbc_graph.Workspace.get ()))
-        ~src ~dist:row;
-      row)
+        ~srcs
+        ~rows:(Array.sub dist lo (hi - lo)));
+  dist
 
 (* Interleave base/instrumented reps so machine-load drift hits both
    sides of each pair equally, then take the median per-pair ratio —
@@ -1016,12 +1131,12 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench
+let write_json ~path ~micro ~kernels ~msbfs ~speedups ~incr ~overheads ~bigbench
     ~servers ~campaign =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"version\": 3,\n";
+  out "  \"version\": 4,\n";
   out "  \"jobs\": %d,\n" (Bbc_parallel.default_jobs ());
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"git_rev\": %S,\n" (git_rev ());
@@ -1047,6 +1162,18 @@ let write_json ~path ~micro ~kernels ~speedups ~incr ~overheads ~bigbench
         k.k_matches k.k_base_minor_w k.k_csr_minor_w
         (if i = List.length kernels - 1 then "" else ","))
     kernels;
+  out "  ],\n";
+  out "  \"msbfs\": [\n";
+  List.iteri
+    (fun i m ->
+      out
+        "    {\"name\": %S, \"scalar_s\": %.6f, \"batched_s\": %.6f, \
+         \"speedup\": %.3f, \"results_match\": %b}%s\n"
+        m.mb_name m.mb_scalar_s m.mb_batched_s
+        (m.mb_scalar_s /. m.mb_batched_s)
+        m.mb_matches
+        (if i = List.length msbfs - 1 then "" else ","))
+    msbfs;
   out "  ],\n";
   out "  \"speedup\": [\n";
   List.iteri
@@ -1211,13 +1338,16 @@ let () =
   (match !json_arg with
   | None -> ()
   | Some path ->
-      (* Per-jobs ablation: the configured pool width and the runtime's
-         recommended domain count, deduplicated when they coincide (the
-         JSON carries both figures, so regressions in either are
+      (* Per-jobs ablation: jobs in {2, 4} (the EXPERIMENTS.md rechunk
+         table; seq rows carry jobs=1), plus the configured pool width
+         and the runtime's recommended domain count when they differ
+         (the JSON carries both figures, so regressions in either are
          attributable). *)
       let jobs_ablation =
         List.sort_uniq compare
           [
+            2;
+            4;
             max 2 (Bbc_parallel.default_jobs ());
             max 2 (Domain.recommended_domain_count ());
           ]
@@ -1238,6 +1368,8 @@ let () =
       print_speedups speedups;
       let kernels = kernel_benchmarks () in
       print_kernels kernels;
+      let msbfs = msbfs_benchmarks () in
+      print_msbfs msbfs;
       let incr = incremental_benchmarks ~full in
       print_incr_speedups incr;
       let overheads = overhead_benchmarks () in
@@ -1249,8 +1381,8 @@ let () =
       print_servers servers;
       let campaign = campaign_benchmarks ~full in
       print_campaign campaign;
-      write_json ~path ~micro:!micro ~kernels ~speedups ~incr ~overheads ~bigbench
-        ~servers ~campaign);
+      write_json ~path ~micro:!micro ~kernels ~msbfs ~speedups ~incr ~overheads
+        ~bigbench ~servers ~campaign);
   Bbc_obs.drain ();
   Option.iter close_out trace_oc;
   if !metrics_arg then Bbc_obs.pp_summary fmt;

@@ -30,8 +30,16 @@ type rows = {
    trusted to equal [Config.to_csr instance config]), the G_{-u} rows
    come from [~ban:u] sweeps of that shared snapshot — no per-node CSR
    build at all, which is what keeps parallel stability scans off the
-   allocator. *)
-let scratch_rows ?csr instance config u =
+   allocator.
+
+   [?prefetch] names the candidate targets the caller is about to
+   enumerate: on unit-length snapshots their rows are fetched up front
+   with one bit-parallel [Csr.sssp_batch ~ban] traversal instead of one
+   scalar sweep each.  An enumeration that runs to completion touches
+   every candidate row at DFS depth 1 anyway, so the batch does the
+   same work for ~one sweep's worth of graph reads; early-aborting
+   callers pay at most one window of extra traversal. *)
+let scratch_rows ?csr ?prefetch instance config u =
   let ws = Workspace.get () in
   let n = Instance.n instance in
   let snap, ban =
@@ -39,15 +47,24 @@ let scratch_rows ?csr instance config u =
     | Some full -> (full, u)
     | None -> (Config.to_csr ~skip:u instance config, -1)
   in
-  {
-    fetch =
-      (fun v ->
-        let row = Workspace.acquire ws n in
-        Csr.sssp ~ban snap (Workspace.scratch ws) ~src:v ~dist:row;
-        row);
-    cache = Array.make n None;
-    owned = true;
-  }
+  let rows =
+    {
+      fetch =
+        (fun v ->
+          let row = Workspace.acquire ws n in
+          Csr.sssp ~ban snap (Workspace.scratch ws) ~src:v ~dist:row;
+          row);
+      cache = Array.make n None;
+      owned = true;
+    }
+  in
+  (match prefetch with
+  | Some targets when Array.length targets > 1 && Csr.unit_lengths snap ->
+      let bufs = Array.map (fun _ -> Workspace.acquire ws n) targets in
+      Csr.sssp_batch ~ban snap (Workspace.scratch ws) ~srcs:targets ~rows:bufs;
+      Array.iteri (fun i v -> rows.cache.(v) <- Some bufs.(i)) targets
+  | _ -> ());
+  rows
 
 let threshold_rows ctx instance u =
   let ws = Workspace.get () in
@@ -260,7 +277,9 @@ let enumerate ?(objective = Objective.Sum) ?ctx ?csr instance config u ~on_subse
         Incr.with_masked c u (fun () ->
             dfs_enumerate ~objective instance u ~rows:(masked_rows c instance) ~on_subset)
   | None ->
-      dfs_enumerate ~objective instance u ~rows:(scratch_rows ?csr instance config u)
+      let candidates = Array.of_list (candidate_targets instance u) in
+      dfs_enumerate ~candidates ~objective instance u
+        ~rows:(scratch_rows ?csr ~prefetch:candidates instance config u)
         ~on_subset
 
 let exact ?objective ?ctx ?csr instance config u =
@@ -324,7 +343,7 @@ let sampled ?(objective = Objective.Sum) ?csr ~rng ~sample instance config u =
   let current = current_cost ~objective ?csr instance config u in
   let best = ref { strategy = []; cost = max_int } in
   dfs_enumerate ~candidates ~objective instance u
-    ~rows:(scratch_rows ?csr instance config u)
+    ~rows:(scratch_rows ?csr ~prefetch:candidates instance config u)
     ~on_subset:(fun chosen cost ->
       if cost < !best.cost then best := { strategy = chosen; cost };
       false);
@@ -383,4 +402,7 @@ let greedy ?(objective = Objective.Sum) ?ctx ?csr instance config u =
       else
         Incr.with_masked c u (fun () ->
             greedy_rows ~objective instance u ~rows:(masked_rows c instance))
-  | None -> greedy_rows ~objective instance u ~rows:(scratch_rows ?csr instance config u)
+  | None ->
+      let candidates = Array.of_list (candidate_targets instance u) in
+      greedy_rows ~objective instance u
+        ~rows:(scratch_rows ?csr ~prefetch:candidates instance config u)

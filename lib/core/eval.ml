@@ -103,11 +103,6 @@ let parallel_threshold = 64
    workers, exercising Bbc_obs's per-domain shards. *)
 let obs_sssp = Bbc_obs.counter "eval.sssp"
 
-(* One contiguous source range per domain: [chunk = ceil (n / jobs)],
-   so a domain's sweeps walk adjacent rows of the shared CSR snapshot
-   instead of interleaving with the other domains' ranges. *)
-let contiguous_chunk ~jobs n = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n
-
 (* Cost of one source under the shared CSR snapshot, allocation-free:
    sweep into this domain's pooled row, fold the distances, then undo
    the sweep with the O(visited) dirty-list reset. *)
@@ -121,23 +116,52 @@ let csr_node_cost ?objective instance csr u =
   Bbc_graph.Workspace.release_clean ws row;
   c
 
-(* Costs of sources [lo, hi) under the shared snapshot into [out].
-   Workers share the flat CSR read-only; each chunk acquires one pooled
-   row and one scratch, sweeps its whole source range through them, and
-   releases once — so per-sweep overhead (pool bookkeeping, the obs
-   counter) is paid per chunk, not per node, and parallel domains never
+(* Costs of sources [lo, hi) under the shared snapshot, fed to [emit].
+   Unit-length snapshots sweep up to [Csr.batch_width] sources per
+   bit-parallel window into pooled rows, fold each row, and restore the
+   whole window through the dirty list; weighted snapshots keep the
+   scalar one-row loop (Dijkstra has no batched path, and one live row
+   keeps the O(visited) per-sweep reset).  Workers share the flat CSR
+   read-only and rows never escape the chunk, so parallel domains never
    meet on the allocator. *)
-let chunk_costs ?objective instance csr out lo hi =
+let batched_costs ?objective instance csr ~emit lo hi =
+  let n = Instance.n instance in
   let ws = Bbc_graph.Workspace.get () in
   let scratch = Bbc_graph.Workspace.scratch ws in
-  let row = Bbc_graph.Workspace.acquire ws (Instance.n instance) in
-  for u = lo to hi - 1 do
-    Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
-    out.(u) <- cost_of_distances ?objective instance u row;
-    Bbc_graph.Csr.reset scratch row
-  done;
-  Bbc_graph.Workspace.release_clean ws row;
+  if Bbc_graph.Csr.unit_lengths csr then begin
+    let width = min Bbc_graph.Csr.batch_width (hi - lo) in
+    let rows = Bbc_graph.Workspace.acquire_many ws n width in
+    let pos = ref lo in
+    while !pos < hi do
+      let base = !pos in
+      let k = min width (hi - base) in
+      let srcs = Array.init k (fun i -> base + i) in
+      let rows_k = if k = width then rows else Array.sub rows 0 k in
+      Bbc_graph.Csr.sssp_batch csr scratch ~srcs ~rows:rows_k;
+      for i = 0 to k - 1 do
+        emit (base + i) (cost_of_distances ?objective instance (base + i) rows.(i))
+      done;
+      Bbc_graph.Csr.reset_rows scratch ~rows:rows_k;
+      pos := base + k
+    done;
+    Bbc_graph.Workspace.release_clean_many ws rows
+  end
+  else begin
+    let row = Bbc_graph.Workspace.acquire ws n in
+    for u = lo to hi - 1 do
+      Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
+      emit u (cost_of_distances ?objective instance u row);
+      Bbc_graph.Csr.reset scratch row
+    done;
+    Bbc_graph.Workspace.release_clean ws row
+  end;
   Bbc_obs.add obs_sssp (hi - lo)
+
+(* One bit-parallel window per pool pull: coarse enough for jobs >= 2
+   to pay for real source counts, fine enough to balance across
+   domains.  jobs = 1 receives the whole range as a single chunk and
+   [batched_costs] windows it internally over one reused row set. *)
+let eval_chunk = Bbc_graph.Csr.batch_width
 
 let all_costs ?objective ?jobs instance config =
   let n = Instance.n instance in
@@ -146,8 +170,8 @@ let all_costs ?objective ?jobs instance config =
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
       let csr = Config.to_csr instance config in
       let out = Array.make n 0 in
-      Bbc_parallel.parallel_for_chunks ~jobs ~chunk:(contiguous_chunk ~jobs n) 0 n
-        (chunk_costs ?objective instance csr out);
+      Bbc_parallel.parallel_for_chunks ~jobs ~chunk:eval_chunk 0 n
+        (batched_costs ?objective instance csr ~emit:(fun u c -> out.(u) <- c));
       out)
 
 let social_cost ?objective ?jobs instance config =
@@ -158,20 +182,10 @@ let social_cost ?objective ?jobs instance config =
       let csr = Config.to_csr instance config in
       (* Chunk-indexed partial sums folded in order: same total as the
          sequential fold, whatever the scheduling. *)
-      let chunk = contiguous_chunk ~jobs n in
-      let nchunks = if n = 0 then 0 else 1 + ((n - 1) / chunk) in
+      let nchunks = if n = 0 then 0 else 1 + ((n - 1) / eval_chunk) in
       let partial = Array.make (max nchunks 1) 0 in
-      Bbc_parallel.parallel_for_chunks ~jobs ~chunk 0 n (fun lo hi ->
-          let ws = Bbc_graph.Workspace.get () in
-          let scratch = Bbc_graph.Workspace.scratch ws in
-          let row = Bbc_graph.Workspace.acquire ws n in
+      Bbc_parallel.parallel_for_chunks ~jobs ~chunk:eval_chunk 0 n (fun lo hi ->
           let acc = ref 0 in
-          for u = lo to hi - 1 do
-            Bbc_graph.Csr.sssp csr scratch ~src:u ~dist:row;
-            acc := !acc + cost_of_distances ?objective instance u row;
-            Bbc_graph.Csr.reset scratch row
-          done;
-          Bbc_graph.Workspace.release_clean ws row;
-          Bbc_obs.add obs_sssp (hi - lo);
-          partial.(lo / chunk) <- !acc);
+          batched_costs ?objective instance csr ~emit:(fun _ c -> acc := !acc + c) lo hi;
+          partial.(lo / eval_chunk) <- !acc);
       Array.fold_left ( + ) 0 partial)

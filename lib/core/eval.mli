@@ -19,12 +19,15 @@ val node_cost :
 
 val all_costs :
   ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int array
-(** Cost of every node (one shortest-path computation per node).  The
-    per-source computations are independent — workers share the realized
-    graph {e read-only} and own their scratch distance arrays — so they
-    are fanned out over the {!Bbc_parallel} domain pool.  [jobs]
-    defaults to {!Bbc_parallel.default_jobs} for n >= 64 and to 1 below
-    that; the result is identical for every job count. *)
+(** Cost of every node (one shortest-path computation per node).  On
+    unit-length realizations the sweeps run [Csr.batch_width] sources at
+    a time through the bit-parallel MS-BFS kernel, and each pool pull
+    claims one such window.  The per-source computations are independent
+    — workers share the realized graph {e read-only} and own their
+    pooled distance rows — so they are fanned out over the
+    {!Bbc_parallel} domain pool.  [jobs] defaults to
+    {!Bbc_parallel.default_jobs} for n >= 64 and to 1 below that; the
+    result is identical for every job count. *)
 
 val social_cost : ?objective:Objective.t -> ?jobs:int -> Instance.t -> Config.t -> int
 (** Sum over nodes of {!node_cost} — the paper's total social cost.

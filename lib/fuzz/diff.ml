@@ -154,6 +154,161 @@ let csr_suite =
   ]
 
 (* ---------------------------------------------------------------- *)
+(* Suite msbfs: bit-parallel multi-source BFS vs per-source sweeps.
+   Instances up to n = 70 cross the batch_width = 62 window boundary,
+   so ragged tails and multi-window batches are generated, not just
+   hand-picked; general (weighted) instances exercise the scalar
+   dispatch leg of [sssp_batch] through the same properties.          *)
+
+let ic_msbfs = Domain_gen.instance_config ~max_n:70 ()
+
+let scalar_reference csr srcs =
+  Array.map (fun src -> P.shortest_csr csr src) srcs
+
+let check_rows ~what srcs reference rows =
+  let r = ref ok in
+  Array.iteri
+    (fun i src ->
+      if !r = ok then
+        match array_mismatch reference.(i) rows.(i) with
+        | None -> ()
+        | Some v -> r := failf "%s: src %d (row %d) disagrees at node %d" what src i v)
+    srcs;
+  !r
+
+let prop_batch_vs_scalar (inst, cfg) =
+  let n = I.n inst in
+  let csr = C.to_csr inst cfg in
+  let srcs = Array.init n Fun.id in
+  let rows = Array.init n (fun _ -> Array.make n Csr.unreachable) in
+  Csr.sssp_batch csr (Csr.create_scratch ()) ~srcs ~rows;
+  check_rows ~what:"sssp_batch" srcs (scalar_reference csr srcs) rows
+
+let prop_batch_ban_vs_scalar (inst, cfg) =
+  let n = I.n inst in
+  let csr = C.to_csr inst cfg in
+  let srcs = Array.init n Fun.id in
+  let scratch = Csr.create_scratch () in
+  let dist = Array.make n Csr.unreachable in
+  check_all
+    (fun ban ->
+      let rows = Array.init n (fun _ -> Array.make n Csr.unreachable) in
+      Csr.sssp_batch ~ban csr (Csr.create_scratch ()) ~srcs ~rows;
+      let reference =
+        Array.map
+          (fun src ->
+            Csr.sssp ~ban csr scratch ~src ~dist;
+            let r = Array.copy dist in
+            Csr.reset scratch dist;
+            r)
+          srcs
+      in
+      check_rows ~what:(Printf.sprintf "sssp_batch ~ban:%d" ban) srcs reference rows)
+    (List.sort_uniq compare [ 0; n / 2; n - 1 ])
+
+let prop_batch32_vs_batch (inst, cfg) =
+  let n = I.n inst in
+  let csr = C.to_csr inst cfg in
+  let srcs = Array.init n Fun.id in
+  let rows32 = Array.init n (fun _ -> Csr.create_dist32 n) in
+  Csr.sssp_batch32 csr (Csr.create_scratch ()) ~srcs ~rows:rows32;
+  let reference = scalar_reference csr srcs in
+  check_all
+    (fun src ->
+      check_all
+        (fun v ->
+          let d32 = Bigarray.Array1.get rows32.(src) v in
+          let widened =
+            if Int32.equal d32 Csr.unreachable32 then Csr.unreachable
+            else Int32.to_int d32
+          in
+          if widened = reference.(src).(v) then ok
+          else failf "sssp_batch32: src %d disagrees at node %d" src v)
+        (nodes inst))
+    (nodes inst)
+
+let prop_batch_source_subset (inst, cfg) =
+  (* Non-contiguous, shuffled, duplicated sources: every row must still
+     equal its own independent sweep. *)
+  let n = I.n inst in
+  let csr = C.to_csr inst cfg in
+  let k = n + (n / 2) in
+  let srcs = Array.init k (fun i -> ((i * 13) + 5) mod n) in
+  let rows = Array.init k (fun _ -> Array.make n Csr.unreachable) in
+  Csr.sssp_batch csr (Csr.create_scratch ()) ~srcs ~rows;
+  check_rows ~what:"sssp_batch subset" srcs (scalar_reference csr srcs) rows
+
+let prop_batch_reuse_reset (inst, cfg) =
+  (* One scratch across a plain batch and a banned batch, rows restored
+     with [reset_rows] in between: the second batch must be exact and
+     the restore must leave every entry clean (the self-cleaning bitmap
+     and dirty-list-handoff invariants). *)
+  let n = I.n inst in
+  let csr = C.to_csr inst cfg in
+  let scratch = Csr.create_scratch () in
+  let srcs = Array.init n Fun.id in
+  let rows = Array.init n (fun _ -> Array.make n Csr.unreachable) in
+  Csr.sssp_batch csr scratch ~srcs ~rows;
+  Csr.reset_rows scratch ~rows;
+  let dirty = ref ok in
+  Array.iteri
+    (fun i row ->
+      if !dirty = ok then
+        Array.iteri
+          (fun v d ->
+            if !dirty = ok && d <> Csr.unreachable then
+              dirty := failf "reset_rows left row %d entry %d dirty" i v)
+          row)
+    rows;
+  match !dirty with
+  | Error _ as e -> e
+  | Ok () ->
+      let ban = n / 2 in
+      Csr.sssp_batch ~ban csr scratch ~srcs ~rows;
+      let scratch2 = Csr.create_scratch () in
+      let dist = Array.make n Csr.unreachable in
+      let reference =
+        Array.map
+          (fun src ->
+            Csr.sssp ~ban csr scratch2 ~src ~dist;
+            let r = Array.copy dist in
+            Csr.reset scratch2 dist;
+            r)
+          srcs
+      in
+      check_rows ~what:"reused-scratch banned batch" srcs reference rows
+
+let msbfs_suite =
+  let render (inst, cfg) = (inst, Some cfg, "") in
+  [
+    Packed
+      { name = "batch_vs_scalar"; gen = ic_msbfs; prop = prop_batch_vs_scalar; render };
+    Packed
+      {
+        name = "batch_ban_vs_scalar";
+        gen = ic_msbfs;
+        prop = prop_batch_ban_vs_scalar;
+        render;
+      };
+    Packed
+      { name = "batch32_vs_batch"; gen = ic_msbfs; prop = prop_batch32_vs_batch; render };
+    Packed
+      {
+        name = "batch_source_subset";
+        gen = ic_msbfs;
+        prop = prop_batch_source_subset;
+        render;
+      };
+    Packed
+      {
+        name = "batch_reuse_reset";
+        gen = ic_msbfs;
+        prop = prop_batch_reuse_reset;
+        render;
+      };
+  ]
+
+(* ---------------------------------------------------------------- *)
 (* Suite incr: scratch Eval vs incremental contexts under deltas.    *)
 
 let icm =
@@ -770,6 +925,7 @@ let campaign_suite =
 let suites =
   [
     ("csr", csr_suite);
+    ("msbfs", msbfs_suite);
     ("incr", incr_suite);
     ("br", br_suite);
     ("server", server_suite);
@@ -780,7 +936,7 @@ let suites =
 let suite_names = List.map fst suites
 
 let expand_suites = function
-  | "all" -> Ok [ "csr"; "incr"; "br"; "server"; "campaign" ]
+  | "all" -> Ok [ "csr"; "msbfs"; "incr"; "br"; "server"; "campaign" ]
   | name when List.mem_assoc name suites -> Ok [ name ]
   | name ->
       Error

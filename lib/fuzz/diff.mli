@@ -9,6 +9,10 @@
     - [csr] — list-graph reference ([Paths], [Apsp.floyd_warshall])
       vs flat CSR kernels, including [~ban:u] vs [~skip:u] snapshots
       and int32 vs int rows;
+    - [msbfs] — bit-parallel [Csr.sssp_batch]/[sssp_batch32] vs
+      per-source sweeps on instances crossing the [Csr.batch_width]
+      window boundary (ragged tails, [~ban], shuffled/duplicated
+      source subsets, scratch reuse with [reset_rows]);
     - [incr] — scratch [Eval] vs {!Bbc.Incr} contexts under generated
       move sequences, with [with_masked] exact-undo round-trips and
       incremental-vs-parallel [Stability];
@@ -51,7 +55,7 @@ type prop_report = {
 }
 
 val suite_names : string list
-(** [csr; incr; br; server; campaign; selfcheck]. *)
+(** [csr; msbfs; incr; br; server; campaign; selfcheck]. *)
 
 val expand_suites : string -> (string list, string) result
 (** Resolve a [--suite] argument: a name from {!suite_names}, or [all]

@@ -44,10 +44,13 @@ let floyd_warshall ?jobs g =
         done;
       { dist })
 
-(* One CSR sweep per source: O(n (m + n)) on unit graphs instead of the
-   Floyd–Warshall O(n^3), and each sweep runs against this domain's
-   pooled workspace scratch, so the only allocation is the result matrix
-   itself.  Rows are independent, hence identical for every job count. *)
+(* Batched CSR sweeps: O(n (m + n)) on unit graphs instead of the
+   Floyd–Warshall O(n^3), and unit-length snapshots run the bit-parallel
+   MS-BFS kernel — one traversal per [Csr.batch_width] sources, reading
+   the adjacency once per window instead of once per row.  Each pool
+   pull claims one window, so parallel domains split the matrix into
+   batch-sized row bands; rows are independent, hence the result is
+   identical for every job count. *)
 let compute ?jobs g =
   let n = Digraph.n g in
   let jobs = Bbc_parallel.jobs_for ?jobs ~threshold:parallel_threshold n in
@@ -55,13 +58,15 @@ let compute ?jobs g =
     ~attrs:[ ("n", Bbc_obs.Int n); ("jobs", Bbc_obs.Int jobs) ] (fun () ->
       let csr = Csr.of_digraph g in
       Bbc_obs.add obs_sweeps n;
-      let chunk = if jobs > 1 then max 1 ((n + jobs - 1) / jobs) else n in
-      let dist =
-        Bbc_parallel.parallel_init ~jobs ~chunk n (fun src ->
-            let row = Array.make n Paths.unreachable in
-            Csr.sssp csr (Workspace.scratch (Workspace.get ())) ~src ~dist:row;
-            row)
-      in
+      let dist = Array.init n (fun _ -> Array.make n Paths.unreachable) in
+      (* jobs = 1 hands the whole range over as one chunk; [sssp_batch]
+         windows it internally. *)
+      Bbc_parallel.parallel_for_chunks ~jobs ~chunk:Csr.batch_width 0 n (fun lo hi ->
+          let srcs = Array.init (hi - lo) (fun i -> lo + i) in
+          Csr.sssp_batch csr
+            (Workspace.scratch (Workspace.get ()))
+            ~srcs
+            ~rows:(Array.sub dist lo (hi - lo)));
       { dist })
 
 let distance t u v = t.dist.(u).(v)

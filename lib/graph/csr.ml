@@ -84,17 +84,53 @@ type scratch = {
   heap : Binary_heap.t;
   mutable touched : int array; (* vertices written by the last sweep *)
   mutable ntouched : int;
+  (* Multi-source bit-parallel state (see the MS-BFS kernels below).
+     [seen]/[front]/[next_front] are per-vertex source bitmaps, kept
+     all-zero between sweeps (each sweep self-cleans on exit via the
+     dirty list).  [cur_list]/[next_list] are the frontier vertex
+     lists; the two bitmap arrays and the two lists swap roles every
+     level. *)
+  mutable seen : int array;
+  mutable front : int array;
+  mutable next_front : int array;
+  mutable cur_list : int array;
+  mutable next_list : int array;
+  mutable dl_covers_batch : bool;
+      (* whether the dirty list covers every row of the last batched
+         call (false after a scalar or multi-window batch, where only
+         the final sweep's writes are recorded) *)
+  (* Reverse adjacency for the bottom-up direction, built lazily on the
+     first dense frontier and cached per snapshot (physical equality —
+     consumers sweep one immutable snapshot many times). *)
+  mutable rev_key : t option;
+  mutable rev_offsets : int array;
+  mutable rev_targets : int array;
 }
 
 let create_scratch () =
-  { queue = [||]; heap = Binary_heap.create ~capacity:16 (); touched = [||]; ntouched = 0 }
+  {
+    queue = [||];
+    heap = Binary_heap.create ~capacity:16 ();
+    touched = [||];
+    ntouched = 0;
+    seen = [||];
+    front = [||];
+    next_front = [||];
+    cur_list = [||];
+    next_list = [||];
+    dl_covers_batch = false;
+    rev_key = None;
+    rev_offsets = [||];
+    rev_targets = [||];
+  }
 
 let ensure s n =
   if Array.length s.queue < n then begin
     s.queue <- Array.make n 0;
     s.touched <- Array.make n 0
   end;
-  s.ntouched <- 0
+  s.ntouched <- 0;
+  s.dl_covers_batch <- false
 
 let touch s v =
   s.touched.(s.ntouched) <- v;
@@ -253,3 +289,388 @@ let dijkstra32 ?(ban = -1) t s ~src ~(dist : dist32) =
 
 let sssp32 ?ban t s ~src ~dist =
   if t.unit_lengths then bfs32 ?ban t s ~src ~dist else dijkstra32 ?ban t s ~src ~dist
+
+(* ------------------------------------------------------------------ *)
+(* Multi-source bit-parallel BFS (MS-BFS).
+
+   Unit-length sweeps from up to [batch_width] sources share one
+   traversal: per-vertex bitmaps replace the visited flag, bit [b]
+   standing for source [srcs.(b)].  Each level walks the adjacency
+   once for every source whose frontier reaches it, so the graph is
+   read once per *batch* instead of once per source.  OCaml's native
+   int has [Sys.int_size] = 63 usable bits on 64-bit; we keep the top
+   bit clear ([batch_width] = 62) so masks stay non-negative and the
+   lowest-bit extraction below needs no sign special-cases.
+
+   Dense frontiers flip to a bottom-up (pull) pass over the reverse
+   adjacency (Beamer's direction-optimizing BFS): every not-fully-seen
+   vertex scans its in-neighbours, exiting early once all its missing
+   source bits are found.  The transpose is built lazily and cached in
+   the scratch keyed by physical equality of the snapshot — consumers
+   sweep one immutable snapshot many times, so the build amortizes to
+   nothing.
+
+   Weighted graphs keep the scalar Dijkstra path: bit-parallelism
+   requires all sources to agree on the expansion order, which only
+   uniform hop counts guarantee. *)
+
+let batch_width = Sys.int_size - 1
+
+(* Lowest-bit index by perfect hash: powers of two are distinct mod 67
+   (2 is a primitive root mod 67), so [(1 lsl i) mod 67] maps bit
+   positions 0..61 injectively into a 67-entry table. *)
+let bit_index =
+  let tbl = Array.make 67 (-1) in
+  for i = 0 to batch_width - 1 do
+    tbl.((1 lsl i) mod 67) <- i
+  done;
+  tbl
+
+(* The bitmap arrays carry a self-cleaning invariant: all-zero between
+   sweeps (each window zeroes exactly what it set on the way out), so
+   growth is the only O(n) event. *)
+let ensure_batch s n =
+  ensure s n;
+  if Array.length s.seen < n then begin
+    s.seen <- Array.make n 0;
+    s.front <- Array.make n 0;
+    s.next_front <- Array.make n 0;
+    s.cur_list <- Array.make n 0;
+    s.next_list <- Array.make n 0
+  end
+
+let ensure_rev t s =
+  match s.rev_key with
+  | Some key when key == t -> ()
+  | _ ->
+      let n = t.n and targets = t.targets in
+      let m = t.offsets.(n) in
+      let roffs = Array.make (n + 1) 0 in
+      for e = 0 to m - 1 do
+        let w = targets.(e) in
+        roffs.(w + 1) <- roffs.(w + 1) + 1
+      done;
+      for w = 1 to n do
+        roffs.(w) <- roffs.(w) + roffs.(w - 1)
+      done;
+      let cursor = Array.copy roffs in
+      let rtgts = Array.make (max m 1) 0 in
+      for u = 0 to n - 1 do
+        for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+          let w = targets.(e) in
+          rtgts.(cursor.(w)) <- u;
+          cursor.(w) <- cursor.(w) + 1
+        done
+      done;
+      s.rev_offsets <- roffs;
+      s.rev_targets <- rtgts;
+      s.rev_key <- Some t
+
+(* One window: hop distances from sources [srcs.(soff .. soff+k-1)]
+   into [rows.(roff .. roff+k-1)] (clean, length >= n each).  Assumes
+   [ensure_batch] ran and k <= batch_width.  Leaves the dirty list
+   covering every vertex any source reached. *)
+let msbfs_window ~ban t s ~srcs ~soff ~k ~rows ~roff =
+  let n = t.n in
+  let offsets = t.offsets and targets = t.targets in
+  let m = offsets.(n) in
+  let seen = s.seen in
+  let full = if k = batch_width then max_int else (1 lsl k) - 1 in
+  let fr = ref s.front and nf = ref s.next_front in
+  let cl = ref s.cur_list and nl = ref s.next_list in
+  let cn = ref 0 and ce = ref 0 in
+  for b = 0 to k - 1 do
+    let v = srcs.(soff + b) in
+    let bit = 1 lsl b in
+    if seen.(v) = 0 then touch s v;
+    seen.(v) <- seen.(v) lor bit;
+    if (!fr).(v) = 0 then begin
+      (!cl).(!cn) <- v;
+      incr cn;
+      ce := !ce + offsets.(v + 1) - offsets.(v)
+    end;
+    (!fr).(v) <- (!fr).(v) lor bit;
+    rows.(roff + b).(v) <- 0
+  done;
+  let d = ref 0 in
+  while !cn > 0 do
+    let d' = !d + 1 in
+    let frA = !fr and nfA = !nf and clA = !cl and nlA = !nl in
+    let nn = ref 0 and ne = ref 0 in
+    (* Pull pays once the frontier touches a constant fraction of the
+       edges: the pass is O(n + m) with early exit per vertex, versus
+       O(frontier out-edges) for push.  8 is Beamer's alpha, untuned. *)
+    if !ce * 8 > m then begin
+      ensure_rev t s;
+      let roffs = s.rev_offsets and rtgts = s.rev_targets in
+      for w = 0 to n - 1 do
+        let miss = full land lnot seen.(w) in
+        if miss <> 0 then begin
+          let acc = ref 0 in
+          let e = ref roffs.(w) in
+          let stop = roffs.(w + 1) in
+          while !e < stop && !acc land miss <> miss do
+            let v = rtgts.(!e) in
+            if v <> ban then acc := !acc lor frA.(v);
+            incr e
+          done;
+          let add = !acc land miss in
+          if add <> 0 then begin
+            if seen.(w) = 0 then touch s w;
+            seen.(w) <- seen.(w) lor add;
+            nfA.(w) <- add;
+            nlA.(!nn) <- w;
+            incr nn;
+            ne := !ne + offsets.(w + 1) - offsets.(w);
+            let mm = ref add in
+            while !mm <> 0 do
+              let bit = !mm land - !mm in
+              rows.(roff + bit_index.(bit mod 67)).(w) <- d';
+              mm := !mm lxor bit
+            done
+          end
+        end
+      done
+    end
+    else
+      for i = 0 to !cn - 1 do
+        let u = clA.(i) in
+        if u <> ban then begin
+          let fu = frA.(u) in
+          for e = offsets.(u) to offsets.(u + 1) - 1 do
+            let w = targets.(e) in
+            let add = fu land lnot seen.(w) in
+            if add <> 0 then begin
+              if seen.(w) = 0 then touch s w;
+              seen.(w) <- seen.(w) lor add;
+              if nfA.(w) = 0 then begin
+                nlA.(!nn) <- w;
+                incr nn;
+                ne := !ne + offsets.(w + 1) - offsets.(w)
+              end;
+              nfA.(w) <- nfA.(w) lor add;
+              let mm = ref add in
+              while !mm <> 0 do
+                let bit = !mm land - !mm in
+                rows.(roff + bit_index.(bit mod 67)).(w) <- d';
+                mm := !mm lxor bit
+              done
+            end
+          done
+        end
+      done;
+    for i = 0 to !cn - 1 do
+      frA.(clA.(i)) <- 0
+    done;
+    fr := nfA;
+    nf := frA;
+    cl := nlA;
+    nl := clA;
+    cn := !nn;
+    ce := !ne;
+    d := d'
+  done;
+  (* Self-clean: both frontier bitmaps are already zero (cleared level
+     by level); [seen] is zeroed through the dirty list, which stays
+     intact for [reset_rows]. *)
+  for i = 0 to s.ntouched - 1 do
+    seen.(s.touched.(i)) <- 0
+  done
+
+(* Same window over int32 rows. *)
+let msbfs_window32 ~ban t s ~srcs ~soff ~k ~(rows : dist32 array) ~roff =
+  let n = t.n in
+  let offsets = t.offsets and targets = t.targets in
+  let m = offsets.(n) in
+  let seen = s.seen in
+  let full = if k = batch_width then max_int else (1 lsl k) - 1 in
+  let fr = ref s.front and nf = ref s.next_front in
+  let cl = ref s.cur_list and nl = ref s.next_list in
+  let cn = ref 0 and ce = ref 0 in
+  for b = 0 to k - 1 do
+    let v = srcs.(soff + b) in
+    let bit = 1 lsl b in
+    if seen.(v) = 0 then touch s v;
+    seen.(v) <- seen.(v) lor bit;
+    if (!fr).(v) = 0 then begin
+      (!cl).(!cn) <- v;
+      incr cn;
+      ce := !ce + offsets.(v + 1) - offsets.(v)
+    end;
+    (!fr).(v) <- (!fr).(v) lor bit;
+    Bigarray.Array1.unsafe_set rows.(roff + b) v 0l
+  done;
+  let d = ref 0 in
+  while !cn > 0 do
+    let d' = !d + 1 in
+    let d32 = Int32.of_int d' in
+    let frA = !fr and nfA = !nf and clA = !cl and nlA = !nl in
+    let nn = ref 0 and ne = ref 0 in
+    if !ce * 8 > m then begin
+      ensure_rev t s;
+      let roffs = s.rev_offsets and rtgts = s.rev_targets in
+      for w = 0 to n - 1 do
+        let miss = full land lnot seen.(w) in
+        if miss <> 0 then begin
+          let acc = ref 0 in
+          let e = ref roffs.(w) in
+          let stop = roffs.(w + 1) in
+          while !e < stop && !acc land miss <> miss do
+            let v = rtgts.(!e) in
+            if v <> ban then acc := !acc lor frA.(v);
+            incr e
+          done;
+          let add = !acc land miss in
+          if add <> 0 then begin
+            if seen.(w) = 0 then touch s w;
+            seen.(w) <- seen.(w) lor add;
+            nfA.(w) <- add;
+            nlA.(!nn) <- w;
+            incr nn;
+            ne := !ne + offsets.(w + 1) - offsets.(w);
+            let mm = ref add in
+            while !mm <> 0 do
+              let bit = !mm land - !mm in
+              Bigarray.Array1.unsafe_set rows.(roff + bit_index.(bit mod 67)) w d32;
+              mm := !mm lxor bit
+            done
+          end
+        end
+      done
+    end
+    else
+      for i = 0 to !cn - 1 do
+        let u = clA.(i) in
+        if u <> ban then begin
+          let fu = frA.(u) in
+          for e = offsets.(u) to offsets.(u + 1) - 1 do
+            let w = targets.(e) in
+            let add = fu land lnot seen.(w) in
+            if add <> 0 then begin
+              if seen.(w) = 0 then touch s w;
+              seen.(w) <- seen.(w) lor add;
+              if nfA.(w) = 0 then begin
+                nlA.(!nn) <- w;
+                incr nn;
+                ne := !ne + offsets.(w + 1) - offsets.(w)
+              end;
+              nfA.(w) <- nfA.(w) lor add;
+              let mm = ref add in
+              while !mm <> 0 do
+                let bit = !mm land - !mm in
+                Bigarray.Array1.unsafe_set rows.(roff + bit_index.(bit mod 67)) w d32;
+                mm := !mm lxor bit
+              done
+            end
+          done
+        end
+      done;
+    for i = 0 to !cn - 1 do
+      frA.(clA.(i)) <- 0
+    done;
+    fr := nfA;
+    nf := frA;
+    cl := nlA;
+    nl := clA;
+    cn := !nn;
+    ce := !ne;
+    d := d'
+  done;
+  for i = 0 to s.ntouched - 1 do
+    seen.(s.touched.(i)) <- 0
+  done
+
+let msbfs ?(ban = -1) t s ~srcs ~rows =
+  let k = Array.length srcs in
+  if k > batch_width then invalid_arg "Csr.msbfs: more sources than batch_width";
+  if not t.unit_lengths then invalid_arg "Csr.msbfs: unit-length snapshots only";
+  if Array.length rows < k then invalid_arg "Csr.msbfs: fewer rows than sources";
+  ensure_batch s t.n;
+  if k > 0 then msbfs_window ~ban t s ~srcs ~soff:0 ~k ~rows ~roff:0;
+  s.dl_covers_batch <- true
+
+let msbfs32 ?(ban = -1) t s ~srcs ~(rows : dist32 array) =
+  let k = Array.length srcs in
+  if k > batch_width then invalid_arg "Csr.msbfs32: more sources than batch_width";
+  if not t.unit_lengths then invalid_arg "Csr.msbfs32: unit-length snapshots only";
+  if Array.length rows < k then invalid_arg "Csr.msbfs32: fewer rows than sources";
+  if t.n >= inf32 then invalid_arg "Csr.msbfs32: hop distance could overflow int32";
+  ensure_batch s t.n;
+  if k > 0 then msbfs_window32 ~ban t s ~srcs ~soff:0 ~k ~rows ~roff:0;
+  s.dl_covers_batch <- true
+
+let sssp_batch ?(ban = -1) t s ~srcs ~rows =
+  let k = Array.length srcs in
+  if Array.length rows < k then invalid_arg "Csr.sssp_batch: fewer rows than sources";
+  if t.unit_lengths && k > 1 then begin
+    ensure_batch s t.n;
+    let nwin = (k + batch_width - 1) / batch_width in
+    for w = 0 to nwin - 1 do
+      let soff = w * batch_width in
+      (* The dirty list has capacity n, enough for one window; later
+         windows restart it, so only a single-window batch leaves it
+         covering every row. *)
+      if w > 0 then s.ntouched <- 0;
+      msbfs_window ~ban t s ~srcs ~soff ~k:(min batch_width (k - soff)) ~rows ~roff:soff
+    done;
+    s.dl_covers_batch <- nwin = 1
+  end
+  else begin
+    for i = 0 to k - 1 do
+      sssp ~ban t s ~src:srcs.(i) ~dist:rows.(i)
+    done;
+    s.dl_covers_batch <- k <= 1
+  end
+
+let sssp_batch32 ?(ban = -1) t s ~srcs ~(rows : dist32 array) =
+  let k = Array.length srcs in
+  if Array.length rows < k then invalid_arg "Csr.sssp_batch32: fewer rows than sources";
+  if t.unit_lengths && k > 1 then begin
+    if t.n >= inf32 then invalid_arg "Csr.sssp_batch32: hop distance could overflow int32";
+    ensure_batch s t.n;
+    let nwin = (k + batch_width - 1) / batch_width in
+    for w = 0 to nwin - 1 do
+      let soff = w * batch_width in
+      if w > 0 then s.ntouched <- 0;
+      msbfs_window32 ~ban t s ~srcs ~soff ~k:(min batch_width (k - soff)) ~rows ~roff:soff
+    done;
+    s.dl_covers_batch <- nwin = 1
+  end
+  else begin
+    for i = 0 to k - 1 do
+      sssp32 ~ban t s ~src:srcs.(i) ~dist:rows.(i)
+    done;
+    s.dl_covers_batch <- k <= 1
+  end
+
+let reset_rows s ~rows =
+  if s.dl_covers_batch then begin
+    for r = 0 to Array.length rows - 1 do
+      let row = rows.(r) in
+      for i = 0 to s.ntouched - 1 do
+        row.(s.touched.(i)) <- unreachable
+      done
+    done;
+    s.ntouched <- 0;
+    s.dl_covers_batch <- false
+  end
+  else begin
+    Array.iter (fun row -> Array.fill row 0 (Array.length row) unreachable) rows;
+    s.ntouched <- 0
+  end
+
+let reset_rows32 s ~(rows : dist32 array) =
+  if s.dl_covers_batch then begin
+    for r = 0 to Array.length rows - 1 do
+      let row = rows.(r) in
+      for i = 0 to s.ntouched - 1 do
+        Bigarray.Array1.unsafe_set row s.touched.(i) unreachable32
+      done
+    done;
+    s.ntouched <- 0;
+    s.dl_covers_batch <- false
+  end
+  else begin
+    Array.iter fill32 rows;
+    s.ntouched <- 0
+  end

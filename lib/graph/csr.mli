@@ -95,6 +95,46 @@ val reset : scratch -> int array -> unit
     the entries the {e most recent} sweep through this scratch wrote:
     O(visited), not O(n). *)
 
+(** {1 Multi-source bit-parallel BFS}
+
+    Unit-length sweeps from up to {!batch_width} sources share one
+    traversal (the MS-BFS technique): per-vertex source bitmaps replace
+    the visited flag, so each adjacency row is read once per {e batch}
+    instead of once per source, and dense frontiers flip to a bottom-up
+    pull pass over a lazily cached transpose (direction-optimizing
+    BFS).  Weighted snapshots fall back to per-source {!dijkstra} —
+    bit-parallelism needs all sources to agree on the expansion order,
+    which only uniform hop counts guarantee.
+
+    {!sssp_batch} is the single entry point: it windows any number of
+    sources internally, picks MS-BFS vs scalar per snapshot, and keeps
+    the {!bfs} [?ban] semantics ([G_{-u}] sweeps).  Rows must be clean
+    on entry, one per source, each of length >= [n]; {!reset_rows}
+    restores the whole batch to clean afterwards — O(batch reach) when
+    the batch fit one window, one fill per row otherwise. *)
+
+val batch_width : int
+(** Sources per bit-parallel window: [Sys.int_size - 1] (62 on 64-bit —
+    the sign bit stays clear so source masks are non-negative). *)
+
+val sssp_batch :
+  ?ban:int -> t -> scratch -> srcs:int array -> rows:int array array -> unit
+(** Distances from every [srcs.(i)] into [rows.(i)].  Unit-length
+    snapshots with more than one source take the bit-parallel path in
+    ⌈k/{!batch_width}⌉ windows; otherwise each source runs {!sssp}.
+    Equivalent to k independent [sssp] sweeps, bit for bit. *)
+
+val msbfs :
+  ?ban:int -> t -> scratch -> srcs:int array -> rows:int array array -> unit
+(** One bit-parallel window: hop distances from at most {!batch_width}
+    sources (raises above that, and on non-unit snapshots).  Prefer
+    {!sssp_batch} unless the caller manages windows itself. *)
+
+val reset_rows : scratch -> rows:int array array -> unit
+(** Restore every row of the most recent batched call on this scratch
+    to clean.  Uses the dirty list when it covers the whole batch
+    (single window), full fills otherwise. *)
+
 (** {1 Compact int32 rows}
 
     The same kernels over distance rows stored as an int32 [Bigarray] —
@@ -124,3 +164,15 @@ val sssp32 : ?ban:int -> t -> scratch -> src:int -> dist:dist32 -> unit
 
 val reset32 : scratch -> dist32 -> unit
 (** {!reset} for int32 rows: O(visited) restore to clean. *)
+
+val sssp_batch32 :
+  ?ban:int -> t -> scratch -> srcs:int array -> rows:dist32 array -> unit
+(** {!sssp_batch} over int32 rows (raises if a hop count could reach
+    {!unreachable32}). *)
+
+val msbfs32 :
+  ?ban:int -> t -> scratch -> srcs:int array -> rows:dist32 array -> unit
+(** {!msbfs} over int32 rows. *)
+
+val reset_rows32 : scratch -> rows:dist32 array -> unit
+(** {!reset_rows} for int32 rows. *)

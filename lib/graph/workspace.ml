@@ -63,6 +63,12 @@ let release ws row =
 
 let pooled ws = ws.nfree
 
+(* Batched acquisition for the MS-BFS consumers: one call per
+   bit-parallel window instead of one per source. *)
+
+let acquire_many ws n k = Array.init k (fun _ -> acquire ws n)
+let release_clean_many ws rows = Array.iter (release_clean ws) rows
+
 (* int32 rows: same pool discipline, same counters (an acquisition is an
    acquisition whatever the element width). *)
 
@@ -98,3 +104,5 @@ let release32 ws row =
   release_clean32 ws row
 
 let pooled32 ws = ws.nfree32
+let acquire_many32 ws n k = Array.init k (fun _ -> acquire32 ws n)
+let release_clean_many32 ws rows = Array.iter (release_clean32 ws) rows

@@ -45,6 +45,14 @@ val release_clean : t -> int array -> unit
 val pooled : t -> int
 (** Number of rows currently on the free stack (for tests/metrics). *)
 
+val acquire_many : t -> int -> int -> int array array
+(** [acquire_many ws n k] is [k] clean length-[n] rows — one
+    {!Csr.sssp_batch} window's worth. *)
+
+val release_clean_many : t -> int array array -> unit
+(** Return a batch of rows already restored to clean (e.g. via
+    {!Csr.reset_rows}). *)
+
 (** {1 Compact int32 rows}
 
     A second free stack holding {!Csr.dist32} rows, behind the same
@@ -65,3 +73,10 @@ val release_clean32 : t -> Csr.dist32 -> unit
 
 val pooled32 : t -> int
 (** Number of int32 rows on the free stack. *)
+
+val acquire_many32 : t -> int -> int -> Csr.dist32 array
+(** {!acquire_many} for int32 rows. *)
+
+val release_clean_many32 : t -> Csr.dist32 array -> unit
+(** {!release_clean_many} for int32 rows (pairs with
+    {!Csr.reset_rows32}). *)

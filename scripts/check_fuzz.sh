@@ -13,13 +13,15 @@
 #      worse than no fuzzer.
 #
 # Usage: scripts/check_fuzz.sh
-#        (override FUZZ_SEED / FUZZ_COUNT / FUZZ_SHRINK_STEPS / FUZZ_MAX_N)
+#        (override FUZZ_SEED / FUZZ_COUNT / FUZZ_SHRINK_STEPS / FUZZ_MAX_N
+#         / FUZZ_MSBFS_COUNT)
 set -eu
 
 SEED=${FUZZ_SEED:-7}
 COUNT=${FUZZ_COUNT:-60}
 STEPS=${FUZZ_SHRINK_STEPS:-400}
 MAX_N=${FUZZ_MAX_N:-8}
+MSBFS_COUNT=${FUZZ_MSBFS_COUNT:-125}
 
 dune build bin/bbc_cli.exe
 bbc=_build/default/bin/bbc_cli.exe
@@ -28,6 +30,16 @@ echo "check_fuzz: all suites, seed=$SEED count=$COUNT max-shrink-steps=$STEPS"
 "$bbc" fuzz --suite all --seed "$SEED" --count "$COUNT" \
   --max-shrink-steps "$STEPS" || {
   echo "check_fuzz: engine-pair mismatch (see counterexample above)" >&2
+  exit 1
+}
+
+# Deeper soak on the bit-parallel batch kernels alone: 5 properties x
+# $MSBFS_COUNT cases (default 625 total) across window boundaries,
+# bans, shuffled source subsets and scratch reuse.
+echo "check_fuzz: msbfs soak, seed=$((SEED + 1)) count=$MSBFS_COUNT"
+"$bbc" fuzz --suite msbfs --seed "$((SEED + 1))" --count "$MSBFS_COUNT" \
+  --max-shrink-steps "$STEPS" || {
+  echo "check_fuzz: msbfs batch-kernel mismatch (see counterexample above)" >&2
   exit 1
 }
 

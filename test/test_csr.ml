@@ -164,6 +164,183 @@ let test_workspace_rows_clean () =
   W.release ws r2;
   Alcotest.(check bool) "pool retains rows" true (W.pooled ws >= 1)
 
+(* Random unit-length digraph with isolated vertices — the MS-BFS
+   dispatch shape ([random_weighted] draws 0-length edges, which defeat
+   [unit_lengths]). *)
+let random_unit rng ~n =
+  let g = D.create n in
+  for u = 0 to n - 1 do
+    if SM.int rng 4 > 0 then begin
+      let deg = 1 + SM.int rng 3 in
+      for _ = 1 to deg do
+        let v = SM.int rng n in
+        if v <> u then D.add_edge g u v 1
+      done
+    end
+  done;
+  g
+
+let test_msbfs_matches_scalar () =
+  let rng = SM.create 6262 in
+  for iter = 1 to 25 do
+    let n = 2 + SM.int rng 60 in
+    (* Every fifth graph is dense so the direction-optimizing pass
+       actually flips to bottom-up. *)
+    let g =
+      if iter mod 5 = 0 then G.random_k_out rng ~n ~k:(max 1 (n / 2))
+      else random_unit rng ~n
+    in
+    let csr = Csr.of_digraph g in
+    let k = 1 + SM.int rng (min n Csr.batch_width) in
+    (* Sources drawn with replacement: duplicates must behave like
+       independent sweeps. *)
+    let srcs = Array.init k (fun _ -> SM.int rng n) in
+    let rows = Array.init k (fun _ -> Array.make n Csr.unreachable) in
+    Csr.msbfs csr (Csr.create_scratch ()) ~srcs ~rows;
+    Array.iteri
+      (fun i src ->
+        Alcotest.(check (array int))
+          (Printf.sprintf "msbfs row %d = Paths.bfs" i)
+          (P.bfs g src) rows.(i))
+      srcs
+  done
+
+let test_msbfs_ban_matches_scalar () =
+  let rng = SM.create 4242 in
+  for _ = 1 to 20 do
+    let n = 3 + SM.int rng 40 in
+    let g = random_unit rng ~n in
+    let csr = Csr.of_digraph g in
+    let u = SM.int rng n in
+    let k = min n Csr.batch_width in
+    let srcs = Array.init k (fun i -> i mod n) in
+    let rows = Array.init k (fun _ -> Array.make n Csr.unreachable) in
+    Csr.msbfs ~ban:u csr (Csr.create_scratch ()) ~srcs ~rows;
+    Array.iteri
+      (fun i src ->
+        let expect = Array.make n Csr.unreachable in
+        Csr.bfs ~ban:u csr (Csr.create_scratch ()) ~src ~dist:expect;
+        Alcotest.(check (array int))
+          (Printf.sprintf "banned msbfs row %d" i)
+          expect rows.(i))
+      srcs
+  done
+
+let test_sssp_batch_windows () =
+  (* n = 130 spans a full window, a second full window, and a ragged
+     tail of 6 — plus an exactly-batch_width batch (the full-mask
+     window, where the sign-bit guard matters). *)
+  let rng = SM.create 130130 in
+  let n = 130 in
+  let g = random_unit rng ~n in
+  let csr = Csr.of_digraph g in
+  let scratch = Csr.create_scratch () in
+  let check_all k =
+    let srcs = Array.init k Fun.id in
+    let rows = Array.init k (fun _ -> Array.make n Csr.unreachable) in
+    Csr.sssp_batch csr scratch ~srcs ~rows;
+    for i = 0 to k - 1 do
+      Alcotest.(check (array int)) (Printf.sprintf "k=%d row %d" k i) (P.bfs g i) rows.(i)
+    done;
+    (* Multi-window batches fall back to full fills in reset_rows; both
+       paths must leave every row clean. *)
+    Csr.reset_rows scratch ~rows;
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun v d ->
+            if d <> Csr.unreachable then
+              Alcotest.failf "reset_rows left row %d entry %d dirty" i v)
+          row)
+      rows
+  in
+  check_all n;
+  check_all Csr.batch_width;
+  check_all 1
+
+let test_msbfs32_matches_int () =
+  let rng = SM.create 3232 in
+  for _ = 1 to 15 do
+    let n = 2 + SM.int rng 50 in
+    let g = random_unit rng ~n in
+    let csr = Csr.of_digraph g in
+    let k = 1 + SM.int rng (min n Csr.batch_width) in
+    let srcs = Array.init k (fun _ -> SM.int rng n) in
+    let rows32 = Array.init k (fun _ -> Csr.create_dist32 n) in
+    Csr.sssp_batch32 csr (Csr.create_scratch ()) ~srcs ~rows:rows32;
+    Array.iteri
+      (fun i src ->
+        let expect = P.bfs g src in
+        for v = 0 to n - 1 do
+          let got = Bigarray.Array1.get rows32.(i) v in
+          let want =
+            if expect.(v) = Csr.unreachable then Csr.unreachable32
+            else Int32.of_int expect.(v)
+          in
+          if got <> want then Alcotest.failf "int32 row %d diverges at v=%d" i v
+        done)
+      srcs
+  done
+
+let test_sssp_batch_weighted_dispatch () =
+  (* Non-unit snapshots must route through per-source Dijkstra. *)
+  let rng = SM.create 909 in
+  for _ = 1 to 10 do
+    let n = 3 + SM.int rng 30 in
+    let g = random_weighted rng ~n ~max_len:4 in
+    let csr = Csr.of_digraph g in
+    let k = 1 + SM.int rng (min n 8) in
+    let srcs = Array.init k (fun _ -> SM.int rng n) in
+    let rows = Array.init k (fun _ -> Array.make n Csr.unreachable) in
+    Csr.sssp_batch csr (Csr.create_scratch ()) ~srcs ~rows;
+    Array.iteri
+      (fun i src ->
+        Alcotest.(check (array int))
+          (Printf.sprintf "weighted batch row %d = dijkstra" i)
+          (P.dijkstra g src) rows.(i))
+      srcs
+  done
+
+let test_batch_reuse_and_clean_pool () =
+  (* One scratch across many graphs and sizes (the self-cleaning bitmap
+     invariant), pooled rows acquired in batches, restored through
+     [reset_rows], and returned clean. *)
+  let rng = SM.create 7171 in
+  let scratch = Csr.create_scratch () in
+  let ws = W.get () in
+  for _ = 1 to 8 do
+    let n = 4 + SM.int rng 60 in
+    let g = random_unit rng ~n in
+    let csr = Csr.of_digraph g in
+    let k = min n Csr.batch_width in
+    let srcs = Array.init k Fun.id in
+    let rows = W.acquire_many ws n k in
+    Array.iter
+      (fun row ->
+        Array.iteri
+          (fun i d ->
+            if d <> Csr.unreachable then Alcotest.failf "acquired row dirty at %d" i)
+          row)
+      rows;
+    Csr.sssp_batch csr scratch ~srcs ~rows;
+    Array.iteri
+      (fun i src ->
+        Alcotest.(check (array int))
+          (Printf.sprintf "reused scratch row %d" i)
+          (P.bfs g src) rows.(i))
+      srcs;
+    Csr.reset_rows scratch ~rows;
+    Array.iter
+      (fun row ->
+        Array.iteri
+          (fun i d ->
+            if d <> Csr.unreachable then Alcotest.failf "reset_rows left entry %d dirty" i)
+          row)
+      rows;
+    W.release_clean_many ws rows
+  done;
+  Alcotest.(check bool) "pool retains batch rows" true (W.pooled ws >= 1)
+
 let test_pooled_best_response_jobs_invariant () =
   (* Pooled rows + per-domain workspaces: the parallel from-scratch
      stability scan (which runs pooled Best_response enumerations on
@@ -196,6 +373,13 @@ let suite =
     Alcotest.test_case "apsp matches floyd-warshall" `Quick test_apsp_matches_floyd_warshall;
     Alcotest.test_case "shortest csr fast path" `Quick test_shortest_csr_fast_path;
     Alcotest.test_case "workspace rows stay clean" `Quick test_workspace_rows_clean;
+    Alcotest.test_case "msbfs matches scalar bfs" `Quick test_msbfs_matches_scalar;
+    Alcotest.test_case "msbfs with ban" `Quick test_msbfs_ban_matches_scalar;
+    Alcotest.test_case "sssp_batch windows + ragged tail" `Quick test_sssp_batch_windows;
+    Alcotest.test_case "msbfs32 matches int rows" `Quick test_msbfs32_matches_int;
+    Alcotest.test_case "sssp_batch weighted dispatch" `Quick
+      test_sssp_batch_weighted_dispatch;
+    Alcotest.test_case "batch reuse + clean pool" `Quick test_batch_reuse_and_clean_pool;
     Alcotest.test_case "pooled best response jobs-invariant" `Quick
       test_pooled_best_response_jobs_invariant;
   ]
